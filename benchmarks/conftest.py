@@ -1,0 +1,50 @@
+"""Shared configuration for the figure/table benchmarks.
+
+Each benchmark regenerates one paper artefact (figure panel series or
+table) and prints it; run with ``pytest benchmarks/ --benchmark-only -s``
+to see the output, or read the files written under ``benchmarks/results``.
+
+By default the sweeps use reduced problem-size grids so the whole suite
+finishes in minutes; set ``REPRO_FULL=1`` for the paper's full ranges
+(qubit counts up to 50 and 10 QAOA instances per size -- expect a long
+run, the paper itself reports Tabu times of ~15 min at n = 50).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+# Paper ranges (Figures 7-9): Heisenberg/XY up to 50, Ising up to 40,
+# QAOA 4..22.  Reduced ranges keep every family's shape visible.
+SIZES = {
+    "sycamore_heis": (6, 10, 14, 18, 22, 26, 32, 40, 50) if FULL
+    else (6, 10, 14, 18),
+    "sycamore_ising": (6, 10, 14, 18, 22, 26, 32, 40) if FULL
+    else (6, 10, 14, 18),
+    "aspen": (6, 8, 10, 12, 14, 16) if FULL else (6, 10, 14, 16),
+    "montreal": (6, 10, 14, 18, 22, 26) if FULL else (6, 10, 14, 18),
+    "qaoa": (4, 8, 12, 16, 20, 22) if FULL else (4, 8, 12),
+    "qaoa_montreal": (4, 8, 12, 16, 20, 22) if FULL else (4, 8, 12),
+}
+
+QAOA_INSTANCES = 10 if FULL else 3
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n=== {name} ===")
+    print(text)

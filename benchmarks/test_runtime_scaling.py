@@ -1,0 +1,50 @@
+"""Section V-D: compiler runtime and scalability.
+
+The paper reports Tabu mapping as the dominant cost (1.6 s at 10 qubits,
+~330 s at 40, ~976 s at 50) while routing and scheduling scale
+quadratically in the gate count and stay fast.  We reproduce the shape:
+mapping time grows super-linearly and dominates; routing + scheduling
+stay comfortably below it at larger sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.runtime import format_runtime_table, measure_runtime
+from repro.devices import montreal, sycamore
+from repro.hamiltonians.models import nnn_heisenberg, nnn_ising
+from repro.hamiltonians.qaoa import QAOAProblem, random_regular_graph
+from repro.hamiltonians.trotter import trotter_step
+
+from benchmarks.conftest import FULL, write_result
+
+MODEL_SIZES = (10, 20, 30, 40) if FULL else (10, 16, 22)
+
+
+def _measure_all():
+    records = []
+    for n in MODEL_SIZES:
+        step = trotter_step(nnn_heisenberg(n, seed=0))
+        records.append(measure_runtime(
+            f"NNN_Heisenberg-{n}", step, sycamore(), gateset="SYC",
+            mapping_trials=1,
+        ))
+    graph = random_regular_graph(3, 20, seed=0)
+    qaoa = QAOAProblem(graph, (0.35,), (-0.39,)).layer_step(0)
+    records.append(measure_runtime("QAOA-REG-3-20", qaoa, montreal(),
+                                   mapping_trials=1))
+    return records
+
+
+def test_runtime_scaling(benchmark, results_dir):
+    records = benchmark.pedantic(_measure_all, rounds=1, iterations=1)
+    write_result(results_dir, "runtime_scaling",
+                 format_runtime_table(records))
+    model_records = records[:-1]
+    # mapping dominates at the largest size (paper's observation)
+    largest = model_records[-1]
+    assert largest.mapping_s >= largest.routing_s
+    assert largest.mapping_s >= largest.scheduling_s
+    # mapping time grows with problem size
+    assert model_records[-1].mapping_s > model_records[0].mapping_s

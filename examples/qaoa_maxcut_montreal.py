@@ -1,0 +1,62 @@
+"""QAOA for MaxCut on IBMQ Montreal: compile, estimate fidelity, compare.
+
+Reproduces the Figure-10 workflow on one instance: build a 3-regular
+MaxCut problem, pick good angles, compile with 2QAN and the baseline
+compilers, and estimate each circuit's noisy performance with the
+calibrated Montreal noise model.
+
+Run with ``python examples/qaoa_maxcut_montreal.py``.
+"""
+
+from repro import TwoQANCompiler
+from repro.baselines import (
+    compile_ic_qaoa,
+    compile_qiskit_like,
+    compile_tket_like,
+)
+from repro.devices import montreal
+from repro.hamiltonians.qaoa import (
+    QAOAProblem,
+    minimum_cost,
+    optimal_angles_p1,
+    random_regular_graph,
+)
+from repro.noise.estimator import circuit_fidelity_proxy, noisy_normalized_cost
+
+
+def main() -> None:
+    n = 12
+    graph = random_regular_graph(3, n, seed=7)
+    gamma, beta = optimal_angles_p1(graph, resolution=24)
+    problem = QAOAProblem(graph, (gamma,), (beta,))
+    ideal = problem.normalized_cost()
+    print(f"QAOA-REG-3, n={n}, |E|={graph.number_of_edges()}, "
+          f"C_min={minimum_cost(graph, n):.0f}")
+    print(f"optimal p=1 angles: gamma={gamma:.3f}, beta={beta:.3f}")
+    print(f"noiseless <C>/C_min = {ideal:.3f}\n")
+
+    device = montreal()
+    step = problem.layer_step(0)
+    compiled = {
+        "2QAN": TwoQANCompiler(device, "CNOT", seed=1).compile(step),
+        "IC-QAOA": compile_ic_qaoa(step, device, "CNOT", seed=1),
+        "tket-like": compile_tket_like(step, device, "CNOT", seed=1),
+        "qiskit-like": compile_qiskit_like(step, device, "CNOT", seed=1),
+    }
+    print(f"{'compiler':12s} {'swaps':>6s} {'CNOTs':>6s} {'depth':>6s} "
+          f"{'est. fidelity':>14s} {'<C>/C_min':>10s}")
+    for name, result in compiled.items():
+        metrics = result.metrics
+        fidelity = circuit_fidelity_proxy(metrics, n)
+        noisy = noisy_normalized_cost(ideal, metrics, n)
+        print(f"{name:12s} {metrics.n_swaps:6d} "
+              f"{metrics.n_two_qubit_gates:6d} "
+              f"{metrics.two_qubit_depth:6d} {fidelity:14.3f} "
+              f"{noisy:10.3f}")
+    print("\nThe compiler that produces the smallest circuit keeps the "
+          "highest fraction of the noiseless score -- the paper's "
+          "Figure 10 in one row.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""End-to-end verified Hamiltonian simulation on a 2x3 grid device.
+
+Compiles an XY-model Trotter step with exact gate synthesis, verifies the
+hardware circuit implements a legal operator permutation (the compiled
+unitary equals the executed-order product up to the mapping
+permutations), then simulates multiple Trotter steps and compares with
+the exact evolution -- the full workflow a physicist would run.
+
+Run with ``python examples/verified_simulation.py``.
+"""
+
+import numpy as np
+import scipy.linalg as sla
+
+from repro import TwoQANCompiler, trotter_step
+from repro.core.unify import unify_circuit_operators
+from repro.devices import grid
+from repro.hamiltonians.models import nnn_xy
+from repro.quantum.statevector import Statevector
+from repro.verification import (
+    executed_order_circuit,
+    verify_compilation,
+    verify_operator_conservation,
+)
+
+
+def main() -> None:
+    n = 6
+    hamiltonian = nnn_xy(n, seed=3)
+    device = grid(2, 3)
+
+    # Compile one Trotter step with exact (unitary-solving) decomposition.
+    step = unify_circuit_operators(trotter_step(hamiltonian, t=0.1))
+    compiler = TwoQANCompiler(device, "CNOT", seed=2, solve_angles=True)
+    result = compiler.compile(step)
+    print(f"compiled: {result.metrics.n_two_qubit_gates} CNOTs, "
+          f"{result.n_swaps} swaps ({result.n_dressed} dressed)")
+
+    print("operator conservation:", verify_operator_conservation(result, step))
+    print("unitary verification: ", verify_compilation(result, step))
+
+    # Fidelity of the r-step Trotterized evolution vs exact dynamics.
+    # The compiled circuit implements *some* operator ordering; any
+    # ordering is a first-order Trotter approximant, so fidelity must
+    # approach 1 as the step count r grows (total time fixed).
+    total_time = 0.4
+    exact = sla.expm(1j * total_time * hamiltonian.to_matrix())
+    reference = Statevector.zero(n)
+    reference.amplitudes = exact @ reference.amplitudes
+
+    print(f"\n{'r':>4s} {'|<exact|trotter>|^2':>20s}")
+    for r in (1, 2, 4, 8):
+        step_r = unify_circuit_operators(
+            trotter_step(hamiltonian, t=total_time / r)
+        )
+        compiled_r = compiler.compile(step_r)
+        logical = executed_order_circuit(compiled_r.scheduled, n)
+        state = Statevector.zero(n)
+        for _ in range(r):
+            state.apply_circuit(logical)
+        print(f"{r:4d} {state.fidelity(reference):20.6f}")
+
+
+if __name__ == "__main__":
+    main()

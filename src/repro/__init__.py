@@ -1,0 +1,56 @@
+"""repro: a from-scratch reproduction of the 2QAN quantum compiler.
+
+2QAN (Lao & Browne, ISCA 2022) compiles 2-local qubit Hamiltonian
+simulation circuits -- Ising / XY / Heisenberg models and QAOA -- onto
+NISQ devices by exploiting the free permutation of product-formula
+operators in every compilation pass.
+
+Quickstart::
+
+    from repro import TwoQANCompiler, nnn_heisenberg, trotter_step
+    from repro.devices import montreal
+
+    step = trotter_step(nnn_heisenberg(10, seed=0))
+    compiler = TwoQANCompiler(device=montreal(), gateset="CNOT")
+    result = compiler.compile(step)
+    print(result.metrics)
+
+Subpackages
+-----------
+``repro.quantum``      circuit IR, Pauli algebra, statevector simulation
+``repro.synthesis``    KAK/Weyl decomposition, CNOT/CZ/SYC/iSWAP retargeting
+``repro.hamiltonians`` benchmark models, QAOA, Trotterization
+``repro.devices``      Sycamore / Montreal / Aspen / Manhattan topologies
+``repro.mapping``      QAP formulation + Tabu search placement
+``repro.core``         the 2QAN passes (routing, unifying, scheduling)
+``repro.baselines``    generic and application-specific comparison compilers
+``repro.noise``        fidelity estimation for the hardware experiment
+``repro.analysis``     sweep harness, overhead tables, runtime analysis
+"""
+
+from repro.core.compiler import CompilationResult, TwoQANCompiler, compile_step
+from repro.core.metrics import CircuitMetrics
+from repro.hamiltonians.models import nnn_heisenberg, nnn_ising, nnn_xy
+from repro.hamiltonians.qaoa import QAOAProblem, make_qaoa_problem
+from repro.hamiltonians.trotter import TrotterStep, trotter_step
+from repro.quantum.circuit import Circuit
+from repro.quantum.gates import Gate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TwoQANCompiler",
+    "CompilationResult",
+    "compile_step",
+    "CircuitMetrics",
+    "Circuit",
+    "Gate",
+    "TrotterStep",
+    "trotter_step",
+    "nnn_ising",
+    "nnn_xy",
+    "nnn_heisenberg",
+    "QAOAProblem",
+    "make_qaoa_problem",
+    "__version__",
+]

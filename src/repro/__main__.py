@@ -1,0 +1,84 @@
+"""Command-line interface: compile a benchmark and print the metrics.
+
+Examples::
+
+    python -m repro --benchmark NNN_Heisenberg --qubits 10 \
+        --device montreal --gateset CNOT
+    python -m repro --benchmark QAOA-REG-3 --qubits 12 --device sycamore \
+        --gateset SYC --compare
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.harness import build_step
+from repro.baselines import compile_nomap, compile_qiskit_like, compile_tket_like
+from repro.core.compiler import TwoQANCompiler
+from repro.devices.library import all_to_all, by_name
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="2QAN reproduction: compile 2-local Hamiltonian "
+                    "simulation benchmarks onto NISQ devices",
+    )
+    parser.add_argument("--benchmark", default="NNN_Heisenberg",
+                        choices=["NNN_Heisenberg", "NNN_XY", "NNN_Ising",
+                                 "QAOA-REG-3"],
+                        help="benchmark family")
+    parser.add_argument("--qubits", type=int, default=10,
+                        help="problem size")
+    parser.add_argument("--device", default="montreal",
+                        choices=["montreal", "sycamore", "aspen",
+                                 "manhattan", "all-to-all"],
+                        help="target device")
+    parser.add_argument("--gateset", default="CNOT",
+                        choices=["CNOT", "CZ", "SYC", "ISWAP"],
+                        help="hardware two-qubit basis")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--mapping-trials", type=int, default=5,
+                        help="Tabu restarts (paper uses 5)")
+    parser.add_argument("--compare", action="store_true",
+                        help="also run the baseline compilers")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
+    step = build_step(args.benchmark, args.qubits, args.seed)
+    if args.device == "all-to-all":
+        device = all_to_all(args.qubits)
+    else:
+        device = by_name(args.device)
+    if args.qubits > device.n_qubits:
+        print(f"error: {args.qubits} qubits exceed {device.name}",
+              file=sys.stderr)
+        return 1
+
+    compiler = TwoQANCompiler(device, args.gateset, seed=args.seed,
+                              mapping_trials=args.mapping_trials)
+    result = compiler.compile(step)
+    print(f"{args.benchmark} n={args.qubits} on {device.name} "
+          f"({args.gateset} basis)")
+    print(f"  2QAN: swaps={result.n_swaps} dressed={result.n_dressed} "
+          f"2q-gates={result.metrics.n_two_qubit_gates} "
+          f"2q-depth={result.metrics.two_qubit_depth} "
+          f"depth={result.metrics.total_depth}")
+    if args.compare:
+        nomap = compile_nomap(step, args.gateset, seed=args.seed)
+        tket = compile_tket_like(step, device, args.gateset, seed=args.seed)
+        qiskit = compile_qiskit_like(step, device, args.gateset,
+                                     seed=args.seed)
+        for name, r in (("NoMap", nomap), ("tket-like", tket),
+                        ("qiskit-like", qiskit)):
+            print(f"  {name}: swaps={r.n_swaps} "
+                  f"2q-gates={r.metrics.n_two_qubit_gates} "
+                  f"2q-depth={r.metrics.two_qubit_depth}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

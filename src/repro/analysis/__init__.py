@@ -1,0 +1,18 @@
+"""Evaluation harness: sweeps, overhead tables, runtime analysis."""
+
+from repro.analysis.harness import (
+    BenchmarkRow,
+    SweepConfig,
+    run_sweep,
+    format_rows,
+)
+from repro.analysis.overhead import reduction_table, summarize_reductions
+
+__all__ = [
+    "BenchmarkRow",
+    "SweepConfig",
+    "run_sweep",
+    "format_rows",
+    "reduction_table",
+    "summarize_reductions",
+]

@@ -1,0 +1,167 @@
+"""The sweep harness shared by every figure/table benchmark.
+
+One :class:`SweepConfig` describes a paper experiment: benchmark family,
+device, gate set, problem sizes, compilers.  :func:`run_sweep` produces
+:class:`BenchmarkRow` records -- exactly the series plotted in Figures
+7-9/11-13 (SWAP count, hardware two-qubit gate count, two-qubit depth,
+plus the dressed-SWAP count and the NoMap baseline).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines import (
+    compile_ic_qaoa,
+    compile_nomap,
+    compile_qiskit_like,
+    compile_tket_like,
+)
+from repro.core.compiler import TwoQANCompiler
+from repro.core.decompose import DecomposeCache
+from repro.devices.topology import Device
+from repro.hamiltonians.models import MODEL_BUILDERS
+from repro.hamiltonians.qaoa import random_regular_graph, QAOAProblem
+from repro.hamiltonians.trotter import TrotterStep, trotter_step
+
+DEFAULT_COMPILERS = ("2qan", "tket", "qiskit")
+
+
+@dataclass(frozen=True)
+class BenchmarkRow:
+    """One (benchmark, size, instance, compiler) measurement."""
+
+    benchmark: str
+    device: str
+    gateset: str
+    n_qubits: int
+    instance: int
+    compiler: str
+    n_swaps: int
+    n_dressed: int
+    n_two_qubit_gates: int
+    two_qubit_depth: int
+    total_depth: int
+    seconds: float
+
+
+@dataclass
+class SweepConfig:
+    """One experiment sweep (a paper figure panel row)."""
+
+    benchmark: str                      # NNN_Ising | NNN_XY | NNN_Heisenberg | QAOA-REG-k
+    device: Device
+    gateset: str
+    sizes: tuple[int, ...]
+    compilers: tuple[str, ...] = DEFAULT_COMPILERS
+    instances: int = 1                  # >1 only for QAOA (random graphs)
+    seed: int = 0
+    qaoa_degree: int = 3
+
+
+def build_step(benchmark: str, n_qubits: int, instance_seed: int,
+               degree: int = 3) -> TrotterStep:
+    """Instantiate one benchmark problem as a Trotter step."""
+    if benchmark.startswith("QAOA-REG"):
+        graph = random_regular_graph(degree, n_qubits, seed=instance_seed)
+        # Compilation metrics are angle-independent; fixed angles keep the
+        # sweep fast.  (Fidelity experiments pick optimal angles.)
+        problem = QAOAProblem(graph, (0.35,), (-0.39,))
+        return problem.layer_step(0)
+    try:
+        builder = MODEL_BUILDERS[benchmark]
+    except KeyError:
+        raise ValueError(f"unknown benchmark {benchmark!r}") from None
+    return trotter_step(builder(n_qubits, seed=instance_seed))
+
+
+def compile_with(name: str, step: TrotterStep, device: Device,
+                 gateset: str, seed: int, cache: DecomposeCache):
+    """Dispatch one compiler by name; returns (metrics-bearing result)."""
+    if name == "2qan":
+        compiler = TwoQANCompiler(device=device, gateset=gateset, seed=seed)
+        compiler._cache = cache
+        return compiler.compile(step)
+    if name == "2qan_nodress":
+        compiler = TwoQANCompiler(device=device, gateset=gateset, seed=seed,
+                                  dress=False)
+        compiler._cache = cache
+        return compiler.compile(step)
+    if name == "tket":
+        return compile_tket_like(step, device, gateset, seed=seed, cache=cache)
+    if name == "qiskit":
+        return compile_qiskit_like(step, device, gateset, seed=seed, cache=cache)
+    if name == "ic_qaoa":
+        return compile_ic_qaoa(step, device, gateset, seed=seed, cache=cache)
+    if name == "nomap":
+        return compile_nomap(step, gateset, seed=seed, cache=cache)
+    raise ValueError(f"unknown compiler {name!r}")
+
+
+def run_sweep(config: SweepConfig) -> list[BenchmarkRow]:
+    """Run all (size, instance, compiler) combinations of a sweep."""
+    rows: list[BenchmarkRow] = []
+    cache = DecomposeCache()
+    for n_qubits in config.sizes:
+        for instance in range(config.instances):
+            instance_seed = config.seed + 7919 * instance + n_qubits
+            step = build_step(config.benchmark, n_qubits, instance_seed,
+                              config.qaoa_degree)
+            for compiler_name in config.compilers:
+                start = time.perf_counter()
+                result = compile_with(compiler_name, step, config.device,
+                                      config.gateset, config.seed + instance,
+                                      cache)
+                elapsed = time.perf_counter() - start
+                metrics = result.metrics
+                rows.append(BenchmarkRow(
+                    benchmark=config.benchmark,
+                    device=config.device.name,
+                    gateset=config.gateset,
+                    n_qubits=n_qubits,
+                    instance=instance,
+                    compiler=compiler_name,
+                    n_swaps=metrics.n_swaps,
+                    n_dressed=metrics.n_dressed,
+                    n_two_qubit_gates=metrics.n_two_qubit_gates,
+                    two_qubit_depth=metrics.two_qubit_depth,
+                    total_depth=metrics.total_depth,
+                    seconds=elapsed,
+                ))
+    return rows
+
+
+def aggregate(rows: list[BenchmarkRow], compiler: str, n_qubits: int,
+              attribute: str) -> float:
+    """Mean of one metric over instances."""
+    values = [
+        getattr(r, attribute) for r in rows
+        if r.compiler == compiler and r.n_qubits == n_qubits
+    ]
+    if not values:
+        raise ValueError(f"no rows for {compiler} at n={n_qubits}")
+    return float(np.mean(values))
+
+
+def format_rows(rows: list[BenchmarkRow], attribute: str,
+                compilers: tuple[str, ...] | None = None) -> str:
+    """Figure-style text table: one line per size, one column per compiler."""
+    if not rows:
+        return "(no data)"
+    if compilers is None:
+        compilers = tuple(dict.fromkeys(r.compiler for r in rows))
+    sizes = sorted({r.n_qubits for r in rows})
+    header = "  n  " + "".join(f"{c:>12s}" for c in compilers)
+    lines = [header]
+    for n in sizes:
+        cells = []
+        for compiler in compilers:
+            try:
+                cells.append(f"{aggregate(rows, compiler, n, attribute):12.1f}")
+            except ValueError:
+                cells.append(f"{'-':>12s}")
+        lines.append(f"{n:4d} " + "".join(cells))
+    return "\n".join(lines)

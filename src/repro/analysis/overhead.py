@@ -1,0 +1,86 @@
+"""Overhead-reduction tables (paper Tables I, II, IV, V).
+
+The paper defines *overhead* as the increase of a metric over the NoMap
+baseline and reports, per benchmark family, the average and maximum of
+``overhead(other) / overhead(2QAN)`` across problem sizes.  SWAP counts
+are compared directly (the baseline inserts none).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.harness import BenchmarkRow, aggregate
+
+
+@dataclass(frozen=True)
+class ReductionEntry:
+    """avg/max reduction for one (benchmark, metric) cell."""
+
+    benchmark: str
+    metric: str
+    average: float
+    maximum: float
+
+    def formatted(self) -> str:
+        if np.isinf(self.average):
+            return "--"
+        return f"{self.average:.1f}x (max {self.maximum:.1f}x)"
+
+
+def _per_size_ratio(rows: list[BenchmarkRow], ours: str, other: str,
+                    n_qubits: int, metric: str) -> float:
+    if metric == "swaps":
+        our_val = aggregate(rows, ours, n_qubits, "n_swaps")
+        other_val = aggregate(rows, other, n_qubits, "n_swaps")
+    else:
+        attribute = {
+            "gates": "n_two_qubit_gates",
+            "depth": "two_qubit_depth",
+        }[metric]
+        base = aggregate(rows, "nomap", n_qubits, attribute)
+        our_val = aggregate(rows, ours, n_qubits, attribute) - base
+        other_val = aggregate(rows, other, n_qubits, attribute) - base
+    if our_val <= 0:
+        return float("inf")
+    return other_val / our_val
+
+
+def reduction_table(rows: list[BenchmarkRow], other: str,
+                    metrics: tuple[str, ...] = ("swaps", "gates", "depth"),
+                    ours: str = "2qan") -> list[ReductionEntry]:
+    """Tables I/II style entries for one comparison compiler."""
+    entries: list[ReductionEntry] = []
+    benchmarks = sorted({r.benchmark for r in rows})
+    for benchmark in benchmarks:
+        subset = [r for r in rows if r.benchmark == benchmark]
+        sizes = sorted({r.n_qubits for r in subset})
+        for metric in metrics:
+            ratios = [
+                _per_size_ratio(subset, ours, other, n, metric)
+                for n in sizes
+            ]
+            finite = [r for r in ratios if np.isfinite(r)]
+            if finite:
+                entries.append(ReductionEntry(
+                    benchmark, metric,
+                    average=float(np.mean(finite)),
+                    maximum=float(np.max(finite)),
+                ))
+            else:
+                entries.append(ReductionEntry(
+                    benchmark, metric, float("inf"), float("inf")
+                ))
+    return entries
+
+
+def summarize_reductions(entries: list[ReductionEntry]) -> str:
+    """Printable table."""
+    lines = [f"{'benchmark':18s} {'metric':8s} {'avg':>10s} {'max':>10s}"]
+    for e in entries:
+        avg = "--" if np.isinf(e.average) else f"{e.average:.1f}x"
+        mx = "--" if np.isinf(e.maximum) else f"{e.maximum:.1f}x"
+        lines.append(f"{e.benchmark:18s} {e.metric:8s} {avg:>10s} {mx:>10s}")
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Compiler runtime / scalability measurement (paper Section V-D)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.compiler import TwoQANCompiler
+from repro.devices.topology import Device
+from repro.hamiltonians.trotter import TrotterStep
+
+
+@dataclass(frozen=True)
+class RuntimeRecord:
+    """Pass-by-pass wall times for one compilation."""
+
+    label: str
+    n_qubits: int
+    n_operators: int
+    mapping_s: float
+    routing_s: float
+    scheduling_s: float
+    decomposition_s: float
+
+    @property
+    def total_s(self) -> float:
+        return (self.mapping_s + self.routing_s + self.scheduling_s
+                + self.decomposition_s)
+
+
+def measure_runtime(label: str, step: TrotterStep, device: Device,
+                    gateset: str = "CNOT", seed: int = 0,
+                    mapping_trials: int = 5) -> RuntimeRecord:
+    """Compile once and report per-pass timings."""
+    compiler = TwoQANCompiler(device=device, gateset=gateset, seed=seed,
+                              mapping_trials=mapping_trials)
+    result = compiler.compile(step)
+    timings = result.timings
+    return RuntimeRecord(
+        label=label,
+        n_qubits=step.n_qubits,
+        n_operators=len(step.two_qubit_ops),
+        mapping_s=timings["mapping"],
+        routing_s=timings["routing"],
+        scheduling_s=timings["scheduling"],
+        decomposition_s=timings["decomposition"],
+    )
+
+
+def format_runtime_table(records: list[RuntimeRecord]) -> str:
+    header = (
+        f"{'benchmark':24s} {'n':>4s} {'ops':>5s} {'map(s)':>8s} "
+        f"{'route(s)':>9s} {'sched(s)':>9s} {'decomp(s)':>10s} {'total':>8s}"
+    )
+    lines = [header]
+    for r in records:
+        lines.append(
+            f"{r.label:24s} {r.n_qubits:4d} {r.n_operators:5d} "
+            f"{r.mapping_s:8.2f} {r.routing_s:9.2f} {r.scheduling_s:9.2f} "
+            f"{r.decomposition_s:10.2f} {r.total_s:8.2f}"
+        )
+    return "\n".join(lines)

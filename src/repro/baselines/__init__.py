@@ -1,0 +1,31 @@
+"""Baseline compilers the paper compares against.
+
+None of the real tools (Qiskit 0.26, t|ket> 0.11, the IC-QAOA compiler,
+Paulihedral) are available offline, so this package provides faithful
+stand-ins (substitutions documented in DESIGN.md):
+
+* :mod:`repro.baselines.order_respecting` -- generic gate-level compilers
+  that honour the input gate order (reordering only trivially-disjoint
+  gates): a lookahead frontier router ("tket-like") and a no-lookahead
+  stochastic router ("qiskit-like").
+* :mod:`repro.baselines.qaoa_ic` -- an IC-QAOA-style compiler that
+  exploits the full commutativity of ZZ cost layers (instruction-gain
+  SWAP selection) but performs no SWAP dressing.
+* :mod:`repro.baselines.nomap` -- the connectivity-free "NoMap" baseline
+  against which all overheads are measured.
+"""
+
+from repro.baselines.base import BaselineResult
+from repro.baselines.nomap import compile_nomap
+from repro.baselines.order_respecting import compile_qiskit_like, compile_tket_like
+from repro.baselines.paulihedral_like import compile_paulihedral_like
+from repro.baselines.qaoa_ic import compile_ic_qaoa
+
+__all__ = [
+    "BaselineResult",
+    "compile_nomap",
+    "compile_qiskit_like",
+    "compile_tket_like",
+    "compile_ic_qaoa",
+    "compile_paulihedral_like",
+]

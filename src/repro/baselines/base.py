@@ -1,0 +1,55 @@
+"""Shared result type and helpers for the baseline compilers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+from repro.core.decompose import DecomposeCache, decompose_circuit
+from repro.core.metrics import CircuitMetrics
+from repro.quantum.circuit import Circuit
+from repro.quantum.gates import Gate, standard_gate_unitary
+from repro.synthesis.gateset import GateSet, get_gateset
+
+_SWAP = standard_gate_unitary("SWAP")
+
+
+@dataclass
+class BaselineResult:
+    """Output of a baseline compilation, mirroring CompilationResult."""
+
+    circuit: Circuit
+    metrics: CircuitMetrics
+    n_swaps: int
+    initial_map: dict[int, int]
+    final_map: dict[int, int]
+    app_circuit: Circuit = field(default=None, repr=False)
+
+    @property
+    def n_dressed(self) -> int:
+        return 0
+
+
+def lower_app_circuit(app_circuit: Circuit, gateset: str | GateSet,
+                      n_swaps: int, initial_map: dict[int, int],
+                      final_map: dict[int, int], *, solve: bool = False,
+                      seed: int = 0,
+                      cache: DecomposeCache | None = None) -> BaselineResult:
+    """Decompose an application-level routed circuit and collect metrics."""
+    if isinstance(gateset, str):
+        gateset = get_gateset(gateset)
+    hardware = decompose_circuit(app_circuit, gateset, solve=solve,
+                                 seed=seed, cache=cache)
+    metrics = CircuitMetrics.from_circuit(hardware, n_swaps=n_swaps)
+    return BaselineResult(
+        circuit=hardware,
+        metrics=metrics,
+        n_swaps=n_swaps,
+        initial_map=dict(initial_map),
+        final_map=dict(final_map),
+        app_circuit=app_circuit,
+    )
+
+
+def swap_gate(p: int, q: int) -> Gate:
+    return Gate("SWAP", (min(p, q), max(p, q)))

@@ -1,0 +1,26 @@
+"""The connectivity-free "NoMap" baseline (paper Section IV, Metrics).
+
+Pair-unified operators scheduled by graph colouring on an all-to-all
+device, then decomposed.  Every overhead number in the evaluation is an
+increase over this circuit.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineResult, lower_app_circuit
+from repro.core.scheduling import schedule_no_device
+from repro.core.unify import unify_circuit_operators
+from repro.hamiltonians.trotter import TrotterStep
+from repro.synthesis.gateset import GateSet
+
+
+def compile_nomap(step: TrotterStep, gateset: str | GateSet, *,
+                  unify: bool = True, solve: bool = False,
+                  seed: int = 0, cache=None) -> BaselineResult:
+    """Compile assuming all-to-all connectivity."""
+    working = unify_circuit_operators(step) if unify else step
+    app_circuit = schedule_no_device(working, seed=seed)
+    identity = {q: q for q in range(step.n_qubits)}
+    return lower_app_circuit(app_circuit, gateset, n_swaps=0,
+                             initial_map=identity, final_map=identity,
+                             solve=solve, seed=seed, cache=cache)

@@ -1,0 +1,212 @@
+"""Order-respecting gate-level routers: the generic-compiler stand-ins.
+
+Both honour the *input gate order*: a gate may execute only when every
+earlier gate sharing one of its qubits has executed (the standard gate
+dependency DAG).  Disjoint gates may run in any order -- that is the full
+extent of reordering a generic compiler can prove safe, and precisely
+what 2QAN's permutation-awareness goes beyond.
+
+* :func:`compile_tket_like` -- line placement + frontier routing with a
+  lookahead window and decay, in the spirit of t|ket>'s routing pass.
+* :func:`compile_qiskit_like` -- randomized placement (best of 5 by QAP
+  cost) + frontier routing *without* lookahead and with stochastic tie
+  breaking, in the spirit of Qiskit 0.26's stochastic swapper.
+
+Neither dresses SWAPs.  Inputs are pair-unified first, matching the
+paper's protocol ("we also pre-process the input circuits for t|ket> and
+Qiskit by applying the circuit unitary unifying").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.base import BaselineResult, lower_app_circuit, swap_gate
+from repro.core.routing import QubitMap
+from repro.core.unify import unify_circuit_operators
+from repro.devices.topology import Device
+from repro.hamiltonians.trotter import TrotterStep, TwoQubitOperator
+from repro.mapping.placement import line_placement, random_mapping
+from repro.mapping.qap import qap_from_problem
+from repro.quantum.circuit import Circuit
+from repro.quantum.gates import Gate, standard_gate_unitary
+from repro.synthesis.gateset import GateSet
+
+_SWAP = standard_gate_unitary("SWAP")
+
+
+@dataclass
+class _DagState:
+    """Frontier iteration over the gate dependency DAG."""
+
+    operators: list[TwoQubitOperator]
+    predecessors: list[set[int]]
+    successors: list[set[int]]
+    executed: set[int]
+
+    @classmethod
+    def from_operators(cls, operators: list[TwoQubitOperator]) -> "_DagState":
+        last_on_qubit: dict[int, int] = {}
+        predecessors: list[set[int]] = [set() for _ in operators]
+        successors: list[set[int]] = [set() for _ in operators]
+        for index, op in enumerate(operators):
+            for qubit in op.pair:
+                prev = last_on_qubit.get(qubit)
+                if prev is not None:
+                    predecessors[index].add(prev)
+                    successors[prev].add(index)
+                last_on_qubit[qubit] = index
+        return cls(operators, predecessors, successors, set())
+
+    def frontier(self) -> list[int]:
+        return [
+            i for i in range(len(self.operators))
+            if i not in self.executed and not (self.predecessors[i] - self.executed)
+        ]
+
+    def lookahead(self, frontier: list[int], window: int) -> list[int]:
+        """The next ``window`` gates beyond the frontier, program order."""
+        found: list[int] = []
+        frontier_set = set(frontier)
+        for i in range(len(self.operators)):
+            if i in self.executed or i in frontier_set:
+                continue
+            found.append(i)
+            if len(found) >= window:
+                break
+        return found
+
+
+def _route_order_respecting(step: TrotterStep, device: Device,
+                            initial: np.ndarray, *, lookahead: int,
+                            stochastic: bool, seed: int,
+                            ) -> tuple[Circuit, int, QubitMap, QubitMap]:
+    """Shared frontier-routing loop; returns the application circuit."""
+    rng = np.random.default_rng(seed)
+    qmap = QubitMap.from_assignment(initial)
+    initial_map = qmap.copy()
+    dag = _DagState.from_operators(step.two_qubit_ops)
+    circuit = Circuit(device.n_qubits)
+    dist = device.distance
+    n_swaps = 0
+    last_swap: tuple[int, int] | None = None
+    guard = 0
+    limit = 200 * (len(step.two_qubit_ops) + 1) * (device.diameter + 1)
+
+    def gate_distance(index: int, mapping: QubitMap) -> float:
+        u, v = dag.operators[index].pair
+        return float(dist[mapping.physical(u), mapping.physical(v)])
+
+    while True:
+        guard += 1
+        if guard > limit:
+            raise RuntimeError("order-respecting router failed to converge")
+        frontier = dag.frontier()
+        if not frontier:
+            break
+        ready = [
+            i for i in frontier
+            if device.are_neighbors(
+                qmap.physical(dag.operators[i].pair[0]),
+                qmap.physical(dag.operators[i].pair[1]),
+            )
+        ]
+        if ready:
+            for index in ready:
+                op = dag.operators[index]
+                u, v = op.pair
+                pu, pv = qmap.physical(u), qmap.physical(v)
+                matrix = op.unitary if pu < pv else (
+                    _SWAP @ op.unitary @ _SWAP
+                )
+                circuit.append(Gate("APP2Q", (min(pu, pv), max(pu, pv)),
+                                    matrix=matrix, meta={"label": op.label}))
+                dag.executed.add(index)
+            last_swap = None
+            continue
+        # No executable gate: insert a SWAP chosen by the heuristic.
+        candidates: set[tuple[int, int]] = set()
+        for index in frontier:
+            for logical in dag.operators[index].pair:
+                physical = qmap.physical(logical)
+                for neighbour in device.neighbors(physical):
+                    candidates.add((min(physical, neighbour),
+                                    max(physical, neighbour)))
+        if last_swap in candidates and len(candidates) > 1:
+            candidates.discard(last_swap)
+        extended = dag.lookahead(frontier, lookahead) if lookahead else []
+        scored: list[tuple[float, tuple[int, int]]] = []
+        for edge in sorted(candidates):
+            trial = qmap.after_swap(edge)
+            score = sum(gate_distance(i, trial) for i in frontier)
+            if extended:
+                score += 0.5 * sum(
+                    gate_distance(i, trial) for i in extended
+                ) / len(extended) * len(frontier)
+            scored.append((score, edge))
+        best_score = min(s for s, _ in scored)
+        ties = [e for s, e in scored if s <= best_score + 1e-9]
+        if stochastic and len(ties) > 1:
+            edge = ties[int(rng.integers(len(ties)))]
+        else:
+            edge = ties[0]
+        circuit.append(swap_gate(*edge))
+        qmap = qmap.after_swap(edge)
+        n_swaps += 1
+        last_swap = edge
+    return circuit, n_swaps, initial_map, qmap
+
+
+def compile_tket_like(step: TrotterStep, device: Device,
+                      gateset: str | GateSet, seed: int = 0, *,
+                      unify: bool = True, solve: bool = False,
+                      lookahead: int = 20, cache=None) -> BaselineResult:
+    """Line placement + lookahead frontier routing (t|ket> stand-in)."""
+    working = unify_circuit_operators(step) if unify else step
+    initial = line_placement(step.n_qubits, device)
+    app, n_swaps, init_map, final_map = _route_order_respecting(
+        working, device, initial, lookahead=lookahead, stochastic=False,
+        seed=seed,
+    )
+    app = _append_one_qubit_ops(app, working, final_map)
+    return lower_app_circuit(
+        app, gateset, n_swaps=n_swaps,
+        initial_map=init_map.logical_to_physical,
+        final_map=final_map.logical_to_physical,
+        solve=solve, seed=seed, cache=cache,
+    )
+
+
+def compile_qiskit_like(step: TrotterStep, device: Device,
+                        gateset: str | GateSet, seed: int = 0, *,
+                        unify: bool = True, solve: bool = False,
+                        trials: int = 5, cache=None) -> BaselineResult:
+    """Random best-of-k placement + stochastic no-lookahead routing
+    (Qiskit-0.26 stand-in)."""
+    working = unify_circuit_operators(step) if unify else step
+    instance = qap_from_problem(working, device)
+    placements = [
+        random_mapping(step.n_qubits, device, seed=seed + 31 * t)
+        for t in range(trials)
+    ]
+    initial = min(placements, key=instance.cost)
+    app, n_swaps, init_map, final_map = _route_order_respecting(
+        working, device, initial, lookahead=0, stochastic=True, seed=seed,
+    )
+    app = _append_one_qubit_ops(app, working, final_map)
+    return lower_app_circuit(
+        app, gateset, n_swaps=n_swaps,
+        initial_map=init_map.logical_to_physical,
+        final_map=final_map.logical_to_physical,
+        solve=solve, seed=seed, cache=cache,
+    )
+
+
+def _append_one_qubit_ops(circuit: Circuit, step: TrotterStep,
+                          final_map: QubitMap) -> Circuit:
+    for op in step.one_qubit_ops:
+        circuit.append(Gate("APP1Q", (final_map.physical(op.qubit),),
+                            matrix=op.unitary, meta={"label": op.label}))
+    return circuit

@@ -1,0 +1,66 @@
+"""An idealised Paulihedral-style block scheduler (stand-in for ref [36]).
+
+Paulihedral treats the input as Pauli-string blocks: it orders the
+exponentials so related blocks sit together and applies CNOT-tree
+cancellation between consecutive exponentials, but performs **no pair
+unifying and no SWAP dressing** (it optimises scheduling only -- exactly
+the gap the paper's Table III isolates).
+
+Cost model (all-to-all connectivity, the paper's Heisenberg rows):
+
+* a maximal run of k >= 2 consecutive exponentials on the same pair
+  costs 3 CNOTs (the commuting XX/YY/ZZ family diagonalises together --
+  this is the best case the real tool reaches on 1-D chains, where its
+  published number is exactly 3 CNOTs x 29 pairs = 87);
+* an isolated two-qubit exponential costs 2 CNOTs.
+
+This is an *idealised lower bound* on the real Paulihedral: on 2-D/3-D
+lattices the real tool trades cancellation for layer parallelism and
+lands higher (216 / 305 published vs 147 / 177 here).  The benchmark
+therefore compares 2QAN against both this bound and the published
+numbers; 2QAN matches the bound (unifying achieves 3 CNOTs per pair with
+routing included) and beats the published values.
+"""
+
+from __future__ import annotations
+
+from itertools import groupby
+
+from repro.baselines.base import BaselineResult
+from repro.core.metrics import CircuitMetrics
+from repro.hamiltonians.trotter import TrotterStep
+from repro.quantum.circuit import Circuit
+
+
+def compile_paulihedral_like(step: TrotterStep, seed: int = 0,
+                             ) -> BaselineResult:
+    """All-to-all Paulihedral-style compilation of a Trotter step."""
+    ordered = sorted(step.two_qubit_ops, key=lambda op: (op.pair, op.label))
+    circuit = Circuit(step.n_qubits)
+    cnot_depth = [0] * step.n_qubits
+    n_cnots = 0
+    for pair, run in groupby(ordered, key=lambda op: op.pair):
+        run = list(run)
+        cost = 3 if len(run) >= 2 else 2
+        n_cnots += cost
+        u, v = pair
+        start = max(cnot_depth[u], cnot_depth[v])
+        cnot_depth[u] = cnot_depth[v] = start + cost
+        for op in run:
+            circuit.append(op.to_gate())
+    metrics = CircuitMetrics(
+        n_two_qubit_gates=n_cnots,
+        two_qubit_depth=max(cnot_depth, default=0),
+        total_depth=max(cnot_depth, default=0) + 1,
+        n_swaps=0,
+        n_dressed=0,
+    )
+    identity = {q: q for q in range(step.n_qubits)}
+    return BaselineResult(
+        circuit=circuit,
+        metrics=metrics,
+        n_swaps=0,
+        initial_map=identity,
+        final_map=identity,
+        app_circuit=circuit,
+    )

@@ -1,0 +1,37 @@
+"""The 2QAN compiler core: the paper's contribution.
+
+Pipeline (Figure 2):
+
+1. circuit unitary unifying (:mod:`repro.core.unify`) -- merge same-pair
+   term exponentials into single SU(4) blocks;
+2. qubit mapping (:mod:`repro.mapping`) -- QAP + Tabu search;
+3. permutation-aware routing (:mod:`repro.core.routing`, Algorithm 1) --
+   SWAP insertion exploiting free operator ordering;
+4. SWAP unitary unifying (also :mod:`repro.core.unify`) -- dress SWAPs
+   with same-pair circuit gates;
+5. permutation-aware hybrid scheduling (:mod:`repro.core.scheduling`,
+   Algorithm 2) -- ALAP scheduling with SWAP-only dependencies;
+6. gate decomposition (:mod:`repro.core.decompose`) -- retarget to the
+   hardware basis (CNOT / CZ / SYC / iSWAP).
+"""
+
+from repro.core.compiler import CompilationResult, TwoQANCompiler, compile_step
+from repro.core.metrics import CircuitMetrics, OverheadReport
+from repro.core.routing import RoutedProblem, route
+from repro.core.scheduling import ScheduledCircuit, schedule_alap, schedule_no_device
+from repro.core.unify import DressedSwap, unify_circuit_operators
+
+__all__ = [
+    "TwoQANCompiler",
+    "CompilationResult",
+    "compile_step",
+    "CircuitMetrics",
+    "OverheadReport",
+    "RoutedProblem",
+    "route",
+    "ScheduledCircuit",
+    "schedule_alap",
+    "schedule_no_device",
+    "unify_circuit_operators",
+    "DressedSwap",
+]

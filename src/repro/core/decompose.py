@@ -1,0 +1,65 @@
+"""Final gate decomposition pass (paper Figure 2, last stage).
+
+Runs *after* all permutation-aware passes, so the same routed/scheduled
+circuit retargets to any hardware basis.  Each application-level two-qubit
+block (term exponential, unified gate, SWAP, dressed SWAP) becomes basis
+two-qubit gates plus single-qubit gates; adjacent single-qubit gates are
+fused afterwards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantum.circuit import Circuit
+from repro.quantum.gates import Gate
+from repro.quantum.transforms import merge_single_qubit_gates
+from repro.synthesis.gateset import GateSet
+
+# Decomposition results for repeated unitaries (bare SWAPs especially)
+# are cached by matrix bytes.
+_CACHE_LIMIT = 4096
+
+
+class DecomposeCache:
+    """Memoises two-qubit decompositions keyed by (gateset, matrix)."""
+
+    def __init__(self) -> None:
+        self._store: dict[tuple[str, bool, bytes], tuple[Circuit, complex]] = {}
+
+    def get(self, gateset: GateSet, matrix: np.ndarray, solve: bool,
+            seed: int) -> tuple[Circuit, complex]:
+        key = (gateset.name, solve, np.round(matrix, 12).tobytes())
+        hit = self._store.get(key)
+        if hit is None:
+            hit = gateset.decompose(matrix, solve=solve, seed=seed)
+            if len(self._store) < _CACHE_LIMIT:
+                self._store[key] = hit
+        return hit
+
+
+def decompose_circuit(circuit: Circuit, gateset: GateSet, *,
+                      solve: bool = False, seed: int = 0,
+                      cache: DecomposeCache | None = None) -> Circuit:
+    """Lower an application-level circuit to the hardware basis.
+
+    ``solve=False`` (the benchmark mode) produces placeholder single-qubit
+    gates but exact basis-gate counts and depth structure; ``solve=True``
+    produces unitary-exact circuits.
+    """
+    if cache is None:
+        cache = DecomposeCache()
+    lowered = Circuit(circuit.n_qubits)
+    for gate in circuit:
+        if gate.n_qubits == 1:
+            lowered.append(Gate("U1Q", gate.qubits, matrix=gate.unitary()))
+            continue
+        if gate.n_qubits != 2:
+            raise ValueError(f"cannot decompose {gate.n_qubits}-qubit gate")
+        block, _ = cache.get(gateset, gate.unitary(), solve, seed)
+        a, b = gate.qubits
+        for small in block:
+            mapped = tuple(a if q == 0 else b for q in small.qubits)
+            lowered.append(Gate(small.name, mapped, small.params,
+                                small.matrix, dict(small.meta)))
+    return merge_single_qubit_gates(lowered)

@@ -1,0 +1,229 @@
+"""Gate scheduling (paper Section III-D).
+
+Two schedulers:
+
+* :func:`schedule_no_device` -- connectivity-free scheduling by greedy
+  graph colouring (NetworkX), used for the "NoMap" baseline circuits
+  against which compilation overhead is measured.
+
+* :func:`schedule_alap` -- the permutation-aware *hybrid* scheduler
+  (Algorithm 2).  Processing runs backwards from the final qubit map:
+  at each reverse cycle every unscheduled circuit operator that is NN in
+  the current map and whose qubits are free is emitted (operators carry
+  no ordering among themselves); a SWAP is emitted only when every
+  operator routed to a later map has been scheduled (the only real
+  dependencies are operator-on-SWAP).  Reversing the cycle list yields an
+  ALAP schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from repro.core.routing import QubitMap, RoutedProblem, RoutedSwap
+from repro.hamiltonians.trotter import TrotterStep, TwoQubitOperator
+from repro.quantum.circuit import Circuit
+from repro.quantum.gates import Gate, standard_gate_unitary
+
+_SWAP_MATRIX = standard_gate_unitary("SWAP")
+
+
+@dataclass
+class ScheduledItem:
+    """One entry of the scheduled application-level circuit."""
+
+    kind: str                              # "op" | "swap" | "dressed"
+    physical_pair: tuple[int, int]
+    cycle: int
+    operator: TwoQubitOperator | None = None
+    swap: RoutedSwap | None = None
+
+
+@dataclass
+class ScheduledCircuit:
+    """Application-level schedule plus the map bookkeeping."""
+
+    n_physical: int
+    items: list[ScheduledItem]
+    initial_map: QubitMap
+    final_map: QubitMap
+    one_qubit_ops: list = field(default_factory=list)
+
+    @property
+    def n_cycles(self) -> int:
+        if not self.items:
+            return 0
+        return max(item.cycle for item in self.items) + 1
+
+    def to_circuit(self) -> Circuit:
+        """Application-level circuit on physical qubits (pre-decomposition).
+
+        Two-qubit operators become ``APP2Q`` gates carrying their exact
+        unitaries; dressed SWAPs carry ``SWAP @ U``; bare SWAPs are SWAP
+        gates.  Single-qubit exponentials are appended at the end, on
+        the *final* physical position of their logical qubit.
+        """
+        circuit = Circuit(self.n_physical)
+        for item in sorted(self.items, key=lambda i: (i.cycle, i.physical_pair)):
+            p, q = item.physical_pair
+            if item.kind == "op":
+                matrix = _oriented(item.operator.unitary, item.operator, p, q,
+                                   self._map_before(item))
+                circuit.append(Gate("APP2Q", (p, q), matrix=matrix,
+                                    meta={"label": item.operator.label}))
+            elif item.kind == "dressed":
+                inner = item.swap.dressed_with
+                matrix = _oriented(inner.unitary, inner, p, q,
+                                   self._map_before(item))
+                circuit.append(Gate("DRESSED_SWAP", (p, q),
+                                    matrix=_SWAP_MATRIX @ matrix,
+                                    meta={"label": f"swap*{inner.label}"}))
+            else:
+                circuit.append(Gate("SWAP", (p, q)))
+        final = self.final_map
+        for op in self.one_qubit_ops:
+            circuit.append(Gate("APP1Q", (final.physical(op.qubit),),
+                                matrix=op.unitary,
+                                meta={"label": op.label}))
+        return circuit
+
+    def _map_before(self, item: ScheduledItem) -> QubitMap:
+        """Qubit map in effect when ``item`` executes."""
+        current = self.initial_map
+        for other in sorted(self.items, key=lambda i: (i.cycle, i.physical_pair)):
+            if other is item:
+                return current
+            if other.kind in ("swap", "dressed"):
+                current = current.after_swap(other.physical_pair)
+        return current
+
+
+def _oriented(matrix: np.ndarray, operator: TwoQubitOperator, p: int, q: int,
+              qmap: QubitMap) -> np.ndarray:
+    """Operator unitary re-ordered to physical qubit order ``(p, q)``.
+
+    ``operator.unitary`` is stored with the smaller *logical* qubit as the
+    first tensor factor.  If that logical qubit currently sits on ``q``
+    (the larger physical index is emitted second), the factors must swap.
+    """
+    u_small, _v_large = operator.pair
+    if qmap.physical(u_small) == p:
+        return matrix
+    return _SWAP_MATRIX @ matrix @ _SWAP_MATRIX
+
+
+def schedule_alap(routed: RoutedProblem, seed: int = 0,
+                  *, hybrid: bool = True) -> ScheduledCircuit:
+    """Algorithm 2: permutation-aware hybrid ALAP scheduling.
+
+    With ``hybrid=False`` the scheduler degrades to a generic
+    dependency-respecting ALAP pass (each operator is pinned to the map
+    the router assigned it to), which is the comparison point of the
+    scheduling ablation (Figure 6a vs 6b).
+    """
+    device = routed.device
+    n_maps = len(routed.maps)
+    unscheduled_gates = list(routed.gates)
+    # SWAP i transitions map i -> i+1; in reverse order, swap i may only
+    # execute once every gate assigned to maps > i has been scheduled.
+    pending_swaps = list(enumerate(routed.swaps))
+    gates_by_map = np.zeros(n_maps, dtype=int)
+    for gate in unscheduled_gates:
+        gates_by_map[gate.map_index] += 1
+
+    items: list[ScheduledItem] = []
+    current = routed.final_map
+    cycle = 0
+    guard = 0
+    while unscheduled_gates or pending_swaps:
+        guard += 1
+        if guard > 100 * (len(routed.gates) + len(routed.swaps) + 2):
+            raise RuntimeError("scheduler failed to converge")
+        occupied: set[int] = set()
+        emitted = False
+        # 1. circuit operators NN in the current map with free qubits
+        for gate in list(unscheduled_gates):
+            u, v = gate.operator.pair
+            pu, pv = current.physical(u), current.physical(v)
+            if hybrid:
+                feasible = device.are_neighbors(pu, pv)
+            else:
+                # generic scheduler: only in its assigned map's region of
+                # the reverse pass (i.e. once all later swaps are done)
+                later_swaps = [i for i, _ in pending_swaps
+                               if i >= gate.map_index]
+                feasible = (
+                    device.are_neighbors(pu, pv) and not later_swaps
+                )
+            if not feasible or pu in occupied or pv in occupied:
+                continue
+            pair = (min(pu, pv), max(pu, pv))
+            items.append(ScheduledItem("op", pair, cycle, operator=gate.operator))
+            occupied.update(pair)
+            unscheduled_gates.remove(gate)
+            gates_by_map[gate.map_index] -= 1
+            emitted = True
+        # 2. SWAPs, in reverse routing order, when nothing later blocks
+        while pending_swaps:
+            index, swap = pending_swaps[-1]
+            if gates_by_map[index + 1 :].sum() > 0:
+                break
+            p, q = swap.physical_pair
+            if p in occupied or q in occupied:
+                break
+            kind = "dressed" if swap.is_dressed else "swap"
+            # The dressed operator executes at the swap's own position;
+            # the map seen by to_circuit handles orientation.
+            items.append(ScheduledItem(kind, (min(p, q), max(p, q)), cycle,
+                                       swap=swap))
+            occupied.update((p, q))
+            current = current.after_swap(swap.physical_pair)
+            pending_swaps.pop()
+            emitted = True
+        if not emitted and (unscheduled_gates or pending_swaps):
+            # no progress this cycle: advance time (frees qubits)
+            if not occupied:
+                raise RuntimeError(
+                    "scheduler deadlock: nothing schedulable and no "
+                    "occupied qubits to wait on"
+                )
+        cycle += 1
+
+    # reverse cycles: ALAP
+    total = max((item.cycle for item in items), default=-1) + 1
+    for item in items:
+        item.cycle = total - 1 - item.cycle
+    return ScheduledCircuit(
+        n_physical=device.n_qubits,
+        items=items,
+        initial_map=routed.maps[0],
+        final_map=routed.final_map,
+        one_qubit_ops=list(routed.step.one_qubit_ops),
+    )
+
+
+def schedule_no_device(step: TrotterStep, seed: int = 0) -> Circuit:
+    """Connectivity-free scheduling by greedy graph colouring (NetworkX).
+
+    Produces the "NoMap" baseline circuit: operators conflict iff they
+    share a qubit; colour classes become circuit layers.
+    """
+    ops = step.two_qubit_ops
+    conflict = nx.Graph()
+    conflict.add_nodes_from(range(len(ops)))
+    for i, a in enumerate(ops):
+        for j in range(i + 1, len(ops)):
+            if set(a.pair) & set(ops[j].pair):
+                conflict.add_edge(i, j)
+    colors = nx.coloring.greedy_color(conflict, strategy="largest_first")
+    circuit = Circuit(step.n_qubits)
+    for layer in sorted(set(colors.values())):
+        for i, op in enumerate(ops):
+            if colors[i] == layer:
+                circuit.append(op.to_gate())
+    for op in step.one_qubit_ops:
+        circuit.append(op.to_gate())
+    return circuit

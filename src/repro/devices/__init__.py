@@ -1,0 +1,23 @@
+"""Device topologies: coupling graphs and distance matrices."""
+
+from repro.devices.topology import Device
+from repro.devices.library import (
+    all_to_all,
+    aspen,
+    grid,
+    line,
+    manhattan,
+    montreal,
+    sycamore,
+)
+
+__all__ = [
+    "Device",
+    "all_to_all",
+    "aspen",
+    "grid",
+    "line",
+    "manhattan",
+    "montreal",
+    "sycamore",
+]

@@ -1,0 +1,114 @@
+"""Device model: qubit connectivity graph plus shortest-path distances.
+
+The distance matrix (computed once with Floyd--Warshall, as in the paper's
+Equation 7) drives both the QAP mapping objective and the routing
+heuristic's shortest-distance gate selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Device:
+    """A quantum device: ``n_qubits`` nodes and undirected coupling edges.
+
+    ``edge_errors`` optionally carries per-edge two-qubit gate error
+    rates (keyed by the normalised ``(min, max)`` pair); the noise-aware
+    routing criterion and the edge-aware fidelity estimator consume it.
+    """
+
+    name: str
+    n_qubits: int
+    edges: tuple[tuple[int, int], ...]
+    edge_errors: dict[tuple[int, int], float] | None = None
+    edge_weights: dict[tuple[int, int], float] | None = None
+    _distance: np.ndarray | None = field(default=None, repr=False)
+    _adjacency: list[set[int]] | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for a, b in self.edges:
+            if a == b:
+                raise ValueError(f"self-loop on qubit {a}")
+            if not (0 <= a < self.n_qubits and 0 <= b < self.n_qubits):
+                raise ValueError(f"edge ({a},{b}) outside device")
+            key = (min(a, b), max(a, b))
+            if key in seen:
+                raise ValueError(f"duplicate edge {key}")
+            seen.add(key)
+        normalized = tuple(sorted(seen))
+        object.__setattr__(self, "edges", normalized)
+        if self.edge_errors is not None:
+            cleaned = {}
+            for (a, b), rate in self.edge_errors.items():
+                key = (min(a, b), max(a, b))
+                if key not in seen:
+                    raise ValueError(f"error rate for non-edge {key}")
+                cleaned[key] = float(rate)
+            object.__setattr__(self, "edge_errors", cleaned)
+
+    def edge_error(self, a: int, b: int, default: float = 0.0) -> float:
+        """Two-qubit error rate of an edge (``default`` if uncalibrated)."""
+        if self.edge_errors is None:
+            return default
+        return self.edge_errors.get((min(a, b), max(a, b)), default)
+
+    # ------------------------------------------------------------------
+    @property
+    def adjacency(self) -> list[set[int]]:
+        if self._adjacency is None:
+            adj: list[set[int]] = [set() for _ in range(self.n_qubits)]
+            for a, b in self.edges:
+                adj[a].add(b)
+                adj[b].add(a)
+            self._adjacency = adj
+        return self._adjacency
+
+    def neighbors(self, qubit: int) -> set[int]:
+        return self.adjacency[qubit]
+
+    def are_neighbors(self, a: int, b: int) -> bool:
+        return b in self.adjacency[a]
+
+    @property
+    def distance(self) -> np.ndarray:
+        """All-pairs shortest-path distances (Floyd--Warshall).
+
+        Hop counts by default; with ``edge_weights`` set, weighted path
+        lengths (used by noise-aware mapping/routing, where a weight
+        reflects an edge's error rate).
+        """
+        if self._distance is None:
+            n = self.n_qubits
+            dist = np.full((n, n), np.inf)
+            np.fill_diagonal(dist, 0.0)
+            for a, b in self.edges:
+                weight = 1.0
+                if self.edge_weights is not None:
+                    weight = self.edge_weights.get((a, b), 1.0)
+                dist[a, b] = dist[b, a] = weight
+            for k in range(n):
+                # vectorized relaxation over intermediate node k
+                dist = np.minimum(dist, dist[:, k : k + 1] + dist[k : k + 1, :])
+            if np.isinf(dist).any():
+                raise ValueError(f"device {self.name} is disconnected")
+            self._distance = dist
+        return self._distance
+
+    @property
+    def max_degree(self) -> int:
+        return max(len(s) for s in self.adjacency)
+
+    @property
+    def diameter(self) -> int:
+        return int(self.distance.max())
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.n_qubits} qubits, {len(self.edges)} edges, "
+            f"diameter {self.diameter}"
+        )

@@ -1,0 +1,36 @@
+"""2-local Hamiltonians, benchmark models, QAOA, and Trotterization."""
+
+from repro.hamiltonians.hamiltonian import Term, TwoLocalHamiltonian
+from repro.hamiltonians.models import (
+    heisenberg_lattice,
+    nnn_heisenberg,
+    nnn_ising,
+    nnn_xy,
+)
+from repro.hamiltonians.qaoa import (
+    QAOAProblem,
+    maxcut_hamiltonian,
+    optimal_angles_p1,
+    random_regular_graph,
+)
+from repro.hamiltonians.trotter import (
+    TrotterStep,
+    TwoQubitOperator,
+    trotter_step,
+)
+
+__all__ = [
+    "Term",
+    "TwoLocalHamiltonian",
+    "nnn_ising",
+    "nnn_xy",
+    "nnn_heisenberg",
+    "heisenberg_lattice",
+    "QAOAProblem",
+    "maxcut_hamiltonian",
+    "optimal_angles_p1",
+    "random_regular_graph",
+    "TrotterStep",
+    "TwoQubitOperator",
+    "trotter_step",
+]

@@ -1,0 +1,121 @@
+"""2-local qubit Hamiltonians (paper Equation 3).
+
+``H = sum_{(u,v) in E} H_uv + sum_k H_k`` with two-qubit terms ``H_uv``
+(weighted Pauli pairs) and single-qubit terms ``H_k``.  The *interaction
+graph* ``G(V, E)`` of the two-qubit terms is what the compiler maps onto
+hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.quantum.pauli import PauliString
+
+
+@dataclass(frozen=True)
+class Term:
+    """One weighted Pauli term ``coefficient * pauli``."""
+
+    coefficient: float
+    pauli: PauliString
+
+    @property
+    def qubits(self) -> tuple[int, ...]:
+        return self.pauli.qubits
+
+    @property
+    def weight(self) -> int:
+        return self.pauli.weight
+
+    def __str__(self) -> str:
+        return f"{self.coefficient:+.4g}*{self.pauli}"
+
+
+@dataclass
+class TwoLocalHamiltonian:
+    """A Hamiltonian whose terms act on at most two qubits."""
+
+    n_qubits: int
+    terms: list[Term] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for term in self.terms:
+            self._check(term)
+
+    def _check(self, term: Term) -> None:
+        if term.weight > 2:
+            raise ValueError(f"term {term} is not 2-local")
+        if term.qubits and max(term.qubits) >= self.n_qubits:
+            raise ValueError(f"term {term} outside {self.n_qubits} qubits")
+
+    def add(self, coefficient: float, label: str,
+            qubits: tuple[int, ...]) -> None:
+        """Append ``coefficient * label`` acting on ``qubits``."""
+        term = Term(coefficient, PauliString.from_label(label, qubits))
+        self._check(term)
+        self.terms.append(term)
+
+    # ------------------------------------------------------------------
+    @property
+    def two_qubit_terms(self) -> list[Term]:
+        return [t for t in self.terms if t.weight == 2]
+
+    @property
+    def single_qubit_terms(self) -> list[Term]:
+        return [t for t in self.terms if t.weight == 1]
+
+    def interaction_edges(self) -> list[tuple[int, int]]:
+        """Distinct qubit pairs with at least one two-qubit term."""
+        seen: set[tuple[int, int]] = set()
+        ordered: list[tuple[int, int]] = []
+        for term in self.two_qubit_terms:
+            a, b = term.qubits
+            key = (min(a, b), max(a, b))
+            if key not in seen:
+                seen.add(key)
+                ordered.append(key)
+        return ordered
+
+    def terms_on_pair(self, pair: tuple[int, int]) -> list[Term]:
+        """All two-qubit terms on an (unordered) qubit pair."""
+        key = (min(pair), max(pair))
+        return [
+            t for t in self.two_qubit_terms
+            if (min(t.qubits), max(t.qubits)) == key
+        ]
+
+    def interaction_counts(self) -> dict[tuple[int, int], int]:
+        """Number of two-qubit terms per pair (QAP 'flow' matrix input)."""
+        counts: dict[tuple[int, int], int] = {}
+        for term in self.two_qubit_terms:
+            a, b = term.qubits
+            key = (min(a, b), max(a, b))
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    def to_matrix(self) -> np.ndarray:
+        """Dense matrix of the Hamiltonian (small systems only)."""
+        if self.n_qubits > 12:
+            raise ValueError("dense Hamiltonian limited to 12 qubits")
+        dim = 2**self.n_qubits
+        matrix = np.zeros((dim, dim), dtype=complex)
+        for term in self.terms:
+            matrix += term.coefficient * term.pauli.to_matrix(self.n_qubits)
+        return matrix
+
+    def all_terms_commute(self) -> bool:
+        """True for e.g. the QAOA cost layer (all ZZ terms commute)."""
+        for i, a in enumerate(self.terms):
+            for b in self.terms[i + 1 :]:
+                if not a.pauli.commutes_with(b.pauli):
+                    return False
+        return True
+
+    def __str__(self) -> str:
+        body = " ".join(str(t) for t in self.terms[:8])
+        more = f" ... ({len(self.terms)} terms)" if len(self.terms) > 8 else ""
+        return f"H[{self.n_qubits}q]: {body}{more}"

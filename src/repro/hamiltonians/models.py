@@ -1,0 +1,98 @@
+"""The benchmark Hamiltonians of the paper's evaluation (Section IV).
+
+``NNN`` models live on a linear qubit array with nearest-neighbour (NN)
+and next-nearest-neighbour (NNN) interactions, giving ``2n - 3`` two-qubit
+interactions per Trotter step.  Coefficients are sampled uniformly from
+``(0, pi)`` as in the paper.  :func:`heisenberg_lattice` builds the
+1D/2D/3D Heisenberg models of the Paulihedral comparison (Table III).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.hamiltonians.hamiltonian import TwoLocalHamiltonian
+
+
+def _nnn_pairs(n_qubits: int) -> list[tuple[int, int]]:
+    """NN + NNN pairs of a chain: (i, i+1) and (i, i+2) -- 2n-3 pairs."""
+    pairs = [(i, i + 1) for i in range(n_qubits - 1)]
+    pairs += [(i, i + 2) for i in range(n_qubits - 2)]
+    return pairs
+
+
+def _coefficient(rng: np.random.Generator) -> float:
+    """Random coefficient in (0, pi), as specified by the paper."""
+    return float(rng.uniform(0.0, np.pi))
+
+
+def nnn_ising(n_qubits: int, seed: int = 0) -> TwoLocalHamiltonian:
+    """Transverse-field Ising model on the NN+NNN chain (Equation 4)."""
+    rng = np.random.default_rng(seed)
+    h = TwoLocalHamiltonian(n_qubits)
+    for u, v in _nnn_pairs(n_qubits):
+        h.add(_coefficient(rng), "ZZ", (u, v))
+    for k in range(n_qubits):
+        h.add(_coefficient(rng), "X", (k,))
+    return h
+
+
+def nnn_xy(n_qubits: int, seed: int = 0) -> TwoLocalHamiltonian:
+    """XY model on the NN+NNN chain (Equation 5)."""
+    rng = np.random.default_rng(seed)
+    h = TwoLocalHamiltonian(n_qubits)
+    for u, v in _nnn_pairs(n_qubits):
+        h.add(_coefficient(rng), "XX", (u, v))
+        h.add(_coefficient(rng), "YY", (u, v))
+    return h
+
+
+def nnn_heisenberg(n_qubits: int, seed: int = 0) -> TwoLocalHamiltonian:
+    """Heisenberg model on the NN+NNN chain (Equation 6)."""
+    rng = np.random.default_rng(seed)
+    h = TwoLocalHamiltonian(n_qubits)
+    for u, v in _nnn_pairs(n_qubits):
+        h.add(_coefficient(rng), "XX", (u, v))
+        h.add(_coefficient(rng), "YY", (u, v))
+        h.add(_coefficient(rng), "ZZ", (u, v))
+    return h
+
+
+def heisenberg_lattice(shape: tuple[int, ...], seed: int = 0,
+                       ) -> TwoLocalHamiltonian:
+    """Heisenberg model on a 1D/2D/3D rectangular lattice (Table III).
+
+    ``shape`` gives the lattice extent per dimension, e.g. ``(30,)``,
+    ``(5, 6)`` or ``(2, 3, 5)`` for the paper's 30-qubit 1D/2D/3D cases.
+    Interactions couple lattice nearest neighbours along every axis.
+    """
+    rng = np.random.default_rng(seed)
+    n_qubits = int(np.prod(shape))
+    h = TwoLocalHamiltonian(n_qubits)
+
+    def index(coord: tuple[int, ...]) -> int:
+        flat = 0
+        for extent, c in zip(shape, coord):
+            flat = flat * extent + c
+        return flat
+
+    for coord in itertools.product(*(range(extent) for extent in shape)):
+        for axis, extent in enumerate(shape):
+            if coord[axis] + 1 >= extent:
+                continue
+            neighbour = list(coord)
+            neighbour[axis] += 1
+            u, v = index(coord), index(tuple(neighbour))
+            h.add(_coefficient(rng), "XX", (u, v))
+            h.add(_coefficient(rng), "YY", (u, v))
+            h.add(_coefficient(rng), "ZZ", (u, v))
+    return h
+
+
+MODEL_BUILDERS = {
+    "NNN_Ising": nnn_ising,
+    "NNN_XY": nnn_xy,
+    "NNN_Heisenberg": nnn_heisenberg,
+}

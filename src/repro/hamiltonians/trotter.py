@@ -1,0 +1,140 @@
+"""Product-formula (Trotter) circuit construction (paper Section II-A).
+
+One Trotter step of ``H = sum_j h_j H_j`` is ``prod_j exp(i t h_j H_j)``.
+Each exponential of a 2-local term is a two-qubit unitary; these
+:class:`TwoQubitOperator` blocks (plus a layer of single-qubit
+exponentials) are the unit the 2QAN compiler manipulates: their order may
+be permuted freely -- even for anti-commuting terms -- because any
+ordering is an equally valid product-formula approximant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hamiltonians.hamiltonian import Term, TwoLocalHamiltonian
+from repro.quantum.circuit import Circuit
+from repro.quantum.gates import Gate
+
+
+@dataclass(frozen=True)
+class TwoQubitOperator:
+    """One two-qubit block ``exp(i angle * P_uv)`` (or a product of such).
+
+    ``qubits`` is ordered ``(min, max)``; ``unitary`` is the 4x4 matrix in
+    that qubit order.  ``label`` records provenance for verification.
+    """
+
+    qubits: tuple[int, int]
+    unitary: np.ndarray = field(compare=False)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.qubits[0] >= self.qubits[1]:
+            raise ValueError(f"qubits must be ordered, got {self.qubits}")
+        if self.unitary.shape != (4, 4):
+            raise ValueError("two-qubit operator needs a 4x4 unitary")
+
+    @property
+    def pair(self) -> tuple[int, int]:
+        return self.qubits
+
+    def merged_with(self, other: "TwoQubitOperator") -> "TwoQubitOperator":
+        """Product ``other . self`` (self applied first) on the same pair."""
+        if other.qubits != self.qubits:
+            raise ValueError("cannot merge operators on different pairs")
+        return TwoQubitOperator(
+            self.qubits,
+            other.unitary @ self.unitary,
+            label=f"{other.label}*{self.label}",
+        )
+
+    def to_gate(self) -> Gate:
+        return Gate("APP2Q", self.qubits, matrix=self.unitary,
+                    meta={"label": self.label})
+
+
+@dataclass(frozen=True)
+class OneQubitOperator:
+    """A single-qubit exponential ``exp(i angle * P_k)``."""
+
+    qubit: int
+    unitary: np.ndarray = field(compare=False)
+    label: str = ""
+
+    def to_gate(self) -> Gate:
+        return Gate("APP1Q", (self.qubit,), matrix=self.unitary,
+                    meta={"label": self.label})
+
+
+@dataclass
+class TrotterStep:
+    """The order-flexible content of one Trotter step."""
+
+    n_qubits: int
+    two_qubit_ops: list[TwoQubitOperator]
+    one_qubit_ops: list[OneQubitOperator] = field(default_factory=list)
+
+    def circuit(self) -> Circuit:
+        """Naive circuit in the given operator order (baseline input)."""
+        circuit = Circuit(self.n_qubits)
+        for op in self.two_qubit_ops:
+            circuit.append(op.to_gate())
+        for op in self.one_qubit_ops:
+            circuit.append(op.to_gate())
+        return circuit
+
+    def pairs(self) -> list[tuple[int, int]]:
+        return [op.pair for op in self.two_qubit_ops]
+
+    def interaction_counts(self) -> dict[tuple[int, int], int]:
+        counts: dict[tuple[int, int], int] = {}
+        for op in self.two_qubit_ops:
+            counts[op.pair] = counts.get(op.pair, 0) + 1
+        return counts
+
+
+def _term_exponential(term: Term, t: float) -> np.ndarray:
+    """``exp(i t c P)`` on the term's support qubits (sorted order)."""
+    return term.pauli.exp(t * term.coefficient)
+
+
+def trotter_step(hamiltonian: TwoLocalHamiltonian, t: float = 1.0,
+                 ) -> TrotterStep:
+    """Build one first-order Trotter step, one operator per term.
+
+    Operators are emitted in the Hamiltonian's term order; merging of
+    same-pair operators (circuit unitary unifying) is a compiler pre-pass,
+    see :mod:`repro.core.unify`.
+    """
+    two_q: list[TwoQubitOperator] = []
+    one_q: list[OneQubitOperator] = []
+    for idx, term in enumerate(hamiltonian.terms):
+        matrix = _term_exponential(term, t)
+        label = f"T{idx}:{term.pauli}"
+        if term.weight == 2:
+            a, b = term.qubits
+            two_q.append(TwoQubitOperator((min(a, b), max(a, b)), matrix, label))
+        elif term.weight == 1:
+            one_q.append(OneQubitOperator(term.qubits[0], matrix, label))
+        # weight-0 terms contribute only a global phase; dropped.
+    return TrotterStep(hamiltonian.n_qubits, two_q, one_q)
+
+
+def second_order_step(hamiltonian: TwoLocalHamiltonian, t: float = 1.0,
+                      ) -> tuple[TrotterStep, TrotterStep]:
+    """Second-order (symmetric) Trotter: forward and reversed half-steps.
+
+    The paper implements even-numbered steps by reversing the two-qubit
+    gate order of the compiled first step (Section V-D); this helper
+    provides the two half-step operator lists for that scheme.
+    """
+    forward = trotter_step(hamiltonian, t / 2)
+    backward = TrotterStep(
+        forward.n_qubits,
+        list(reversed(forward.two_qubit_ops)),
+        list(forward.one_qubit_ops),
+    )
+    return forward, backward

@@ -1,0 +1,25 @@
+"""Qubit initial placement as a quadratic assignment problem (QAP)."""
+
+from repro.mapping.qap import QAPInstance, qap_cost, qap_from_problem
+from repro.mapping.tabu import tabu_search
+from repro.mapping.annealing import simulated_annealing
+from repro.mapping.grasp import grasp_search
+from repro.mapping.placement import (
+    best_of_k_mapping,
+    identity_mapping,
+    line_placement,
+    random_mapping,
+)
+
+__all__ = [
+    "QAPInstance",
+    "qap_cost",
+    "qap_from_problem",
+    "tabu_search",
+    "simulated_annealing",
+    "grasp_search",
+    "identity_mapping",
+    "random_mapping",
+    "line_placement",
+    "best_of_k_mapping",
+]

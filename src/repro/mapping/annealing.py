@@ -1,0 +1,42 @@
+"""Simulated annealing for the QAP (the paper's suggested alternative,
+reference [54]).  Used in the mapping ablation benchmark."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.mapping.qap import QAPInstance
+from repro.mapping.tabu import TabuResult
+
+
+def simulated_annealing(instance: QAPInstance, seed: int = 0,
+                        max_iterations: int | None = None,
+                        start_temperature: float | None = None,
+                        ) -> TabuResult:
+    """Minimise the QAP objective by annealing over swap moves."""
+    rng = np.random.default_rng(seed)
+    n = instance.n_logical
+    m = instance.n_physical
+    if max_iterations is None:
+        max_iterations = max(2000, 200 * n)
+    current = np.array(rng.permutation(m)[:n])
+    cost = instance.cost(current)
+    best, best_cost = current.copy(), cost
+    if start_temperature is None:
+        start_temperature = max(1.0, instance.flow.sum() / max(1, n))
+    for iteration in range(max_iterations):
+        temperature = start_temperature * (1 - iteration / max_iterations)
+        i, j = rng.choice(n, size=2, replace=False)
+        delta = instance.swap_delta(current, int(i), int(j))
+        accept = delta <= 0 or (
+            temperature > 1e-12
+            and rng.random() < math.exp(-delta / temperature)
+        )
+        if accept:
+            current[int(i)], current[int(j)] = current[int(j)], current[int(i)]
+            cost += delta
+            if cost < best_cost - 1e-12:
+                best_cost, best = cost, current.copy()
+    return TabuResult(best, float(best_cost), max_iterations)

@@ -1,0 +1,128 @@
+"""Tabu search for the QAP (the paper's mapping heuristic, refs [52, 53]).
+
+Standard recency-based Tabu search over the swap neighbourhood:
+
+* a move swaps the physical locations of two logical qubits (when the
+  device has spare qubits, a move may also relocate one logical qubit to
+  a free physical qubit);
+* after a move, re-assigning qubit ``i`` to its old location is tabu for
+  ``tenure`` iterations;
+* the aspiration criterion admits tabu moves that beat the incumbent.
+
+Costs are updated incrementally via :meth:`QAPInstance.swap_delta`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mapping.qap import QAPInstance
+
+
+@dataclass
+class TabuResult:
+    """Best assignment found and its objective value."""
+
+    assignment: np.ndarray
+    cost: float
+    iterations: int
+
+
+def tabu_search(instance: QAPInstance, seed: int = 0,
+                max_iterations: int | None = None,
+                tenure: int | None = None,
+                initial: np.ndarray | None = None) -> TabuResult:
+    """Minimise the QAP objective; returns the best assignment found."""
+    rng = np.random.default_rng(seed)
+    n = instance.n_logical
+    m = instance.n_physical
+    if max_iterations is None:
+        max_iterations = max(200, 20 * n)
+    if tenure is None:
+        tenure = max(5, n // 2)
+
+    if initial is None:
+        current = np.array(rng.permutation(m)[:n])
+    else:
+        current = np.array(initial, dtype=int)
+        if len(set(current.tolist())) != n:
+            raise ValueError("initial assignment must be injective")
+    cost = instance.cost(current)
+    best = current.copy()
+    best_cost = cost
+
+    # tabu[i, loc] = iteration until which assigning logical i to physical
+    # loc is forbidden.
+    tabu = np.zeros((n, m), dtype=int)
+
+    free = sorted(set(range(m)) - set(current.tolist()))
+
+    for iteration in range(max_iterations):
+        best_move = None
+        best_delta = np.inf
+        # swap moves between logical qubits
+        for i in range(n):
+            for j in range(i + 1, n):
+                delta = instance.swap_delta(current, i, j)
+                is_tabu = (
+                    tabu[i, current[j]] > iteration
+                    or tabu[j, current[i]] > iteration
+                )
+                if is_tabu and cost + delta >= best_cost:
+                    continue
+                if delta < best_delta:
+                    best_delta = delta
+                    best_move = ("swap", i, j)
+        # relocation moves to free physical qubits (devices larger than
+        # the problem)
+        if free:
+            for i in range(n):
+                for loc_idx, loc in enumerate(free):
+                    delta = _relocate_delta(instance, current, i, loc)
+                    is_tabu = tabu[i, loc] > iteration
+                    if is_tabu and cost + delta >= best_cost:
+                        continue
+                    if delta < best_delta:
+                        best_delta = delta
+                        best_move = ("move", i, loc_idx)
+        if best_move is None:
+            break
+        if best_move[0] == "swap":
+            _, i, j = best_move
+            tabu[i, current[i]] = iteration + tenure
+            tabu[j, current[j]] = iteration + tenure
+            current[i], current[j] = current[j], current[i]
+        else:
+            _, i, loc_idx = best_move
+            tabu[i, current[i]] = iteration + tenure
+            old = int(current[i])
+            current[i] = free[loc_idx]
+            free[loc_idx] = old
+            free.sort()
+        cost += best_delta
+        if cost < best_cost - 1e-12:
+            best_cost = cost
+            best = current.copy()
+        # occasional diversification when stuck at zero-delta plateaus
+        if best_delta >= 0 and iteration % (4 * tenure) == 4 * tenure - 1:
+            i, j = rng.choice(n, size=2, replace=False)
+            cost += instance.swap_delta(current, int(i), int(j))
+            current[int(i)], current[int(j)] = current[int(j)], current[int(i)]
+    return TabuResult(best, float(best_cost), max_iterations)
+
+
+def _relocate_delta(instance: QAPInstance, assignment: np.ndarray,
+                    i: int, new_loc: int) -> float:
+    """Cost change from moving logical ``i`` to the free ``new_loc``."""
+    old = assignment[i]
+    delta = 0.0
+    for k in range(instance.n_logical):
+        if k == i:
+            continue
+        c = assignment[k]
+        delta += 2 * instance.flow[i, k] * (
+            instance.distance[new_loc, c] - instance.distance[old, c]
+        )
+    return float(delta)

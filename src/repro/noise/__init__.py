@@ -1,0 +1,24 @@
+"""Hardware noise modelling for the application-fidelity experiment."""
+
+from repro.noise.model import MONTREAL_CALIBRATION, NoiseCalibration
+from repro.noise.estimator import circuit_fidelity_proxy, noisy_normalized_cost
+from repro.noise.montecarlo import monte_carlo_normalized_cost
+from repro.noise.device_noise import edge_aware_success, with_random_edge_errors
+from repro.noise.mitigation import (
+    confusion_matrix,
+    mitigate_distribution,
+    mitigate_expectation_zz,
+)
+
+__all__ = [
+    "NoiseCalibration",
+    "MONTREAL_CALIBRATION",
+    "circuit_fidelity_proxy",
+    "noisy_normalized_cost",
+    "monte_carlo_normalized_cost",
+    "with_random_edge_errors",
+    "edge_aware_success",
+    "confusion_matrix",
+    "mitigate_distribution",
+    "mitigate_expectation_zz",
+]

@@ -1,0 +1,42 @@
+"""Quantum-circuit substrate: Pauli algebra, gates, circuits, simulation.
+
+This subpackage provides everything the compiler needs from a quantum SDK,
+implemented from scratch on top of numpy:
+
+* :mod:`repro.quantum.pauli` -- Pauli strings and their algebra.
+* :mod:`repro.quantum.gates` -- gate objects carrying explicit unitaries.
+* :mod:`repro.quantum.circuit` -- a simple list-of-gates circuit IR with
+  depth/layering utilities.
+* :mod:`repro.quantum.statevector` -- an einsum-based statevector simulator.
+* :mod:`repro.quantum.unitaries` -- unitary helpers (fidelity, equality up
+  to global phase, Kronecker factorisation).
+"""
+
+from repro.quantum.pauli import PauliString, pauli_matrix
+from repro.quantum.gates import Gate, standard_gate_unitary
+from repro.quantum.circuit import Circuit
+from repro.quantum.statevector import Statevector, simulate
+from repro.quantum.qasm import to_qasm
+from repro.quantum.drawing import draw
+from repro.quantum.unitaries import (
+    allclose_up_to_global_phase,
+    average_gate_fidelity,
+    closest_kron_factors,
+    process_fidelity,
+)
+
+__all__ = [
+    "PauliString",
+    "pauli_matrix",
+    "Gate",
+    "standard_gate_unitary",
+    "Circuit",
+    "Statevector",
+    "simulate",
+    "allclose_up_to_global_phase",
+    "average_gate_fidelity",
+    "process_fidelity",
+    "closest_kron_factors",
+    "to_qasm",
+    "draw",
+]

@@ -1,0 +1,172 @@
+"""A minimal circuit IR: an ordered list of gates on ``n_qubits`` qubits.
+
+The IR is deliberately simple -- the compiler passes manipulate *lists of
+two-qubit operators* most of the time and only produce a :class:`Circuit`
+at the end.  The class provides the metrics the paper reports:
+
+* ``depth()`` -- number of layers when gates are packed as-soon-as-possible,
+* ``two_qubit_depth()`` -- layers counting only multi-qubit gates,
+* gate counting helpers (``count``, ``n_two_qubit_gates``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.quantum.gates import Gate
+
+
+@dataclass
+class Circuit:
+    """An ordered gate list with layering/metric utilities."""
+
+    n_qubits: int
+    gates: list[Gate] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for gate in self.gates:
+            self._check(gate)
+
+    def _check(self, gate: Gate) -> None:
+        if gate.qubits and max(gate.qubits) >= self.n_qubits:
+            raise ValueError(
+                f"gate {gate} acts outside the {self.n_qubits}-qubit register"
+            )
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def append(self, gate: Gate) -> None:
+        self._check(gate)
+        self.gates.append(gate)
+
+    def extend(self, gates: Iterable[Gate]) -> None:
+        for gate in gates:
+            self.append(gate)
+
+    def add(self, name: str, *qubits: int, params: tuple[float, ...] = (),
+            matrix: np.ndarray | None = None) -> None:
+        """Convenience constructor-and-append."""
+        self.append(Gate(name, tuple(qubits), params, matrix))
+
+    def copy(self) -> "Circuit":
+        return Circuit(self.n_qubits, list(self.gates))
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self.gates)
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def count(self, name: str) -> int:
+        """Number of gates with the given (case-insensitive) name."""
+        key = name.upper()
+        return sum(1 for g in self.gates if g.name.upper() == key)
+
+    @property
+    def n_two_qubit_gates(self) -> int:
+        return sum(1 for g in self.gates if g.n_qubits >= 2)
+
+    @property
+    def n_single_qubit_gates(self) -> int:
+        return sum(1 for g in self.gates if g.n_qubits == 1)
+
+    def depth(self, *, two_qubit_only: bool = False) -> int:
+        """Circuit depth under ASAP layering.
+
+        With ``two_qubit_only`` single-qubit gates still occupy their qubits
+        (they constrain packing) but layers containing only single-qubit
+        gates are not counted; this matches the paper's "depth of two-qubit
+        gates" metric.
+        """
+        frontier = [0] * self.n_qubits
+        layer_has_2q: dict[int, bool] = {}
+        for gate in self.gates:
+            if not gate.qubits:
+                continue
+            start = max(frontier[q] for q in gate.qubits)
+            for q in gate.qubits:
+                frontier[q] = start + 1
+            if gate.n_qubits >= 2:
+                layer_has_2q[start] = True
+            else:
+                layer_has_2q.setdefault(start, False)
+        if not layer_has_2q:
+            return 0
+        if two_qubit_only:
+            return sum(1 for has in layer_has_2q.values() if has)
+        return max(layer_has_2q) + 1
+
+    def two_qubit_depth(self) -> int:
+        """Depth counting only layers that contain a two-qubit gate."""
+        return self.depth(two_qubit_only=True)
+
+    def layers(self) -> list[list[Gate]]:
+        """Greedy ASAP layering of the gate list."""
+        frontier = [0] * self.n_qubits
+        layered: list[list[Gate]] = []
+        for gate in self.gates:
+            if not gate.qubits:
+                continue
+            start = max(frontier[q] for q in gate.qubits)
+            for q in gate.qubits:
+                frontier[q] = start + 1
+            while len(layered) <= start:
+                layered.append([])
+            layered[start].append(gate)
+        return layered
+
+    # ------------------------------------------------------------------
+    # semantics
+    # ------------------------------------------------------------------
+    def unitary(self) -> np.ndarray:
+        """Dense unitary of the whole circuit (small circuits only).
+
+        Qubit 0 is the most significant bit of the row/column index.
+        """
+        if self.n_qubits > 12:
+            raise ValueError("dense unitary limited to 12 qubits")
+        dim = 2**self.n_qubits
+        result = np.eye(dim, dtype=complex)
+        for gate in self.gates:
+            result = _expand(gate, self.n_qubits) @ result
+        return result
+
+    def reversed_two_qubit_order(self) -> "Circuit":
+        """Circuit with the order of multi-qubit gates reversed.
+
+        Single-qubit gates keep their relative position class (they are
+        emitted after the reversed two-qubit list), matching the paper's
+        treatment of even-numbered Trotter steps / QAOA layers.
+        """
+        two_q = [g for g in self.gates if g.n_qubits >= 2]
+        one_q = [g for g in self.gates if g.n_qubits < 2]
+        return Circuit(self.n_qubits, list(reversed(two_q)) + one_q)
+
+
+def _expand(gate: Gate, n_qubits: int) -> np.ndarray:
+    """Embed a k-qubit gate unitary into the full 2**n space."""
+    small = gate.unitary()
+    k = gate.n_qubits
+    if k == 0:
+        return np.eye(2**n_qubits, dtype=complex)
+    tensor = small.reshape((2,) * (2 * k))
+    identity = np.eye(2**n_qubits, dtype=complex).reshape((2,) * (2 * n_qubits))
+    targets = list(gate.qubits)
+    # Contract the gate's input legs (axes k..2k-1) with the identity's
+    # output legs on the target qubits.  tensordot places the gate's output
+    # legs first, followed by the identity's surviving output legs and then
+    # all n input legs; transpose back to (outputs 0..n-1, inputs 0..n-1).
+    contracted = np.tensordot(tensor, identity, axes=(list(range(k, 2 * k)), targets))
+    remaining = [q for q in range(n_qubits) if q not in targets]
+    out_position = {q: idx for idx, q in enumerate(targets)}
+    out_position.update({q: k + idx for idx, q in enumerate(remaining)})
+    axes = [out_position[q] for q in range(n_qubits)]
+    axes += [n_qubits + q for q in range(n_qubits)]
+    return contracted.transpose(axes).reshape(2**n_qubits, 2**n_qubits)

@@ -1,0 +1,84 @@
+"""Plain-text circuit rendering for debugging and examples.
+
+Draws one row per qubit with gates placed in their ASAP layers::
+
+    q0: ─H──●──────SW─
+            │      │
+    q1: ────X──●───SW─
+               │
+    q2: ───────ZZ─────
+
+Two-qubit gates show a box label on both wires (CNOT uses the
+conventional control dot / target cross) with a vertical connector.
+"""
+
+from __future__ import annotations
+
+from repro.quantum.circuit import Circuit
+from repro.quantum.gates import Gate
+
+_LABELS = {
+    "CNOT": ("*", "X"),
+    "CZ": ("*", "*"),
+    "SWAP": ("x", "x"),
+    "ISWAP": ("iS", "iS"),
+    "SYC": ("SY", "SY"),
+    "DRESSED_SWAP": ("DS", "DS"),
+    "APP2Q": ("U2", "U2"),
+}
+
+
+def _one_qubit_label(gate: Gate) -> str:
+    name = gate.name.upper()
+    if name in ("U1Q", "APP1Q"):
+        return "u"
+    if gate.params:
+        return f"{name}({gate.params[0]:.2g})"
+    return name
+
+
+def draw(circuit: Circuit, max_width: int = 120) -> str:
+    """Render the circuit as fixed-width text (truncated at max_width)."""
+    layers = circuit.layers()
+    n = circuit.n_qubits
+    # Build per-layer column texts.
+    columns: list[dict[int, str]] = []
+    connectors: list[set[int]] = []
+    for layer in layers:
+        column: dict[int, str] = {}
+        spans: set[int] = set()
+        for gate in layer:
+            if gate.n_qubits == 1:
+                column[gate.qubits[0]] = _one_qubit_label(gate)
+            else:
+                top, bottom = min(gate.qubits), max(gate.qubits)
+                first, second = _LABELS.get(gate.name.upper(), ("o", "o"))
+                if gate.qubits[0] == top:
+                    column[top], column[bottom] = first, second
+                else:
+                    column[top], column[bottom] = second, first
+                spans.update(range(top, bottom))
+        columns.append(column)
+        connectors.append(spans)
+
+    widths = [
+        max((len(text) for text in column.values()), default=1)
+        for column in columns
+    ]
+    wire_rows: list[str] = []
+    gap_rows: list[str] = []
+    for q in range(n):
+        wire = [f"q{q}: "]
+        gap = [" " * len(f"q{q}: ")]
+        for column, spans, width in zip(columns, connectors, widths):
+            text = column.get(q, "")
+            wire.append("─" + text.center(width, "─") + "─")
+            gap.append(" " + ("│" if q in spans else " ").center(width) + " ")
+        wire_rows.append("".join(wire))
+        gap_rows.append("".join(gap))
+    lines = []
+    for q in range(n):
+        lines.append(wire_rows[q][:max_width])
+        if q < n - 1 and gap_rows[q].strip():
+            lines.append(gap_rows[q][:max_width])
+    return "\n".join(lines)

@@ -1,0 +1,181 @@
+"""Gate objects for the circuit IR.
+
+A :class:`Gate` records its name, the qubits it acts on, optional rotation
+parameters, an explicit unitary matrix, and free-form metadata tags.  The
+explicit matrix is central to 2QAN: the compiler manipulates *application
+level* two-qubit unitaries (term exponentials, unified gates, dressed SWAPs)
+long before any decomposition into a hardware basis happens, so the IR must
+be able to carry arbitrary SU(4) blocks, not just named gates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import numpy as np
+
+_SQRT2 = math.sqrt(2.0)
+
+
+def _rx(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def _ry(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def _rz(theta: float) -> np.ndarray:
+    phase = np.exp(-0.5j * theta)
+    return np.array([[phase, 0], [0, np.conj(phase)]], dtype=complex)
+
+
+def _u3(theta: float, phi: float, lam: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array(
+        [
+            [c, -np.exp(1j * lam) * s],
+            [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=complex,
+    )
+
+
+def _fsim(theta: float, phi: float) -> np.ndarray:
+    c, s = math.cos(theta), math.sin(theta)
+    return np.array(
+        [
+            [1, 0, 0, 0],
+            [0, c, -1j * s, 0],
+            [0, -1j * s, c, 0],
+            [0, 0, 0, np.exp(-1j * phi)],
+        ],
+        dtype=complex,
+    )
+
+
+_FIXED_GATES: dict[str, np.ndarray] = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+    "H": np.array([[1, 1], [1, -1]], dtype=complex) / _SQRT2,
+    "S": np.array([[1, 0], [0, 1j]], dtype=complex),
+    "SDG": np.array([[1, 0], [0, -1j]], dtype=complex),
+    "T": np.array([[1, 0], [0, np.exp(1j * math.pi / 4)]], dtype=complex),
+    "CNOT": np.array(
+        [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+    ),
+    "CZ": np.diag([1, 1, 1, -1]).astype(complex),
+    "SWAP": np.array(
+        [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+    ),
+    "ISWAP": np.array(
+        [[1, 0, 0, 0], [0, 0, 1j, 0], [0, 1j, 0, 0], [0, 0, 0, 1]], dtype=complex
+    ),
+    # Google Sycamore gate: fSim(pi/2, pi/6).
+    "SYC": _fsim(math.pi / 2, math.pi / 6),
+}
+
+_PARAMETRIC_GATES = {
+    "RX": (_rx, 1),
+    "RY": (_ry, 1),
+    "RZ": (_rz, 1),
+    "U3": (_u3, 3),
+    "FSIM": (_fsim, 2),
+}
+
+
+def standard_gate_unitary(name: str, params: tuple[float, ...] = ()) -> np.ndarray:
+    """Unitary of a named standard gate.
+
+    Supports the fixed gates (``X``, ``H``, ``CNOT``, ``CZ``, ``SWAP``,
+    ``ISWAP``, ``SYC``, ...) and the parametric families ``RX``, ``RY``,
+    ``RZ``, ``U3`` and ``FSIM``.
+    """
+    key = name.upper()
+    if key in _FIXED_GATES:
+        if params:
+            raise ValueError(f"gate {name} takes no parameters")
+        return _FIXED_GATES[key].copy()
+    if key in _PARAMETRIC_GATES:
+        func, arity = _PARAMETRIC_GATES[key]
+        if len(params) != arity:
+            raise ValueError(f"gate {name} takes {arity} parameter(s), got {len(params)}")
+        return func(*params)
+    raise ValueError(f"unknown standard gate {name!r}")
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate application in a circuit.
+
+    Attributes
+    ----------
+    name:
+        Human-readable gate name.  Standard names resolve their unitary
+        automatically; compiler-generated unitaries use names such as
+        ``"UNIFIED"`` or ``"DRESSED_SWAP"`` and must supply ``matrix``.
+    qubits:
+        Qubit indices the gate acts on, in tensor order (first index is the
+        most significant factor of the matrix).
+    params:
+        Rotation angles for parametric gates.
+    matrix:
+        Explicit unitary; when ``None`` it is resolved from the name.
+    meta:
+        Free-form metadata (term labels, dressing provenance, ...).  Not
+        hashed or compared.
+    """
+
+    name: str
+    qubits: tuple[int, ...]
+    params: tuple[float, ...] = ()
+    matrix: np.ndarray | None = field(default=None, compare=False, repr=False)
+    meta: dict[str, Any] = field(default_factory=dict, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"repeated qubit in gate {self.name}: {self.qubits}")
+        if self.matrix is not None:
+            dim = 2 ** len(self.qubits)
+            if self.matrix.shape != (dim, dim):
+                raise ValueError(
+                    f"matrix shape {self.matrix.shape} does not match "
+                    f"{len(self.qubits)} qubit(s)"
+                )
+
+    @property
+    def n_qubits(self) -> int:
+        return len(self.qubits)
+
+    @property
+    def is_two_qubit(self) -> bool:
+        return len(self.qubits) == 2
+
+    def unitary(self) -> np.ndarray:
+        """The gate unitary, resolving standard names when needed."""
+        if self.matrix is not None:
+            return self.matrix
+        return standard_gate_unitary(self.name, self.params)
+
+    def on(self, *qubits: int) -> "Gate":
+        """The same gate applied to different qubits."""
+        return replace(self, qubits=tuple(qubits))
+
+    def with_meta(self, **meta: Any) -> "Gate":
+        """Copy with extra metadata merged in."""
+        merged = dict(self.meta)
+        merged.update(meta)
+        return replace(self, meta=merged)
+
+    def __str__(self) -> str:
+        qubits = ",".join(map(str, self.qubits))
+        if self.params:
+            params = ",".join(f"{p:.4g}" for p in self.params)
+            return f"{self.name}({params})[{qubits}]"
+        return f"{self.name}[{qubits}]"

@@ -1,0 +1,102 @@
+"""Statevector simulation of circuits.
+
+The simulator reshapes the ``2**n`` amplitude vector into an ``n``-leg
+tensor and applies each gate with :func:`numpy.tensordot`, so cost per gate
+is ``O(2**n)``; circuits up to roughly 20 qubits are practical.  Qubit 0 is
+the most significant bit of the computational-basis index, consistent with
+:meth:`repro.quantum.circuit.Circuit.unitary`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.quantum.circuit import Circuit
+from repro.quantum.gates import Gate
+
+
+@dataclass
+class Statevector:
+    """An ``n``-qubit pure state."""
+
+    amplitudes: np.ndarray
+    n_qubits: int
+
+    @classmethod
+    def zero(cls, n_qubits: int) -> "Statevector":
+        """The all-|0> state."""
+        amp = np.zeros(2**n_qubits, dtype=complex)
+        amp[0] = 1.0
+        return cls(amp, n_qubits)
+
+    @classmethod
+    def plus(cls, n_qubits: int) -> "Statevector":
+        """The uniform superposition |+>^n (the QAOA initial state)."""
+        dim = 2**n_qubits
+        amp = np.full(dim, 1.0 / np.sqrt(dim), dtype=complex)
+        return cls(amp, n_qubits)
+
+    def copy(self) -> "Statevector":
+        return Statevector(self.amplitudes.copy(), self.n_qubits)
+
+    def apply_gate(self, gate: Gate) -> None:
+        """Apply a gate in place."""
+        k = gate.n_qubits
+        if k == 0:
+            return
+        if max(gate.qubits) >= self.n_qubits:
+            raise ValueError(f"gate {gate} outside register of {self.n_qubits}")
+        tensor = self.amplitudes.reshape((2,) * self.n_qubits)
+        mat = gate.unitary().reshape((2,) * (2 * k))
+        targets = list(gate.qubits)
+        moved = np.tensordot(mat, tensor, axes=(list(range(k, 2 * k)), targets))
+        # tensordot puts the gate's output legs first; move them back.
+        remaining = [q for q in range(self.n_qubits) if q not in targets]
+        position = {q: idx for idx, q in enumerate(targets)}
+        position.update({q: k + idx for idx, q in enumerate(remaining)})
+        axes = [position[q] for q in range(self.n_qubits)]
+        self.amplitudes = moved.transpose(axes).reshape(-1)
+
+    def apply_circuit(self, circuit: Circuit) -> None:
+        if circuit.n_qubits != self.n_qubits:
+            raise ValueError("circuit and state have different register sizes")
+        for gate in circuit:
+            self.apply_gate(gate)
+
+    def probabilities(self) -> np.ndarray:
+        return np.abs(self.amplitudes) ** 2
+
+    def expectation_diagonal(self, diagonal: np.ndarray) -> float:
+        """Expectation of a diagonal observable given by its diagonal."""
+        if diagonal.shape != (2**self.n_qubits,):
+            raise ValueError("diagonal has the wrong dimension")
+        return float(np.real(np.dot(self.probabilities(), diagonal)))
+
+    def expectation(self, operator: np.ndarray) -> float:
+        """Expectation of a dense Hermitian operator."""
+        return float(np.real(np.vdot(self.amplitudes, operator @ self.amplitudes)))
+
+    def fidelity(self, other: "Statevector") -> float:
+        """|<self|other>|^2."""
+        return float(np.abs(np.vdot(self.amplitudes, other.amplitudes)) ** 2)
+
+    def permute(self, permutation: dict[int, int]) -> "Statevector":
+        """Relabel qubits: amplitude of qubit ``q`` moves to ``permutation[q]``.
+
+        Used to undo the qubit relabelling produced by routing SWAPs when
+        checking compiled-circuit semantics.
+        """
+        axes = [0] * self.n_qubits
+        for src, dst in permutation.items():
+            axes[dst] = src
+        tensor = self.amplitudes.reshape((2,) * self.n_qubits)
+        return Statevector(tensor.transpose(axes).reshape(-1), self.n_qubits)
+
+
+def simulate(circuit: Circuit, initial: Statevector | None = None) -> Statevector:
+    """Run a circuit on |0...0> (or a supplied initial state)."""
+    state = Statevector.zero(circuit.n_qubits) if initial is None else initial.copy()
+    state.apply_circuit(circuit)
+    return state

@@ -1,0 +1,59 @@
+"""Circuit-level rewrites: single-qubit gate fusion and identity removal.
+
+All target devices support arbitrary single-qubit rotations, so runs of
+adjacent single-qubit gates on the same qubit fuse into one ``U1Q`` gate.
+This keeps the gate-count and depth metrics honest: a decomposed circuit
+is charged one single-qubit "slot" between entangling gates, exactly as
+the paper's tooling (Qiskit/t|ket> 1q-optimisation) would produce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.quantum.circuit import Circuit
+from repro.quantum.gates import Gate
+
+
+def _is_phase(matrix: np.ndarray, atol: float = 1e-9) -> bool:
+    return (
+        abs(matrix[0, 1]) < atol
+        and abs(matrix[1, 0]) < atol
+        and abs(matrix[0, 0] - matrix[1, 1]) < atol
+    )
+
+
+def merge_single_qubit_gates(circuit: Circuit, atol: float = 1e-9) -> Circuit:
+    """Fuse adjacent single-qubit gates; drop the ones that are a phase.
+
+    Multi-qubit gates act as barriers on their qubits.  The result has at
+    most one single-qubit gate per qubit between consecutive entangling
+    gates, named ``U1Q`` with an explicit matrix.
+    """
+    pending: dict[int, np.ndarray] = {}
+    merged = Circuit(circuit.n_qubits)
+
+    def flush(qubit: int) -> None:
+        matrix = pending.pop(qubit, None)
+        if matrix is None or _is_phase(matrix, atol):
+            return
+        merged.append(Gate("U1Q", (qubit,), matrix=matrix))
+
+    for gate in circuit:
+        if gate.n_qubits == 1:
+            q = gate.qubits[0]
+            accumulated = pending.get(q)
+            matrix = gate.unitary()
+            pending[q] = matrix if accumulated is None else matrix @ accumulated
+        else:
+            for q in gate.qubits:
+                flush(q)
+            merged.append(gate)
+    for q in list(pending):
+        flush(q)
+    return merged
+
+
+def count_entangling(circuit: Circuit) -> int:
+    """Number of gates acting on two or more qubits."""
+    return sum(1 for g in circuit if g.n_qubits >= 2)

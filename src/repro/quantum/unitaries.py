@@ -1,0 +1,79 @@
+"""Unitary-matrix helpers shared across synthesis and verification."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def allclose_up_to_global_phase(a: np.ndarray, b: np.ndarray,
+                                atol: float = 1e-8) -> bool:
+    """True when ``a = exp(i phi) * b`` for some phase ``phi``."""
+    if a.shape != b.shape:
+        return False
+    # Align phases using the largest-magnitude entry of b.
+    idx = np.unravel_index(np.argmax(np.abs(b)), b.shape)
+    if abs(b[idx]) < atol:
+        return bool(np.allclose(a, b, atol=atol))
+    phase = a[idx] / b[idx]
+    if abs(abs(phase) - 1.0) > 1e-6:
+        return False
+    return bool(np.allclose(a, phase * b, atol=atol))
+
+
+def process_fidelity(actual: np.ndarray, target: np.ndarray) -> float:
+    """Entanglement (process) fidelity ``|Tr(target^dag actual)|^2 / d^2``."""
+    d = actual.shape[0]
+    return float(np.abs(np.trace(target.conj().T @ actual)) ** 2 / d**2)
+
+
+def average_gate_fidelity(actual: np.ndarray, target: np.ndarray) -> float:
+    """Average gate fidelity, ``(d F_pro + 1) / (d + 1)``."""
+    d = actual.shape[0]
+    return float((d * process_fidelity(actual, target) + 1) / (d + 1))
+
+
+def closest_kron_factors(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Nearest Kronecker factorisation ``matrix ~ A (x) B`` for 4x4 input.
+
+    Uses the Pitsianis--Van Loan rearrangement + rank-1 SVD truncation.  For
+    matrices that are exactly a tensor product of 2x2 blocks the result is
+    exact (up to a phase split between the two factors).
+    """
+    if matrix.shape != (4, 4):
+        raise ValueError("closest_kron_factors expects a 4x4 matrix")
+    # Rearrange so that kron(A, B) becomes outer(vec(A), vec(B)).
+    blocks = matrix.reshape(2, 2, 2, 2).transpose(0, 2, 1, 3).reshape(4, 4)
+    u, s, vh = np.linalg.svd(blocks)
+    a = np.sqrt(s[0]) * u[:, 0].reshape(2, 2)
+    b = np.sqrt(s[0]) * vh[0, :].reshape(2, 2)
+    return a, b
+
+
+def to_su2(matrix: np.ndarray) -> tuple[np.ndarray, complex]:
+    """Rescale a 2x2 unitary into SU(2); returns ``(su2, phase)``.
+
+    ``matrix = phase * su2`` with ``det(su2) = 1``.
+    """
+    det = np.linalg.det(matrix)
+    phase = np.sqrt(det + 0j)
+    return matrix / phase, phase
+
+
+def to_su4(matrix: np.ndarray) -> tuple[np.ndarray, complex]:
+    """Rescale a 4x4 unitary into SU(4); returns ``(su4, phase)``."""
+    det = np.linalg.det(matrix)
+    phase = det ** (1 / 4)
+    return matrix / phase, phase
+
+
+def random_unitary(dim: int, rng: np.random.Generator) -> np.ndarray:
+    """Haar-random unitary via QR of a Ginibre matrix."""
+    z = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    q, r = np.linalg.qr(z)
+    return q * (np.diag(r) / np.abs(np.diag(r)))
+
+
+def random_su2(rng: np.random.Generator) -> np.ndarray:
+    """Haar-random SU(2) element."""
+    u, _ = to_su2(random_unitary(2, rng))
+    return u

@@ -1,0 +1,38 @@
+"""Two-qubit gate synthesis: KAK/Weyl decomposition and basis retargeting.
+
+Public entry points:
+
+* :func:`repro.synthesis.weyl.kak_decompose` / ``weyl_coordinates`` --
+  canonical Cartan decomposition of any two-qubit unitary.
+* :func:`repro.synthesis.cnot_basis.decompose_to_cnots` -- exact analytic
+  synthesis into at most 3 CNOTs.
+* :class:`repro.synthesis.gateset.GateSet` / :func:`get_gateset` --
+  retargetable decomposition into CNOT, CZ, SYC or iSWAP hardware bases.
+"""
+
+from repro.synthesis.weyl import (
+    KAKDecomposition,
+    canonical_gate,
+    kak_decompose,
+    weyl_coordinates,
+)
+from repro.synthesis.one_qubit import zyz_angles, zyz_matrix
+from repro.synthesis.cnot_basis import cnot_count, decompose_to_cnots
+from repro.synthesis.numerical import makhlin_invariants, min_basis_gates
+from repro.synthesis.gateset import GATESETS, GateSet, get_gateset
+
+__all__ = [
+    "KAKDecomposition",
+    "canonical_gate",
+    "kak_decompose",
+    "weyl_coordinates",
+    "zyz_angles",
+    "zyz_matrix",
+    "cnot_count",
+    "decompose_to_cnots",
+    "makhlin_invariants",
+    "min_basis_gates",
+    "GATESETS",
+    "GateSet",
+    "get_gateset",
+]

@@ -1,0 +1,59 @@
+"""Single-qubit synthesis: ZYZ Euler decomposition.
+
+Every single-qubit unitary factors as ``U = exp(i alpha) Rz(phi) Ry(theta)
+Rz(lam)``.  All three NISQ devices targeted by the paper support arbitrary
+single-qubit rotations, so one fused ``U3``-style gate per qubit per layer
+is the right cost model; the ZYZ angles are also what a real pulse
+compiler would consume.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+
+
+def zyz_angles(unitary: np.ndarray) -> tuple[float, float, float, float]:
+    """Return ``(alpha, phi, theta, lam)`` with
+    ``unitary = exp(i alpha) Rz(phi) Ry(theta) Rz(lam)``.
+    """
+    if unitary.shape != (2, 2):
+        raise ValueError("zyz_angles expects a 2x2 unitary")
+    det = np.linalg.det(unitary)
+    alpha = cmath.phase(det) / 2
+    su2 = unitary * cmath.exp(-1j * alpha)
+    # su2 = [[cos(t/2) e^{-i(phi+lam)/2}, -sin(t/2) e^{-i(phi-lam)/2}],
+    #        [sin(t/2) e^{ i(phi-lam)/2},  cos(t/2) e^{ i(phi+lam)/2}]]
+    # atan2 is numerically stable where acos(|u00|) is not (theta ~ 0, pi).
+    theta = 2 * math.atan2(abs(su2[1, 0]), abs(su2[0, 0]))
+    if abs(su2[0, 0]) > 1e-12 and abs(su2[1, 0]) > 1e-12:
+        plus = 2 * cmath.phase(su2[1, 1])
+        minus = 2 * cmath.phase(su2[1, 0])
+        phi = (plus + minus) / 2
+        lam = (plus - minus) / 2
+    elif abs(su2[0, 0]) > 1e-12:  # theta ~ 0: only phi+lam matters
+        phi = 2 * cmath.phase(su2[1, 1])
+        lam = 0.0
+    else:  # theta ~ pi: only phi-lam matters
+        phi = 2 * cmath.phase(su2[1, 0])
+        lam = 0.0
+    return alpha, phi, theta, lam
+
+
+def zyz_matrix(alpha: float, phi: float, theta: float, lam: float) -> np.ndarray:
+    """Rebuild the unitary from ZYZ angles (inverse of :func:`zyz_angles`)."""
+    rz_phi = np.diag([cmath.exp(-0.5j * phi), cmath.exp(0.5j * phi)])
+    rz_lam = np.diag([cmath.exp(-0.5j * lam), cmath.exp(0.5j * lam)])
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    ry = np.array([[c, -s], [s, c]], dtype=complex)
+    return cmath.exp(1j * alpha) * rz_phi @ ry @ rz_lam
+
+
+def is_identity_up_to_phase(unitary: np.ndarray, atol: float = 1e-9) -> bool:
+    """True when the gate is a global phase (can be dropped entirely)."""
+    off = abs(unitary[0, 1]) + abs(unitary[1, 0])
+    return off < atol and abs(abs(unitary[0, 0]) - 1) < atol and (
+        abs(unitary[0, 0] - unitary[1, 1]) < atol
+    )

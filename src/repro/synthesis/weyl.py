@@ -1,0 +1,319 @@
+"""KAK (Cartan) decomposition of two-qubit unitaries.
+
+Any ``U`` in U(4) factors as ::
+
+    U = phase * (A1 (x) A2) * CAN(x, y, z) * (B1 (x) B2)
+
+where ``CAN(x, y, z) = exp(i (x XX + y YY + z ZZ))`` and ``A*, B*`` are
+single-qubit unitaries.  The triple ``(x, y, z)``, reduced to the Weyl
+chamber ``pi/4 >= x >= y >= |z|`` (with ``z >= 0`` when ``x = pi/4``),
+is a complete invariant of ``U`` under local (single-qubit) operations.
+
+2QAN uses this machinery to (a) count how many hardware two-qubit gates a
+unified/dressed gate needs on each device and (b) synthesise the explicit
+circuits.  The implementation follows the standard magic-basis algorithm:
+in the magic basis local gates become real orthogonal matrices and the
+canonical part becomes diagonal, so a simultaneous diagonalisation of the
+real and imaginary parts of ``V^T V`` (``V`` the magic-basis image of
+``U``) produces the factorisation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.quantum.unitaries import closest_kron_factors
+
+# The magic (Bell-like) basis.  Columns are maximally entangled states.
+MAGIC = np.array(
+    [
+        [1, 0, 0, 1j],
+        [0, 1j, 1, 0],
+        [0, 1j, -1, 0],
+        [1, 0, 0, -1j],
+    ],
+    dtype=complex,
+) / math.sqrt(2)
+
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_Z = np.diag([1, -1]).astype(complex)
+_I = np.eye(2, dtype=complex)
+_XX = np.kron(_X, _X)
+_YY = np.kron(_Y, _Y)
+_ZZ = np.kron(_Z, _Z)
+_S = np.diag([1, 1j]).astype(complex)
+
+
+def _rx(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def canonical_gate(x: float, y: float, z: float) -> np.ndarray:
+    """The canonical gate ``CAN(x,y,z) = exp(i(x XX + y YY + z ZZ))``.
+
+    All three generators commute, so the exponential splits into a product
+    of three single-axis exponentials, each computed in closed form.
+    """
+    result = np.eye(4, dtype=complex)
+    for coeff, pauli in ((x, _XX), (y, _YY), (z, _ZZ)):
+        result = (math.cos(coeff) * np.eye(4) + 1j * math.sin(coeff) * pauli) @ result
+    return result
+
+
+class KAKError(RuntimeError):
+    """Raised when the KAK decomposition fails numerically."""
+
+
+def _simultaneous_diagonalize(w: np.ndarray, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Diagonalise a unitary symmetric matrix ``w = P diag(d) P^T``.
+
+    ``P`` is real orthogonal.  Works by simultaneously diagonalising the
+    commuting real symmetric matrices ``Re(w)`` and ``Im(w)`` using a
+    random linear combination (a generic combination separates all joint
+    eigenspaces with probability one).
+    """
+    a, b = w.real, w.imag
+    rng = np.random.default_rng(seed)
+    for _ in range(40):
+        t = rng.normal()
+        _, p = np.linalg.eigh(a + t * b)
+        da = p.T @ a @ p
+        db = p.T @ b @ p
+        off = max(
+            np.abs(da - np.diag(np.diag(da))).max(),
+            np.abs(db - np.diag(np.diag(db))).max(),
+        )
+        if off < 1e-10:
+            return p, np.diag(da) + 1j * np.diag(db)
+    raise KAKError("simultaneous diagonalization did not converge")
+
+
+@dataclass
+class KAKDecomposition:
+    """Result of :func:`kak_decompose`.
+
+    ``unitary = phase * kron(a1, a2) @ canonical_gate(x, y, z) @ kron(b1, b2)``
+    """
+
+    phase: complex
+    a1: np.ndarray
+    a2: np.ndarray
+    x: float
+    y: float
+    z: float
+    b1: np.ndarray
+    b2: np.ndarray
+
+    @property
+    def coordinates(self) -> tuple[float, float, float]:
+        return (self.x, self.y, self.z)
+
+    def reconstruct(self) -> np.ndarray:
+        left = np.kron(self.a1, self.a2)
+        right = np.kron(self.b1, self.b2)
+        return self.phase * left @ canonical_gate(self.x, self.y, self.z) @ right
+
+
+def mirror_x_z(d: KAKDecomposition) -> KAKDecomposition:
+    """Transform a decomposition to coordinates ``(pi/2 - x, y, -z)``.
+
+    Uses the local identities ``CAN(-x,y,-z) = (Y(x)I) CAN(x,y,z) (Y(x)I)``
+    and ``CAN(c) = -i XX CAN(c + pi/2 e_x)``.  Needed at the ``x = pi/4``
+    chamber boundary where ``(pi/4, y, z)`` and ``(pi/4, y, -z)`` denote
+    the same class but numerical canonicalization may pick either.
+    """
+    a1 = d.a1 @ _Y @ _X
+    a2 = d.a2 @ _X
+    b1 = _Y @ d.b1
+    b2 = d.b2.copy()
+    return KAKDecomposition(
+        phase=d.phase * (-1j),
+        a1=a1, a2=a2,
+        x=math.pi / 2 - d.x, y=d.y, z=-d.z,
+        b1=b1, b2=b2,
+    )
+
+
+def _kak_raw(unitary: np.ndarray) -> tuple[complex, np.ndarray, np.ndarray, np.ndarray]:
+    """Non-canonical KAK: returns ``(phase, K1, theta, K2)``.
+
+    ``K1``/``K2`` are 4x4 matrices that are exact tensor products of SU(2)
+    factors; ``theta`` is the coordinate vector (x, y, z), not yet reduced
+    to the Weyl chamber.
+    """
+    det = np.linalg.det(unitary)
+    phase = det ** 0.25
+    special = unitary / phase
+    v = MAGIC.conj().T @ special @ MAGIC
+    w = v.T @ v
+    p, d = _simultaneous_diagonalize(w)
+    if np.linalg.det(p) < 0:
+        p = p.copy()
+        p[:, 0] *= -1
+    theta = np.angle(d) / 2
+    # Branch parity: sum(theta) must be 0 mod 2*pi so that the left factor
+    # lands in SO(4) (det +1); det(w) = 1 guarantees the sum is 0 or pi.
+    residue = float(np.mod(theta.sum(), 2 * math.pi))
+    if min(residue, 2 * math.pi - residue) > 1e-6:
+        if abs(residue - math.pi) > 1e-6:
+            raise KAKError(f"unexpected eigenphase parity {residue}")
+        theta = theta.copy()
+        theta[0] -= math.pi
+    k1p = (v @ p @ np.diag(np.exp(-1j * theta))).real
+    if np.abs(k1p @ k1p.T - np.eye(4)).max() > 1e-7:
+        raise KAKError("left orthogonal factor is not orthogonal")
+    # Coordinates from the diagonal phase pattern of XX/YY/ZZ in the magic
+    # basis: theta = (x-y+z, x+y-z, -x-y-z, -x+y+z).
+    x = (theta[0] + theta[1]) / 2
+    y = (theta[1] + theta[3]) / 2
+    z = (theta[0] + theta[3]) / 2
+    k1 = MAGIC @ k1p @ MAGIC.conj().T
+    k2 = MAGIC @ p.T @ MAGIC.conj().T
+    return phase, k1, np.array([x, y, z]), k2
+
+
+# ---------------------------------------------------------------------------
+# Weyl-chamber canonicalization
+# ---------------------------------------------------------------------------
+
+_TOL = 1e-9
+
+# Move fixups, all verified identities:
+#   CAN(y,x,z) = (S(x)S)   CAN(x,y,z) (S(x)S)^dag
+#   CAN(x,z,y) = (Rx(pi/2)(x)Rx(pi/2)) CAN (.)^dag
+#   CAN(-x,-y,z) = (Z(x)I) CAN (Z(x)I)
+#   CAN(x,-y,-z) = (X(x)I) CAN (X(x)I)
+#   CAN(-x,y,-z) = (Y(x)I) CAN (Y(x)I)
+#   CAN(x+pi/2,y,z) = i XX CAN(x,y,z)   (and YY, ZZ analogues)
+
+_SWAP_XY = np.kron(_S, _S)
+_SWAP_YZ = np.kron(_rx(math.pi / 2), _rx(math.pi / 2))
+_FLIP = {
+    frozenset((0, 1)): np.kron(_Z, _I),
+    frozenset((1, 2)): np.kron(_X, _I),
+    frozenset((0, 2)): np.kron(_Y, _I),
+}
+_SHIFT = {0: _XX, 1: _YY, 2: _ZZ}
+
+_PERM_WORDS: dict[tuple[int, int, int], list[str]] = {
+    # permutation sigma as tuple: new coords c'[i] = c[sigma[i]]
+    (0, 1, 2): [],
+    (1, 0, 2): ["xy"],
+    (0, 2, 1): ["yz"],
+    (2, 0, 1): ["yz", "xy"],   # (x,y,z) -> (x,z,y) -> (z,x,y)
+    (1, 2, 0): ["xy", "yz"],   # (x,y,z) -> (y,x,z) -> (y,z,x)
+    (2, 1, 0): ["xy", "yz", "xy"],
+}
+
+_SIGN_PATTERNS = ((1, 1, 1), (1, -1, -1), (-1, 1, -1), (-1, -1, 1))
+
+
+def _in_chamber(c: tuple[float, float, float], tol: float = _TOL) -> bool:
+    x, y, z = c
+    return (
+        x <= math.pi / 4 + tol
+        and x >= y - tol
+        and y >= abs(z) - tol
+        and y >= -tol
+    )
+
+
+def weyl_coordinates(unitary: np.ndarray) -> tuple[float, float, float]:
+    """Canonical Weyl-chamber coordinates (the local-equivalence class)."""
+    _, _, theta, _ = _kak_raw(unitary)
+    best = _best_candidate(theta)[0]
+    return best
+
+
+def _best_candidate(theta: np.ndarray):
+    """Enumerate the move orbit of the raw coordinates and pick the
+    canonical representative plus the move recipe producing it."""
+    best_key = None
+    best = None
+    for sigma, word in _PERM_WORDS.items():
+        permuted = np.array([theta[sigma[0]], theta[sigma[1]], theta[sigma[2]]])
+        for signs in _SIGN_PATTERNS:
+            flipped = permuted * np.array(signs)
+            shifted = np.mod(flipped, math.pi / 2)
+            for z_branch in (0, 1):
+                z_val = shifted[2] - (math.pi / 2 if z_branch else 0.0)
+                cand = (float(shifted[0]), float(shifted[1]), float(z_val))
+                if not _in_chamber(cand):
+                    continue
+                key = (round(cand[0], 9), round(cand[1], 9), round(cand[2], 9))
+                if best_key is None or key > best_key:
+                    best_key = key
+                    shifts = np.round((shifted - flipped) / (math.pi / 2)).astype(int)
+                    shifts[2] -= z_branch
+                    best = (cand, word, signs, tuple(int(s) for s in shifts))
+    if best is None:
+        raise KAKError(f"no canonical candidate found for {theta}")
+    return best
+
+
+def kak_decompose(unitary: np.ndarray) -> KAKDecomposition:
+    """Canonical KAK decomposition with Weyl-chamber coordinates."""
+    if unitary.shape != (4, 4):
+        raise ValueError("kak_decompose expects a 4x4 unitary")
+    phase, k1, theta, k2 = _kak_raw(unitary)
+    coords, word, signs, shifts = _best_candidate(theta)
+
+    c = np.array(theta, dtype=float)
+    left, right = k1, k2
+    # 1. permutation moves (each: CAN(sigma c) = G CAN(c) G^dag).
+    for swap in word:
+        g = _SWAP_XY if swap == "xy" else _SWAP_YZ
+        if swap == "xy":
+            c = np.array([c[1], c[0], c[2]])
+        else:
+            c = np.array([c[0], c[2], c[1]])
+        left = left @ g.conj().T
+        right = g @ right
+    # 2. sign flips (self-inverse Pauli fixups).
+    if signs != (1, 1, 1):
+        flipped_axes = frozenset(i for i, s in enumerate(signs) if s < 0)
+        g = _FLIP[flipped_axes]
+        c = c * np.array(signs)
+        left = left @ g
+        right = g @ right
+    # 3. shifts: CAN(c + (pi/2) e_i) = i * P_i P_i * CAN(c) with P in
+    # {XX, YY, ZZ}; so adding k shifts multiplies left by the Pauli pair k
+    # times and the phase by (-i)^k.
+    for axis in range(3):
+        k = shifts[axis]
+        if k == 0:
+            continue
+        pauli = _SHIFT[axis]
+        for _ in range(abs(k)):
+            if k > 0:
+                left = left @ pauli
+                phase = phase * (-1j)
+                c[axis] += math.pi / 2
+            else:
+                left = left @ pauli
+                phase = phase * 1j
+                c[axis] -= math.pi / 2
+    if np.abs(c - np.array(coords)).max() > 1e-7:
+        raise KAKError(f"canonicalization mismatch: {c} vs {coords}")
+
+    a1, a2 = closest_kron_factors(left)
+    b1, b2 = closest_kron_factors(right)
+    # Fold any leftover factorisation phase into the global phase.
+    err_left = np.kron(a1, a2) - left
+    err_right = np.kron(b1, b2) - right
+    if max(np.abs(err_left).max(), np.abs(err_right).max()) > 1e-7:
+        raise KAKError("local factors are not tensor products")
+    decomposition = KAKDecomposition(
+        phase=complex(phase), a1=a1, a2=a2,
+        x=float(coords[0]), y=float(coords[1]), z=float(coords[2]),
+        b1=b1, b2=b2,
+    )
+    # Exactness check; callers rely on reconstruct() being tight.
+    if np.abs(decomposition.reconstruct() - unitary).max() > 1e-6:
+        raise KAKError("KAK reconstruction failed")
+    return decomposition

@@ -1,0 +1,119 @@
+"""Semantic verification of compiled circuits.
+
+A 2QAN-compiled circuit is *not* unitarily equal to its input circuit --
+the whole point is that operator order may change.  Correctness means:
+
+    C . Perm(map_0) = Perm(map_final) . U_sigma     (up to global phase)
+
+where ``Perm(map)`` embeds logical qubits at their physical positions and
+``U_sigma`` is the product of the term exponentials *in the order the
+compiler executed them* (any order is a valid product-formula
+approximant).  For Hamiltonians whose terms all commute (Ising cost
+layers, QAOA), ``U_sigma`` equals the original-order unitary, so compiled
+circuits are checked against the untouched input as well.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.compiler import CompilationResult
+from repro.core.scheduling import ScheduledCircuit
+from repro.hamiltonians.trotter import TrotterStep
+from repro.quantum.circuit import Circuit
+from repro.quantum.unitaries import allclose_up_to_global_phase
+
+
+def permutation_unitary(mapping: dict[int, int], n_qubits: int) -> np.ndarray:
+    """Unitary sending logical basis bits to their physical positions.
+
+    ``mapping[l] = p`` means logical qubit ``l``'s bit appears at physical
+    position ``p``.  Qubit 0 is the most significant index bit.
+    """
+    dim = 2**n_qubits
+    matrix = np.zeros((dim, dim))
+    for logical_index in range(dim):
+        physical_index = 0
+        for l in range(n_qubits):
+            bit = (logical_index >> (n_qubits - 1 - l)) & 1
+            p = mapping[l]
+            physical_index |= bit << (n_qubits - 1 - p)
+        matrix[physical_index, logical_index] = 1.0
+    return matrix
+
+
+def executed_order_circuit(scheduled: ScheduledCircuit,
+                           n_logical: int) -> Circuit:
+    """The logical-qubit circuit in the exact order the schedule executes.
+
+    Dressed SWAPs contribute their absorbed operator at the SWAP's
+    position; bare SWAPs contribute nothing (they only move qubits).
+    """
+    circuit = Circuit(n_logical)
+    ordered = sorted(scheduled.items, key=lambda i: (i.cycle, i.physical_pair))
+    for item in ordered:
+        if item.kind == "op":
+            circuit.append(item.operator.to_gate())
+        elif item.kind == "dressed":
+            circuit.append(item.swap.dressed_with.to_gate())
+    for op in scheduled.one_qubit_ops:
+        circuit.append(op.to_gate())
+    return circuit
+
+
+def verify_compilation(result: CompilationResult, step: TrotterStep,
+                       atol: float = 2e-5) -> bool:
+    """Full unitary check of a compiled circuit (small problems only).
+
+    Requires the compilation to have used ``solve_angles=True`` (exact
+    decomposition) and a device with exactly ``step.n_qubits`` qubits.
+    """
+    n = step.n_qubits
+    if result.circuit.n_qubits != n:
+        raise ValueError(
+            "unitary verification needs n_physical == n_logical; compile "
+            "onto a device with exactly the problem size"
+        )
+    compiled = result.circuit.unitary()
+    logical = executed_order_circuit(result.scheduled, n).unitary()
+    p_initial = permutation_unitary(
+        result.initial_map.logical_to_physical, n
+    )
+    p_final = permutation_unitary(result.final_map.logical_to_physical, n)
+    lhs = compiled @ p_initial
+    rhs = p_final @ logical
+    return allclose_up_to_global_phase(lhs, rhs, atol=atol)
+
+
+def verify_operator_conservation(result: CompilationResult,
+                                 step: TrotterStep) -> bool:
+    """Every two-qubit operator of the input appears exactly once.
+
+    Cheap structural check that works at any problem size (used in the
+    large-scale tests where unitaries are intractable).
+    """
+    expected = sorted(
+        op.label for op in step.two_qubit_ops
+    )
+    executed: list[str] = []
+    for item in result.scheduled.items:
+        if item.kind == "op":
+            executed.append(item.operator.label)
+        elif item.kind == "dressed":
+            executed.append(item.swap.dressed_with.label)
+    return sorted(executed) == expected
+
+
+def verify_commuting_equivalence(result: CompilationResult,
+                                 step: TrotterStep,
+                                 atol: float = 2e-5) -> bool:
+    """For all-commuting Hamiltonians the compiled unitary must equal the
+    *original-order* unitary exactly (up to mapping permutations)."""
+    n = step.n_qubits
+    compiled = result.circuit.unitary()
+    original = step.circuit().unitary()
+    p_initial = permutation_unitary(result.initial_map.logical_to_physical, n)
+    p_final = permutation_unitary(result.final_map.logical_to_physical, n)
+    lhs = compiled @ p_initial
+    rhs = p_final @ original
+    return allclose_up_to_global_phase(lhs, rhs, atol=atol)

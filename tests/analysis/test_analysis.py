@@ -1,0 +1,144 @@
+"""Tests for the sweep harness and overhead tables."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.harness import (
+    BenchmarkRow,
+    SweepConfig,
+    aggregate,
+    build_step,
+    compile_with,
+    format_rows,
+    run_sweep,
+)
+from repro.analysis.overhead import reduction_table, summarize_reductions
+from repro.analysis.runtime import format_runtime_table, measure_runtime
+from repro.core.decompose import DecomposeCache
+from repro.devices import aspen, grid, line, montreal
+from repro.hamiltonians.trotter import trotter_step
+from repro.hamiltonians.models import nnn_ising
+
+
+class TestBuildStep:
+    def test_model_benchmarks(self):
+        for name in ("NNN_Ising", "NNN_XY", "NNN_Heisenberg"):
+            step = build_step(name, 6, 0)
+            assert step.n_qubits == 6
+
+    def test_qaoa_benchmark(self):
+        step = build_step("QAOA-REG-3", 8, 0)
+        assert len(step.two_qubit_ops) == 12
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            build_step("bogus", 6, 0)
+
+
+class TestCompileWith:
+    @pytest.mark.parametrize("name", [
+        "2qan", "2qan_nodress", "tket", "qiskit", "nomap",
+    ])
+    def test_all_compilers_run(self, name):
+        step = build_step("NNN_Ising", 6, 0)
+        result = compile_with(name, step, montreal(), "CNOT", 0,
+                              DecomposeCache())
+        assert result.metrics.n_two_qubit_gates > 0
+
+    def test_ic_on_qaoa(self):
+        step = build_step("QAOA-REG-3", 8, 0)
+        result = compile_with("ic_qaoa", step, montreal(), "CNOT", 0,
+                              DecomposeCache())
+        assert result.metrics.n_two_qubit_gates > 0
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            compile_with("bogus", build_step("NNN_Ising", 6, 0),
+                         montreal(), "CNOT", 0, DecomposeCache())
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        config = SweepConfig("NNN_Ising", aspen(), "CNOT", (6, 8),
+                             compilers=("2qan", "tket", "nomap"))
+        return run_sweep(config)
+
+    def test_row_count(self, rows):
+        assert len(rows) == 2 * 3
+
+    def test_aggregate(self, rows):
+        value = aggregate(rows, "2qan", 6, "n_two_qubit_gates")
+        assert value > 0
+
+    def test_aggregate_missing(self, rows):
+        with pytest.raises(ValueError):
+            aggregate(rows, "qiskit", 6, "n_swaps")
+
+    def test_nomap_has_no_swaps(self, rows):
+        assert aggregate(rows, "nomap", 6, "n_swaps") == 0
+
+    def test_format_table(self, rows):
+        table = format_rows(rows, "n_two_qubit_gates")
+        assert "2qan" in table and "nomap" in table
+        assert "6" in table
+
+    def test_qaoa_multi_instance(self):
+        config = SweepConfig("QAOA-REG-3", montreal(), "CNOT", (6,),
+                             compilers=("2qan",), instances=3)
+        rows = run_sweep(config)
+        assert len(rows) == 3
+        assert len({r.instance for r in rows}) == 3
+
+
+class TestReductionTable:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        config = SweepConfig("NNN_Heisenberg", aspen(), "CNOT", (6, 8),
+                             compilers=("2qan", "qiskit", "nomap"))
+        return run_sweep(config)
+
+    def test_entries_produced(self, rows):
+        entries = reduction_table(rows, "qiskit")
+        assert {e.metric for e in entries} == {"swaps", "gates", "depth"}
+
+    def test_reductions_at_least_one(self, rows):
+        """2QAN should not be worse than the qiskit-like stand-in."""
+        entries = reduction_table(rows, "qiskit")
+        for entry in entries:
+            assert entry.average >= 1.0 or np.isinf(entry.average)
+
+    def test_summary_formatting(self, rows):
+        text = summarize_reductions(reduction_table(rows, "qiskit"))
+        assert "NNN_Heisenberg" in text
+
+
+class TestRuntime:
+    def test_measure_and_format(self):
+        step = trotter_step(nnn_ising(8, seed=0))
+        record = measure_runtime("ising8", step, montreal(),
+                                 mapping_trials=1)
+        assert record.total_s > 0
+        table = format_runtime_table([record])
+        assert "ising8" in table
+
+
+class TestFormatting:
+    def test_format_rows_missing_compiler_dash(self):
+        rows = [BenchmarkRow("NNN_Ising", "d", "CNOT", 6, 0, "2qan",
+                             1, 1, 10, 5, 8, 0.1)]
+        table = format_rows(rows, "n_swaps", ("2qan", "tket"))
+        assert "-" in table
+
+    def test_format_rows_empty(self):
+        assert format_rows([], "n_swaps") == "(no data)"
+
+    def test_autodetect_compilers(self):
+        rows = [
+            BenchmarkRow("NNN_Ising", "d", "CNOT", 6, 0, "2qan",
+                         1, 1, 10, 5, 8, 0.1),
+            BenchmarkRow("NNN_Ising", "d", "CNOT", 6, 0, "nomap",
+                         0, 0, 8, 4, 6, 0.1),
+        ]
+        table = format_rows(rows, "n_two_qubit_gates")
+        assert "2qan" in table and "nomap" in table

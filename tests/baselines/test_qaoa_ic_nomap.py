@@ -1,0 +1,126 @@
+"""Tests for the IC-QAOA-like compiler and the NoMap baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.nomap import compile_nomap
+from repro.baselines.qaoa_ic import compile_ic_qaoa
+from repro.core.compiler import TwoQANCompiler
+from repro.core.unify import unify_circuit_operators
+from repro.devices import all_to_all, montreal
+from repro.hamiltonians.models import nnn_heisenberg, nnn_ising
+from repro.hamiltonians.qaoa import QAOAProblem, random_regular_graph
+from repro.hamiltonians.trotter import trotter_step
+
+
+def qaoa_step(n=10, seed=0):
+    g = random_regular_graph(3, n, seed=seed)
+    return QAOAProblem(g, (0.35,), (-0.39,)).layer_step(0)
+
+
+class TestICQAOA:
+    def test_compiles_qaoa(self, montreal_device):
+        result = compile_ic_qaoa(qaoa_step(), montreal_device, "CNOT", seed=0)
+        assert result.metrics.n_two_qubit_gates > 0
+
+    def test_all_operators_executed(self, montreal_device):
+        step = qaoa_step()
+        result = compile_ic_qaoa(step, montreal_device, "CNOT", seed=0)
+        app2q = sum(1 for g in result.app_circuit if g.name == "APP2Q")
+        assert app2q == len(step.two_qubit_ops)
+
+    def test_accepts_ising(self, montreal_device):
+        step = trotter_step(nnn_ising(8, seed=0))
+        result = compile_ic_qaoa(step, montreal_device, "CNOT", seed=0)
+        assert result.n_swaps >= 0
+
+    def test_rejects_noncommuting(self, montreal_device):
+        step = trotter_step(nnn_heisenberg(6, seed=0))
+        with pytest.raises(ValueError):
+            compile_ic_qaoa(step, montreal_device, "CNOT", seed=0)
+
+    def test_worse_than_2qan_better_than_generic(self, montreal_device):
+        from repro.baselines.order_respecting import compile_qiskit_like
+        step = qaoa_step(12, seed=1)
+        ours = TwoQANCompiler(montreal_device, "CNOT", seed=1).compile(step)
+        ic = compile_ic_qaoa(step, montreal_device, "CNOT", seed=1)
+        qiskit = compile_qiskit_like(step, montreal_device, "CNOT", seed=1)
+        assert ours.metrics.n_two_qubit_gates <= \
+            ic.metrics.n_two_qubit_gates
+        assert ic.metrics.n_two_qubit_gates <= \
+            qiskit.metrics.n_two_qubit_gates
+
+    def test_no_dressing(self, montreal_device):
+        result = compile_ic_qaoa(qaoa_step(), montreal_device, "CNOT")
+        assert result.n_dressed == 0
+        # every swap costs full 3 CNOTs: gates = 2*ops + 3*swaps
+        step = qaoa_step()
+        expected = 2 * len(step.two_qubit_ops) + 3 * result.n_swaps
+        assert result.metrics.n_two_qubit_gates == expected
+
+
+class TestNoMap:
+    def test_zero_swaps(self):
+        step = trotter_step(nnn_heisenberg(8, seed=0))
+        result = compile_nomap(step, "CNOT")
+        assert result.n_swaps == 0
+
+    def test_heisenberg_gate_count(self):
+        step = trotter_step(nnn_heisenberg(8, seed=0))
+        result = compile_nomap(step, "CNOT")
+        assert result.metrics.n_two_qubit_gates == (2 * 8 - 3) * 3
+
+    def test_ising_gate_count(self):
+        step = trotter_step(nnn_ising(8, seed=0))
+        result = compile_nomap(step, "CNOT")
+        assert result.metrics.n_two_qubit_gates == (2 * 8 - 3) * 2
+
+    def test_unify_flag(self):
+        step = trotter_step(nnn_heisenberg(6, seed=0))
+        unified = compile_nomap(step, "CNOT", unify=True)
+        raw = compile_nomap(step, "CNOT", unify=False)
+        assert unified.metrics.n_two_qubit_gates < \
+            raw.metrics.n_two_qubit_gates
+
+    def test_depth_lower_bound(self):
+        """Chain NN+NNN needs at least 4 two-qubit layers."""
+        step = trotter_step(nnn_ising(12, seed=0))
+        result = compile_nomap(step, "CNOT")
+        assert result.metrics.two_qubit_depth >= 2 * 4
+
+
+class TestPaulihedralLike:
+    def test_1d_heisenberg_matches_published(self):
+        """The idealised model reproduces the published 1-D number (87)."""
+        from repro.baselines.paulihedral_like import compile_paulihedral_like
+        from repro.hamiltonians.models import heisenberg_lattice
+        step = trotter_step(heisenberg_lattice((30,), seed=0))
+        result = compile_paulihedral_like(step)
+        assert result.metrics.n_two_qubit_gates == 87
+
+    def test_no_unifying_no_dressing(self):
+        from repro.baselines.paulihedral_like import compile_paulihedral_like
+        step = trotter_step(nnn_heisenberg(8, seed=0))
+        result = compile_paulihedral_like(step)
+        assert result.n_swaps == 0
+        # exponentials appear one per TERM, not one per pair
+        app2q = sum(1 for g in result.app_circuit if g.name == "APP2Q")
+        assert app2q == len(step.two_qubit_ops)
+
+    def test_isolated_terms_cost_two(self):
+        from repro.baselines.paulihedral_like import compile_paulihedral_like
+        step = trotter_step(nnn_ising(8, seed=0))   # one ZZ per pair
+        result = compile_paulihedral_like(step)
+        assert result.metrics.n_two_qubit_gates == 2 * (2 * 8 - 3)
+
+    def test_2qan_at_most_paulihedral_like(self):
+        """2QAN with unifying matches the idealised bound on all-to-all."""
+        from repro.baselines.paulihedral_like import compile_paulihedral_like
+        from repro.core.compiler import TwoQANCompiler
+        from repro.devices import all_to_all
+        from repro.hamiltonians.models import heisenberg_lattice
+        step = trotter_step(heisenberg_lattice((5, 6), seed=0))
+        ours = TwoQANCompiler(all_to_all(30), "CNOT", seed=0,
+                              mapping_trials=1).compile(step)
+        ph = compile_paulihedral_like(step)
+        assert ours.metrics.n_two_qubit_gates <= ph.metrics.n_two_qubit_gates

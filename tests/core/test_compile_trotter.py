@@ -1,0 +1,54 @@
+"""Tests for multi-step Trotter compilation (odd/even reversal scheme)."""
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import TwoQANCompiler
+from repro.devices import line, montreal
+from repro.hamiltonians.models import nnn_heisenberg, nnn_ising
+
+
+class TestCompileTrotter:
+    def test_single_step_is_plain_compile(self, montreal_device):
+        compiler = TwoQANCompiler(montreal_device, "CNOT", seed=1)
+        h = nnn_heisenberg(8, seed=0)
+        one = compiler.compile_trotter(h, n_steps=1)
+        assert one.metrics.n_swaps == one.routed.n_swaps
+
+    def test_gates_scale_linearly(self, montreal_device):
+        compiler = TwoQANCompiler(montreal_device, "CNOT", seed=1)
+        h = nnn_heisenberg(8, seed=0)
+        one = compiler.compile_trotter(h, n_steps=1)
+        four = compiler.compile_trotter(h, n_steps=4)
+        assert four.metrics.n_two_qubit_gates == \
+            4 * one.metrics.n_two_qubit_gates
+        assert four.metrics.n_swaps == 4 * one.metrics.n_swaps
+
+    def test_even_steps_reversed(self, montreal_device):
+        compiler = TwoQANCompiler(montreal_device, "CNOT", seed=1)
+        h = nnn_ising(6, seed=0)
+        two = compiler.compile_trotter(h, n_steps=2)
+        one = compiler.compile_trotter(h, n_steps=1)
+        n1 = one.metrics.n_two_qubit_gates
+        first = [g for g in two.circuit if g.n_qubits == 2][:n1]
+        second = [g for g in two.circuit if g.n_qubits == 2][n1:]
+        first_pairs = [g.qubits for g in first]
+        second_pairs = [g.qubits for g in second]
+        assert second_pairs == list(reversed(first_pairs))
+
+    def test_reversed_step_is_valid_hardware_circuit(self):
+        """Reversed two-qubit order must still respect connectivity."""
+        device = line(5)
+        compiler = TwoQANCompiler(device, "CNOT", seed=0)
+        result = compiler.compile_trotter(nnn_ising(5, seed=0), n_steps=2)
+        for gate in result.circuit:
+            if gate.n_qubits == 2:
+                assert device.are_neighbors(*gate.qubits)
+
+    def test_depth_scales_roughly_linearly(self, montreal_device):
+        compiler = TwoQANCompiler(montreal_device, "CNOT", seed=1)
+        h = nnn_heisenberg(10, seed=0)
+        one = compiler.compile_trotter(h, n_steps=1)
+        three = compiler.compile_trotter(h, n_steps=3)
+        ratio = three.metrics.two_qubit_depth / one.metrics.two_qubit_depth
+        assert 2.0 <= ratio <= 3.5

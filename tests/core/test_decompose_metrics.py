@@ -1,0 +1,91 @@
+"""Tests for the decomposition pass and circuit metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.decompose import DecomposeCache, decompose_circuit
+from repro.core.metrics import CircuitMetrics, OverheadReport, overhead_reduction
+from repro.quantum.circuit import Circuit
+from repro.quantum.gates import Gate, standard_gate_unitary
+from repro.synthesis.gateset import get_gateset
+
+from tests.conftest import pauli_exponential
+
+
+def app_circuit():
+    c = Circuit(4)
+    c.append(Gate("APP2Q", (0, 1), matrix=pauli_exponential(0, 0, 0.8)))
+    c.append(Gate("SWAP", (1, 2)))
+    c.append(Gate("APP2Q", (2, 3), matrix=pauli_exponential(0.5, 0.3, 0.2)))
+    c.append(Gate("APP1Q", (0,), matrix=standard_gate_unitary("H")))
+    return c
+
+
+class TestDecompose:
+    def test_counts_cnot_basis(self):
+        lowered = decompose_circuit(app_circuit(), get_gateset("CNOT"))
+        # ZZ: 2, SWAP: 3, Heisenberg: 3
+        assert lowered.n_two_qubit_gates == 8
+
+    def test_qubit_mapping_preserved(self):
+        lowered = decompose_circuit(app_circuit(), get_gateset("CNOT"))
+        touched = {q for g in lowered if g.n_qubits == 2 for q in g.qubits}
+        assert touched == {0, 1, 2, 3}
+
+    def test_exact_mode_unitary(self):
+        c = Circuit(2)
+        u = pauli_exponential(0.4, 0.2, 0.1)
+        c.append(Gate("APP2Q", (0, 1), matrix=u))
+        lowered = decompose_circuit(c, get_gateset("CNOT"), solve=True)
+        from repro.quantum.unitaries import allclose_up_to_global_phase
+        assert allclose_up_to_global_phase(lowered.unitary(), u, atol=1e-6)
+
+    def test_three_qubit_gate_rejected(self):
+        c = Circuit(3)
+        c.append(Gate("CCX", (0, 1, 2), matrix=np.eye(8, dtype=complex)))
+        with pytest.raises(ValueError):
+            decompose_circuit(c, get_gateset("CNOT"))
+
+    def test_cache_reused(self):
+        cache = DecomposeCache()
+        c = Circuit(4)
+        for pair in ((0, 1), (2, 3), (1, 2)):
+            c.append(Gate("SWAP", pair))
+        decompose_circuit(c, get_gateset("CNOT"), cache=cache)
+        assert len(cache._store) == 1  # one unique unitary
+
+
+class TestMetrics:
+    def test_from_circuit(self):
+        lowered = decompose_circuit(app_circuit(), get_gateset("CNOT"))
+        m = CircuitMetrics.from_circuit(lowered, n_swaps=1)
+        assert m.n_two_qubit_gates == 8
+        assert m.n_swaps == 1
+        assert m.total_depth >= m.two_qubit_depth
+
+    def test_overhead_report(self):
+        compiled = CircuitMetrics(30, 12, 20, n_swaps=3)
+        baseline = CircuitMetrics(24, 8, 14)
+        report = OverheadReport(compiled, baseline)
+        assert report.gate_overhead == 6
+        assert report.depth_overhead == 4
+        assert np.isclose(report.gate_ratio(), 30 / 24)
+
+    def test_overhead_reduction_ratio(self):
+        base = CircuitMetrics(24, 8, 14)
+        ours = OverheadReport(CircuitMetrics(27, 10, 16), base)
+        theirs = OverheadReport(CircuitMetrics(36, 16, 24), base)
+        assert np.isclose(overhead_reduction(ours, theirs, "gates"), 4.0)
+        assert np.isclose(overhead_reduction(ours, theirs, "depth"), 4.0)
+
+    def test_zero_overhead_infinite_reduction(self):
+        base = CircuitMetrics(24, 8, 14)
+        ours = OverheadReport(CircuitMetrics(24, 8, 14), base)
+        theirs = OverheadReport(CircuitMetrics(36, 16, 24), base)
+        assert overhead_reduction(ours, theirs, "gates") == float("inf")
+
+    def test_unknown_quantity(self):
+        base = CircuitMetrics(24, 8, 14)
+        report = OverheadReport(base, base)
+        with pytest.raises(ValueError):
+            overhead_reduction(report, report, "bogus")

@@ -1,0 +1,74 @@
+"""The paper's worked example (Figure 3): a 6-qubit 2-local Hamiltonian
+compiled onto a 2x3 grid.
+
+The paper's generic compiler needs 3 SWAPs (12 two-qubit gates, depth 7);
+the application-specific flow needs 2 SWAPs, both mergeable, giving 9
+two-qubit gates and depth 5.  Our instance differs (the paper does not
+fully specify its Hamiltonian), but the *qualitative* facts must hold:
+2QAN inserts at most 2 SWAPs beyond the 7 NN-schedulable operators, every
+inserted SWAP can dress, and the application-level gate total stays at
+(number of pairs) + (undressed SWAPs).
+"""
+
+import numpy as np
+
+from repro.core.compiler import TwoQANCompiler
+from repro.core.unify import unify_circuit_operators
+from repro.devices import grid
+from repro.hamiltonians.hamiltonian import TwoLocalHamiltonian
+from repro.hamiltonians.trotter import trotter_step
+from repro.verification import verify_compilation, verify_operator_conservation
+
+
+def figure3_hamiltonian() -> TwoLocalHamiltonian:
+    """A 6-qubit 2-local Hamiltonian with 9 interactions like Figure 3a.
+
+    Nine two-qubit operators on six qubits (the R gates of Fig. 3a) plus
+    a layer of single-qubit operators; XX+YY terms make the operators
+    genuinely non-commuting, so gate-level reordering would be illegal.
+    """
+    h = TwoLocalHamiltonian(6)
+    pairs = [(0, 1), (0, 2), (1, 2), (1, 3), (2, 4), (3, 4), (3, 5),
+             (4, 5), (0, 5)]
+    rng = np.random.default_rng(7)
+    for u, v in pairs:
+        h.add(float(rng.uniform(0.2, 1.0)), "XX", (u, v))
+        h.add(float(rng.uniform(0.2, 1.0)), "YY", (u, v))
+    for k in range(6):
+        h.add(float(rng.uniform(0.2, 1.0)), "X", (k,))
+    return h
+
+
+class TestFigure3:
+    def test_two_swaps_suffice(self):
+        step = trotter_step(figure3_hamiltonian())
+        compiler = TwoQANCompiler(grid(2, 3), "CNOT", seed=3)
+        result = compiler.compile(step)
+        assert result.n_swaps <= 2
+
+    def test_application_gate_total(self):
+        """App-level 2q blocks = 9 pairs + undressed SWAPs (paper: 9+2
+        with both SWAPs merged -> 9 blocks, vs 12 for the generic flow)."""
+        step = trotter_step(figure3_hamiltonian())
+        compiler = TwoQANCompiler(grid(2, 3), "CNOT", seed=3)
+        result = compiler.compile(step)
+        app = result.scheduled.to_circuit()
+        blocks = sum(1 for g in app if g.n_qubits == 2)
+        assert blocks == 9 + (result.n_swaps - result.n_dressed)
+        assert blocks <= 11
+
+    def test_generic_compiler_worse(self):
+        from repro.baselines import compile_tket_like
+        step = trotter_step(figure3_hamiltonian())
+        ours = TwoQANCompiler(grid(2, 3), "CNOT", seed=3).compile(step)
+        generic = compile_tket_like(step, grid(2, 3), "CNOT", seed=3)
+        assert ours.metrics.n_two_qubit_gates <= \
+            generic.metrics.n_two_qubit_gates
+
+    def test_unitary_semantics(self):
+        step = unify_circuit_operators(trotter_step(figure3_hamiltonian()))
+        compiler = TwoQANCompiler(grid(2, 3), "CNOT", seed=3,
+                                  solve_angles=True)
+        result = compiler.compile(step)
+        assert verify_operator_conservation(result, step)
+        assert verify_compilation(result, step)

@@ -1,0 +1,164 @@
+"""Tests for hybrid ALAP scheduling (Algorithm 2) and NoMap scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.core.routing import route
+from repro.core.scheduling import schedule_alap, schedule_no_device
+from repro.core.unify import unify_circuit_operators
+from repro.devices import all_to_all, grid, line, montreal
+from repro.hamiltonians.models import nnn_heisenberg, nnn_ising, nnn_xy
+from repro.hamiltonians.trotter import trotter_step
+
+
+def routed_problem(n=8, device=None, seed=0):
+    device = device or montreal()
+    step = unify_circuit_operators(trotter_step(nnn_heisenberg(n, seed=seed)))
+    return route(step, device, np.arange(n), seed=seed), step
+
+
+class TestAlapBasics:
+    def test_everything_scheduled(self):
+        routed, step = routed_problem()
+        scheduled = schedule_alap(routed)
+        ops = sum(1 for i in scheduled.items if i.kind == "op")
+        dressed = sum(1 for i in scheduled.items if i.kind == "dressed")
+        swaps = sum(1 for i in scheduled.items if i.kind == "swap")
+        assert ops + dressed == len(step.two_qubit_ops)
+        assert swaps + dressed == routed.n_swaps
+
+    def test_no_qubit_conflicts_per_cycle(self):
+        routed, _ = routed_problem()
+        scheduled = schedule_alap(routed)
+        by_cycle: dict[int, list] = {}
+        for item in scheduled.items:
+            by_cycle.setdefault(item.cycle, []).append(item)
+        for cycle_items in by_cycle.values():
+            used = [q for item in cycle_items for q in item.physical_pair]
+            assert len(used) == len(set(used))
+
+    def test_cycles_contiguous(self):
+        routed, _ = routed_problem()
+        scheduled = schedule_alap(routed)
+        cycles = {item.cycle for item in scheduled.items}
+        assert cycles == set(range(max(cycles) + 1))
+
+    def test_swap_order_preserved(self):
+        """SWAPs must appear in routing order in forward time."""
+        routed, _ = routed_problem(10)
+        scheduled = schedule_alap(routed)
+        swap_cycles = []
+        for swap in routed.swaps:
+            for item in scheduled.items:
+                if item.kind in ("swap", "dressed") and item.swap is swap:
+                    swap_cycles.append(item.cycle)
+        assert swap_cycles == sorted(swap_cycles)
+
+    def test_gates_nn_at_execution(self):
+        """Each operator must be adjacent in the map at its cycle."""
+        routed, _ = routed_problem(10, seed=3)
+        scheduled = schedule_alap(routed)
+        device = routed.device
+        current = scheduled.initial_map
+        ordered = sorted(scheduled.items,
+                         key=lambda i: (i.cycle, i.physical_pair))
+        for item in ordered:
+            if item.kind == "op":
+                u, v = item.operator.pair
+                pu, pv = current.physical(u), current.physical(v)
+                assert device.are_neighbors(pu, pv)
+                assert {pu, pv} == set(item.physical_pair)
+            else:
+                current = current.after_swap(item.physical_pair)
+        assert current.logical_to_physical == \
+            scheduled.final_map.logical_to_physical
+
+
+class TestHybridVsGeneric:
+    def test_hybrid_no_deeper_than_generic(self):
+        routed, _ = routed_problem(10, seed=1)
+        hybrid = schedule_alap(routed, hybrid=True)
+        generic = schedule_alap(routed, hybrid=False)
+        assert hybrid.n_cycles <= generic.n_cycles
+
+    def test_generic_schedules_everything_too(self):
+        routed, step = routed_problem(8, seed=2)
+        generic = schedule_alap(routed, hybrid=False)
+        ops = sum(1 for i in generic.items if i.kind in ("op", "dressed"))
+        assert ops == len(step.two_qubit_ops)
+
+
+class TestToCircuit:
+    def test_circuit_gate_counts(self):
+        routed, step = routed_problem(8)
+        scheduled = schedule_alap(routed)
+        circuit = scheduled.to_circuit()
+        app2q = sum(1 for g in circuit if g.name == "APP2Q")
+        dressed = sum(1 for g in circuit if g.name == "DRESSED_SWAP")
+        swaps = circuit.count("SWAP")
+        assert app2q + dressed == len(step.two_qubit_ops)
+        assert swaps + dressed == routed.n_swaps
+
+    def test_one_qubit_ops_at_final_positions(self):
+        device = line(5)
+        step = unify_circuit_operators(trotter_step(nnn_ising(5, seed=0)))
+        routed = route(step, device, np.arange(5))
+        scheduled = schedule_alap(routed)
+        circuit = scheduled.to_circuit()
+        final = scheduled.final_map
+        one_q = [g for g in circuit if g.name == "APP1Q"]
+        assert len(one_q) == 5
+        positions = {g.qubits[0] for g in one_q}
+        expected = {final.physical(q) for q in range(5)}
+        assert positions == expected
+
+
+class TestNoDevice:
+    def test_all_operators_scheduled(self):
+        step = unify_circuit_operators(trotter_step(nnn_xy(8, seed=0)))
+        circuit = schedule_no_device(step)
+        assert sum(1 for g in circuit if g.name == "APP2Q") == \
+            len(step.two_qubit_ops)
+
+    def test_valid_coloring_layers(self):
+        step = unify_circuit_operators(trotter_step(nnn_heisenberg(8, seed=0)))
+        circuit = schedule_no_device(step)
+        for layer in circuit.layers():
+            used = [q for g in layer for q in g.qubits]
+            assert len(used) == len(set(used))
+
+    def test_depth_near_optimal_for_chain(self):
+        """NN+NNN chain interactions colour with ~4 colours."""
+        step = unify_circuit_operators(trotter_step(nnn_ising(12, seed=0)))
+        circuit = schedule_no_device(step)
+        assert circuit.two_qubit_depth() <= 6
+
+
+class TestSchedulingEdgeCases:
+    def test_empty_step_schedules(self):
+        from repro.hamiltonians.trotter import TrotterStep
+        from repro.core.routing import route
+        import numpy as np
+        step = TrotterStep(3, [], [])
+        routed = route(step, line(3), np.arange(3))
+        scheduled = schedule_alap(routed)
+        assert scheduled.n_cycles == 0
+        assert len(scheduled.to_circuit()) == 0
+
+    def test_single_operator(self):
+        from repro.hamiltonians.hamiltonian import TwoLocalHamiltonian
+        import numpy as np
+        h = TwoLocalHamiltonian(3)
+        h.add(0.5, "ZZ", (0, 1))
+        step = unify_circuit_operators(trotter_step(h))
+        routed = route(step, line(3), np.arange(3))
+        scheduled = schedule_alap(routed)
+        assert scheduled.n_cycles == 1
+
+    def test_no_device_single_qubit_only(self):
+        from repro.hamiltonians.hamiltonian import TwoLocalHamiltonian
+        h = TwoLocalHamiltonian(2)
+        h.add(1.0, "X", (0,))
+        circuit = schedule_no_device(trotter_step(h))
+        assert circuit.count("APP1Q") == 1
+        assert circuit.n_two_qubit_gates == 0

@@ -1,0 +1,73 @@
+"""Tests for circuit unitary unifying (paper Section III-C)."""
+
+import numpy as np
+
+from repro.core.unify import DressedSwap, unify_circuit_operators
+from repro.hamiltonians.models import nnn_heisenberg, nnn_ising, nnn_xy
+from repro.hamiltonians.trotter import trotter_step
+from repro.quantum.gates import standard_gate_unitary
+from repro.synthesis.gateset import get_gateset
+
+
+class TestCircuitUnify:
+    def test_heisenberg_pairs_merged(self):
+        step = trotter_step(nnn_heisenberg(6, seed=0))
+        unified = unify_circuit_operators(step)
+        # 3 terms per pair collapse to 1 operator per pair
+        assert len(unified.two_qubit_ops) == 2 * 6 - 3
+        assert len(step.two_qubit_ops) == 3 * (2 * 6 - 3)
+
+    def test_merged_unitary_is_product(self):
+        step = trotter_step(nnn_heisenberg(4, seed=0))
+        unified = unify_circuit_operators(step)
+        pair = unified.two_qubit_ops[0].pair
+        factors = [op for op in step.two_qubit_ops if op.pair == pair]
+        product = np.eye(4, dtype=complex)
+        for op in factors:
+            product = op.unitary @ product
+        assert np.allclose(unified.two_qubit_ops[0].unitary, product)
+
+    def test_ising_unchanged_count(self):
+        """One ZZ term per pair: unifying is the identity on Ising."""
+        step = trotter_step(nnn_ising(6, seed=0))
+        unified = unify_circuit_operators(step)
+        assert len(unified.two_qubit_ops) == len(step.two_qubit_ops)
+
+    def test_order_keeps_first_occurrence(self):
+        step = trotter_step(nnn_xy(4, seed=0))
+        unified = unify_circuit_operators(step)
+        pairs = [op.pair for op in unified.two_qubit_ops]
+        assert pairs == sorted(set(pairs), key=pairs.index)
+
+    def test_single_qubit_ops_preserved(self):
+        step = trotter_step(nnn_ising(5, seed=0))
+        unified = unify_circuit_operators(step)
+        assert len(unified.one_qubit_ops) == 5
+
+    def test_cnot_savings_heisenberg(self):
+        """Unified Heisenberg pair: 3 CNOTs instead of 6 (paper III-C)."""
+        step = trotter_step(nnn_heisenberg(4, seed=0))
+        unified = unify_circuit_operators(step)
+        gs = get_gateset("CNOT")
+        unified_cost = gs.gates_needed(unified.two_qubit_ops[0].unitary)
+        pair = unified.two_qubit_ops[0].pair
+        separate_cost = sum(
+            gs.gates_needed(op.unitary)
+            for op in step.two_qubit_ops if op.pair == pair
+        )
+        assert unified_cost == 3
+        assert separate_cost == 6
+
+
+class TestDressedSwap:
+    def test_unitary_applies_term_then_swap(self):
+        step = unify_circuit_operators(trotter_step(nnn_ising(4, seed=0)))
+        op = step.two_qubit_ops[0]
+        dressed = DressedSwap((0, 1), op)
+        swap = standard_gate_unitary("SWAP")
+        assert np.allclose(dressed.unitary, swap @ op.unitary)
+
+    def test_dressed_swap_costs_three_cnots(self):
+        step = unify_circuit_operators(trotter_step(nnn_ising(4, seed=0)))
+        dressed = DressedSwap((0, 1), step.two_qubit_ops[0])
+        assert get_gateset("CNOT").gates_needed(dressed.unitary) == 3

@@ -1,0 +1,80 @@
+"""Tests for the device model."""
+
+import numpy as np
+import pytest
+
+from repro.devices.topology import Device
+
+
+def path3():
+    return Device("path3", 3, ((0, 1), (1, 2)))
+
+
+class TestConstruction:
+    def test_normalized_edges(self):
+        d = Device("d", 3, ((1, 0), (2, 1)))
+        assert d.edges == ((0, 1), (1, 2))
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Device("d", 2, ((0, 0),))
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(ValueError):
+            Device("d", 2, ((0, 1), (1, 0)))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Device("d", 2, ((0, 2),))
+
+
+class TestNeighbors:
+    def test_adjacency(self):
+        d = path3()
+        assert d.neighbors(1) == {0, 2}
+        assert d.neighbors(0) == {1}
+
+    def test_are_neighbors(self):
+        d = path3()
+        assert d.are_neighbors(0, 1)
+        assert not d.are_neighbors(0, 2)
+
+    def test_max_degree(self):
+        assert path3().max_degree == 2
+
+
+class TestDistances:
+    def test_path_distances(self):
+        d = path3()
+        assert d.distance[0, 2] == 2
+        assert d.distance[0, 1] == 1
+        assert d.distance[1, 1] == 0
+
+    def test_symmetric(self):
+        d = path3()
+        assert np.allclose(d.distance, d.distance.T)
+
+    def test_triangle_inequality(self):
+        d = Device("ring5", 5, tuple((i, (i + 1) % 5) for i in range(5)))
+        dist = d.distance
+        for a in range(5):
+            for b in range(5):
+                for c in range(5):
+                    assert dist[a, c] <= dist[a, b] + dist[b, c] + 1e-9
+
+    def test_ring_diameter(self):
+        d = Device("ring6", 6, tuple((i, (i + 1) % 6) for i in range(6)))
+        assert d.diameter == 3
+
+    def test_disconnected_rejected(self):
+        d = Device("disc", 4, ((0, 1), (2, 3)))
+        with pytest.raises(ValueError):
+            _ = d.distance
+
+    def test_distance_cached(self):
+        d = path3()
+        assert d.distance is d.distance
+
+    def test_str(self):
+        text = str(path3())
+        assert "3 qubits" in text and "2 edges" in text

@@ -1,0 +1,86 @@
+"""Tests for 2-local Hamiltonian containers."""
+
+import numpy as np
+import pytest
+
+from repro.hamiltonians.hamiltonian import Term, TwoLocalHamiltonian
+from repro.quantum.pauli import PauliString
+
+
+def sample_hamiltonian():
+    h = TwoLocalHamiltonian(3)
+    h.add(0.5, "ZZ", (0, 1))
+    h.add(0.3, "ZZ", (1, 2))
+    h.add(0.2, "XX", (0, 1))
+    h.add(1.0, "X", (0,))
+    return h
+
+
+class TestConstruction:
+    def test_add_and_count(self):
+        h = sample_hamiltonian()
+        assert len(h.terms) == 4
+        assert len(h.two_qubit_terms) == 3
+        assert len(h.single_qubit_terms) == 1
+
+    def test_three_local_rejected(self):
+        h = TwoLocalHamiltonian(3)
+        with pytest.raises(ValueError):
+            h.terms.append(None) or h.add(1.0, "XXX", (0, 1, 2))
+
+    def test_out_of_range_rejected(self):
+        h = TwoLocalHamiltonian(2)
+        with pytest.raises(ValueError):
+            h.add(1.0, "ZZ", (0, 5))
+
+    def test_term_str(self):
+        t = Term(0.5, PauliString.from_label("ZZ", (0, 1)))
+        assert "Z0*Z1" in str(t)
+
+
+class TestStructure:
+    def test_interaction_edges_distinct(self):
+        h = sample_hamiltonian()
+        assert h.interaction_edges() == [(0, 1), (1, 2)]
+
+    def test_terms_on_pair(self):
+        h = sample_hamiltonian()
+        assert len(h.terms_on_pair((0, 1))) == 2
+        assert len(h.terms_on_pair((1, 0))) == 2  # unordered
+        assert len(h.terms_on_pair((0, 2))) == 0
+
+    def test_interaction_counts(self):
+        h = sample_hamiltonian()
+        counts = h.interaction_counts()
+        assert counts[(0, 1)] == 2
+        assert counts[(1, 2)] == 1
+
+
+class TestSemantics:
+    def test_to_matrix_hermitian(self):
+        h = sample_hamiltonian()
+        m = h.to_matrix()
+        assert np.allclose(m, m.conj().T)
+
+    def test_to_matrix_values(self):
+        h = TwoLocalHamiltonian(2)
+        h.add(0.7, "ZZ", (0, 1))
+        m = h.to_matrix()
+        assert np.allclose(np.diag(m), [0.7, -0.7, -0.7, 0.7])
+
+    def test_matrix_size_guard(self):
+        h = TwoLocalHamiltonian(13)
+        with pytest.raises(ValueError):
+            h.to_matrix()
+
+    def test_all_commute_ising(self):
+        h = TwoLocalHamiltonian(3)
+        h.add(1.0, "ZZ", (0, 1))
+        h.add(1.0, "ZZ", (1, 2))
+        assert h.all_terms_commute()
+
+    def test_not_all_commute_xy(self):
+        h = TwoLocalHamiltonian(3)
+        h.add(1.0, "XX", (0, 1))
+        h.add(1.0, "YY", (1, 2))
+        assert not h.all_terms_commute()

@@ -1,0 +1,102 @@
+"""Tests for the benchmark model builders (paper Section IV)."""
+
+import numpy as np
+import pytest
+
+from repro.hamiltonians.models import (
+    MODEL_BUILDERS,
+    heisenberg_lattice,
+    nnn_heisenberg,
+    nnn_ising,
+    nnn_xy,
+)
+
+
+class TestNNNModels:
+    @pytest.mark.parametrize("n", [4, 6, 10, 20])
+    def test_ising_term_counts(self, n):
+        """The paper: 2n-3 two-qubit interactions per Trotter step."""
+        h = nnn_ising(n, seed=0)
+        assert len(h.interaction_edges()) == 2 * n - 3
+        assert len(h.two_qubit_terms) == 2 * n - 3
+        assert len(h.single_qubit_terms) == n
+
+    @pytest.mark.parametrize("n", [4, 6, 10])
+    def test_xy_term_counts(self, n):
+        h = nnn_xy(n, seed=0)
+        assert len(h.interaction_edges()) == 2 * n - 3
+        assert len(h.two_qubit_terms) == 2 * (2 * n - 3)
+
+    @pytest.mark.parametrize("n", [4, 6, 10])
+    def test_heisenberg_term_counts(self, n):
+        h = nnn_heisenberg(n, seed=0)
+        assert len(h.interaction_edges()) == 2 * n - 3
+        assert len(h.two_qubit_terms) == 3 * (2 * n - 3)
+
+    def test_nnn_connectivity(self):
+        h = nnn_ising(5, seed=0)
+        edges = set(h.interaction_edges())
+        assert (0, 1) in edges and (0, 2) in edges
+        assert (0, 3) not in edges
+
+    def test_coefficients_in_range(self):
+        h = nnn_heisenberg(8, seed=1)
+        for term in h.terms:
+            assert 0 < term.coefficient < np.pi
+
+    def test_seed_reproducible(self):
+        a = nnn_ising(6, seed=3)
+        b = nnn_ising(6, seed=3)
+        assert [t.coefficient for t in a.terms] == [
+            t.coefficient for t in b.terms
+        ]
+
+    def test_different_seeds_differ(self):
+        a = nnn_ising(6, seed=3)
+        b = nnn_ising(6, seed=4)
+        assert [t.coefficient for t in a.terms] != [
+            t.coefficient for t in b.terms
+        ]
+
+    def test_pauli_types(self):
+        ising = nnn_ising(5, seed=0)
+        labels = {str(t.pauli)[0] for t in ising.two_qubit_terms}
+        assert labels == {"Z"}
+        xy = nnn_xy(5, seed=0)
+        labels = {str(t.pauli)[0] for t in xy.two_qubit_terms}
+        assert labels == {"X", "Y"}
+
+
+class TestLattices:
+    def test_1d_chain(self):
+        h = heisenberg_lattice((30,))
+        assert h.n_qubits == 30
+        assert len(h.interaction_edges()) == 29
+
+    def test_2d_grid(self):
+        h = heisenberg_lattice((5, 6))
+        assert h.n_qubits == 30
+        # 5x6 grid: 5*5 + 4*6 = 49 edges
+        assert len(h.interaction_edges()) == 49
+
+    def test_3d_lattice(self):
+        h = heisenberg_lattice((2, 3, 5))
+        assert h.n_qubits == 30
+        # edges: x-dir 1*3*5 + y-dir 2*2*5 + z-dir 2*3*4 = 15+20+24 = 59
+        assert len(h.interaction_edges()) == 59
+
+    def test_three_terms_per_edge(self):
+        h = heisenberg_lattice((2, 2))
+        assert len(h.two_qubit_terms) == 3 * len(h.interaction_edges())
+
+
+class TestRegistry:
+    def test_all_builders_present(self):
+        assert set(MODEL_BUILDERS) == {
+            "NNN_Ising", "NNN_XY", "NNN_Heisenberg"
+        }
+
+    def test_builders_callable(self):
+        for name, builder in MODEL_BUILDERS.items():
+            h = builder(6, seed=0)
+            assert h.n_qubits == 6

@@ -1,0 +1,134 @@
+"""Tests for QAOA problems, light-cone expectations, and angle setting."""
+
+import numpy as np
+import pytest
+
+from repro.hamiltonians.qaoa import (
+    FIXED_ANGLES_3REG,
+    QAOAProblem,
+    cost_diagonal,
+    make_qaoa_problem,
+    maxcut_hamiltonian,
+    minimum_cost,
+    optimal_angles_p1,
+    random_regular_graph,
+)
+
+
+class TestGraphs:
+    def test_regular_degree(self):
+        g = random_regular_graph(3, 10, seed=0)
+        assert all(d == 3 for _, d in g.degree)
+
+    def test_odd_product_rejected(self):
+        with pytest.raises(ValueError):
+            random_regular_graph(3, 5, seed=0)
+
+    def test_edge_count(self):
+        g = random_regular_graph(3, 12, seed=1)
+        assert g.number_of_edges() == 18  # 3n/2
+
+
+class TestCostFunction:
+    def test_hamiltonian_terms(self):
+        g = random_regular_graph(3, 8, seed=0)
+        h = maxcut_hamiltonian(g)
+        assert len(h.two_qubit_terms) == g.number_of_edges()
+        assert h.all_terms_commute()
+
+    def test_diagonal_all_equal_state(self):
+        g = random_regular_graph(3, 6, seed=0)
+        diag = cost_diagonal(g, 6)
+        assert diag[0] == g.number_of_edges()      # all zeros: no cut
+        assert diag[-1] == g.number_of_edges()     # all ones: no cut
+
+    def test_diagonal_symmetry(self):
+        """Global bit flip leaves the ZZ cost invariant."""
+        g = random_regular_graph(3, 6, seed=1)
+        diag = cost_diagonal(g, 6)
+        assert np.allclose(diag, diag[::-1])
+
+    def test_minimum_cost_negative(self):
+        g = random_regular_graph(3, 8, seed=0)
+        assert minimum_cost(g, 8) < 0
+
+    def test_triangle_frustration(self):
+        import networkx as nx
+        g = nx.cycle_graph(3)
+        # a triangle cannot be fully cut: min cost = 3 - 2*2 = -1
+        assert minimum_cost(g, 3) == -1
+
+
+class TestExpectations:
+    def test_lightcone_matches_statevector_p1(self):
+        g = random_regular_graph(3, 8, seed=2)
+        p = QAOAProblem(g, (0.6,), (-0.4,))
+        assert np.isclose(
+            p._expectation_statevector(), p._expectation_lightcone(),
+            atol=1e-9,
+        )
+
+    def test_lightcone_matches_statevector_p2(self):
+        g = random_regular_graph(3, 8, seed=2)
+        p = QAOAProblem(g, (0.4, 0.7), (0.5, -0.3))
+        assert np.isclose(
+            p._expectation_statevector(), p._expectation_lightcone(),
+            atol=1e-9,
+        )
+
+    def test_zero_angles_random_guess(self):
+        g = random_regular_graph(3, 8, seed=0)
+        p = QAOAProblem(g, (0.0,), (0.0,))
+        assert abs(p.expectation()) < 1e-9
+        assert abs(p.normalized_cost()) < 1e-9
+
+    def test_normalized_cost_bounded(self):
+        g = random_regular_graph(3, 8, seed=3)
+        p = QAOAProblem(g, (0.35,), (-0.39,))
+        assert -1.0 <= p.normalized_cost() <= 1.0
+
+    def test_layer_mismatch_rejected(self):
+        g = random_regular_graph(3, 4, seed=0)
+        with pytest.raises(ValueError):
+            QAOAProblem(g, (0.1, 0.2), (0.3,))
+
+
+class TestAngles:
+    def test_p1_optimum_beats_generic(self):
+        g = random_regular_graph(3, 8, seed=4)
+        gamma, beta = optimal_angles_p1(g, resolution=24)
+        best = QAOAProblem(g, (gamma,), (beta,)).normalized_cost()
+        generic = QAOAProblem(g, (0.35,), (-0.39,)).normalized_cost()
+        assert best >= generic - 1e-9
+        assert best > 0.3
+
+    def test_fixed_angles_improve_with_depth(self):
+        g = random_regular_graph(3, 10, seed=5)
+        r1 = QAOAProblem(g, (0.35,), (-0.39,)).normalized_cost()
+        g2, b2 = FIXED_ANGLES_3REG[2]
+        r2 = QAOAProblem(g, g2, b2).normalized_cost()
+        g3, b3 = FIXED_ANGLES_3REG[3]
+        r3 = QAOAProblem(g, g3, b3).normalized_cost()
+        assert r2 > r1
+        assert r3 > r2
+
+    def test_make_problem_layers(self):
+        p = make_qaoa_problem(8, n_layers=2, seed=0)
+        assert p.n_layers == 2
+        assert p.n_qubits == 8
+
+
+class TestCircuits:
+    def test_layer_step_counts(self):
+        g = random_regular_graph(3, 8, seed=0)
+        p = QAOAProblem(g, (0.6,), (0.4,))
+        step = p.layer_step(0)
+        assert len(step.two_qubit_ops) == 12  # 3n/2
+        assert len(step.one_qubit_ops) == 8
+
+    def test_ideal_circuit_structure(self):
+        g = random_regular_graph(3, 6, seed=0)
+        p = QAOAProblem(g, (0.6,), (0.4,))
+        c = p.ideal_circuit()
+        assert c.count("H") == 6
+        assert sum(1 for gate in c if gate.name == "APP2Q") == 9

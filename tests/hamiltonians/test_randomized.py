@@ -1,0 +1,75 @@
+"""Tests for randomized product formulas (the paper's future-work item)."""
+
+import numpy as np
+import pytest
+
+from repro.hamiltonians.hamiltonian import TwoLocalHamiltonian
+from repro.hamiltonians.randomized import (
+    fixed_order_steps,
+    permuted_step,
+    random_order_steps,
+    trotter_error,
+)
+from repro.hamiltonians.trotter import trotter_step
+
+
+def small_hamiltonian():
+    h = TwoLocalHamiltonian(4)
+    h.add(0.9, "XX", (0, 1))
+    h.add(0.7, "ZZ", (1, 2))
+    h.add(0.5, "YY", (2, 3))
+    h.add(0.4, "XX", (0, 3))
+    h.add(0.3, "ZZ", (0, 2))
+    return h
+
+
+class TestPermutation:
+    def test_permuted_step_same_multiset(self):
+        step = trotter_step(small_hamiltonian())
+        rng = np.random.default_rng(0)
+        shuffled = permuted_step(step, rng)
+        assert sorted(op.label for op in shuffled.two_qubit_ops) == \
+            sorted(op.label for op in step.two_qubit_ops)
+
+    def test_random_steps_differ(self):
+        steps = random_order_steps(small_hamiltonian(), 6, seed=1)
+        orders = {
+            tuple(op.label for op in step.two_qubit_ops) for step in steps
+        }
+        assert len(orders) > 1
+
+    def test_fixed_steps_identical(self):
+        steps = fixed_order_steps(small_hamiltonian(), 4)
+        orders = {
+            tuple(op.label for op in step.two_qubit_ops) for step in steps
+        }
+        assert len(orders) == 1
+
+
+class TestErrors:
+    def test_error_decreases_with_steps(self):
+        h = small_hamiltonian()
+        errors = [
+            trotter_error(h, fixed_order_steps(h, r), total_time=1.0)
+            for r in (1, 4, 16)
+        ]
+        assert errors[2] < errors[1] < errors[0]
+
+    def test_any_order_is_valid_first_order(self):
+        """A random ordering has the same asymptotic accuracy."""
+        h = small_hamiltonian()
+        fixed = trotter_error(h, fixed_order_steps(h, 16))
+        random = trotter_error(h, random_order_steps(h, 16, seed=3))
+        # same order of magnitude (both first-order in 1/r)
+        assert random < 10 * fixed + 1e-9
+        assert fixed < 10 * random + 1e-9
+
+    def test_randomization_competitive_at_many_steps(self):
+        """Random orderings average coherent errors (Campbell/COS)."""
+        h = small_hamiltonian()
+        fixed = trotter_error(h, fixed_order_steps(h, 32))
+        randomized = np.mean([
+            trotter_error(h, random_order_steps(h, 32, seed=s))
+            for s in range(3)
+        ])
+        assert randomized < 3 * fixed

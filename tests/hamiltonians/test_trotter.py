@@ -1,0 +1,118 @@
+"""Tests for product-formula construction."""
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.hamiltonians.hamiltonian import TwoLocalHamiltonian
+from repro.hamiltonians.models import nnn_heisenberg, nnn_ising
+from repro.hamiltonians.trotter import (
+    TrotterStep,
+    TwoQubitOperator,
+    second_order_step,
+    trotter_step,
+)
+
+
+class TestOperators:
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            TwoQubitOperator((2, 1), np.eye(4, dtype=complex))
+
+    def test_shape_enforced(self):
+        with pytest.raises(ValueError):
+            TwoQubitOperator((0, 1), np.eye(2, dtype=complex))
+
+    def test_merge_same_pair(self):
+        a = TwoQubitOperator((0, 1), np.diag([1, 1j, 1j, 1]).astype(complex),
+                             "a")
+        b = TwoQubitOperator((0, 1), np.diag([1, -1, -1, 1]).astype(complex),
+                             "b")
+        merged = a.merged_with(b)
+        assert np.allclose(merged.unitary, b.unitary @ a.unitary)
+        assert "a" in merged.label and "b" in merged.label
+
+    def test_merge_different_pairs_rejected(self):
+        a = TwoQubitOperator((0, 1), np.eye(4, dtype=complex))
+        b = TwoQubitOperator((1, 2), np.eye(4, dtype=complex))
+        with pytest.raises(ValueError):
+            a.merged_with(b)
+
+
+class TestTrotterStep:
+    def test_one_operator_per_term(self):
+        h = nnn_heisenberg(6, seed=0)
+        step = trotter_step(h)
+        assert len(step.two_qubit_ops) == len(h.two_qubit_terms)
+
+    def test_single_qubit_ops_captured(self):
+        h = nnn_ising(5, seed=0)
+        step = trotter_step(h)
+        assert len(step.one_qubit_ops) == 5
+
+    def test_operator_unitaries_are_exponentials(self):
+        h = TwoLocalHamiltonian(2)
+        h.add(0.6, "ZZ", (0, 1))
+        step = trotter_step(h, t=1.0)
+        z = np.diag([1, -1]).astype(complex)
+        expected = sla.expm(1j * 0.6 * np.kron(z, z))
+        assert np.allclose(step.two_qubit_ops[0].unitary, expected)
+
+    def test_time_parameter_scales(self):
+        h = TwoLocalHamiltonian(2)
+        h.add(0.6, "ZZ", (0, 1))
+        half = trotter_step(h, t=0.5).two_qubit_ops[0].unitary
+        full = trotter_step(h, t=1.0).two_qubit_ops[0].unitary
+        assert np.allclose(half @ half, full)
+
+    def test_circuit_preserves_order(self):
+        h = nnn_ising(4, seed=0)
+        step = trotter_step(h)
+        circuit = step.circuit()
+        labels = [g.meta["label"] for g in circuit if g.name == "APP2Q"]
+        assert labels == [op.label for op in step.two_qubit_ops]
+
+    def test_interaction_counts(self):
+        h = nnn_heisenberg(4, seed=0)
+        counts = trotter_step(h).interaction_counts()
+        # three Pauli terms per pair before unifying
+        assert all(v == 3 for v in counts.values())
+
+    def test_trotter_approximates_evolution(self):
+        """(V(t/r))^r converges to exp(iHt) as r grows."""
+        h = TwoLocalHamiltonian(3)
+        h.add(0.4, "XX", (0, 1))
+        h.add(0.3, "ZZ", (1, 2))
+        h.add(0.2, "YY", (0, 2))
+        exact = sla.expm(1j * h.to_matrix())
+        errors = []
+        for r in (1, 4, 16):
+            step = trotter_step(h, t=1.0 / r)
+            v = step.circuit().unitary()
+            approx = np.linalg.matrix_power(v, r)
+            errors.append(np.abs(approx - exact).max())
+        assert errors[1] < errors[0]
+        assert errors[2] < errors[1]
+        assert errors[2] < 0.01
+
+
+class TestSecondOrder:
+    def test_reversed_halves(self):
+        h = nnn_heisenberg(4, seed=0)
+        forward, backward = second_order_step(h, t=1.0)
+        assert [op.label for op in backward.two_qubit_ops] == list(
+            reversed([op.label for op in forward.two_qubit_ops])
+        )
+
+    def test_second_order_more_accurate(self):
+        h = TwoLocalHamiltonian(3)
+        h.add(0.4, "XX", (0, 1))
+        h.add(0.5, "ZZ", (1, 2))
+        h.add(0.3, "YY", (0, 2))
+        exact = sla.expm(1j * h.to_matrix())
+        first = trotter_step(h, t=1.0).circuit().unitary()
+        fwd, bwd = second_order_step(h, t=1.0)
+        second = bwd.circuit().unitary() @ fwd.circuit().unitary()
+        err1 = np.abs(first - exact).max()
+        err2 = np.abs(second - exact).max()
+        assert err2 < err1

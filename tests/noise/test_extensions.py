@@ -1,0 +1,212 @@
+"""Tests for noise-aware routing, GRASP mapping, and readout mitigation."""
+
+import numpy as np
+import pytest
+
+from repro.core.routing import route
+from repro.core.unify import unify_circuit_operators
+from repro.devices import line, montreal
+from repro.devices.topology import Device
+from repro.hamiltonians.models import nnn_heisenberg, nnn_ising
+from repro.hamiltonians.trotter import trotter_step
+from repro.mapping.grasp import grasp_search
+from repro.mapping.qap import qap_from_problem
+from repro.mapping.tabu import tabu_search
+from repro.noise.device_noise import edge_aware_success, with_random_edge_errors
+from repro.noise.mitigation import (
+    confusion_matrix,
+    mitigate_distribution,
+    mitigate_expectation_zz,
+)
+
+
+class TestEdgeErrors:
+    def test_attach_random_errors(self):
+        noisy = with_random_edge_errors(montreal(), seed=1)
+        assert noisy.edge_errors is not None
+        assert len(noisy.edge_errors) == len(noisy.edges)
+        assert all(0 < e <= 0.5 for e in noisy.edge_errors.values())
+
+    def test_edge_error_lookup(self):
+        device = Device("d", 3, ((0, 1), (1, 2)),
+                        edge_errors={(1, 0): 0.02, (1, 2): 0.01})
+        assert device.edge_error(0, 1) == 0.02   # normalised key
+        assert device.edge_error(2, 1) == 0.01
+
+    def test_non_edge_error_rejected(self):
+        with pytest.raises(ValueError):
+            Device("d", 3, ((0, 1),), edge_errors={(0, 2): 0.1})
+
+    def test_default_when_uncalibrated(self):
+        assert line(3).edge_error(0, 1, default=0.05) == 0.05
+
+    def test_edge_aware_success(self):
+        from repro.quantum.circuit import Circuit
+        device = Device("d", 2, ((0, 1),), edge_errors={(0, 1): 0.1})
+        c = Circuit(2)
+        c.add("CNOT", 0, 1)
+        c.add("CNOT", 0, 1)
+        assert np.isclose(edge_aware_success(c, device), 0.81)
+
+
+class TestNoiseAwareRouting:
+    def test_error_criterion_accepted(self):
+        device = with_random_edge_errors(montreal(), seed=2)
+        step = unify_circuit_operators(trotter_step(nnn_heisenberg(8, seed=0)))
+        routed = route(step, device, np.arange(8), seed=1,
+                       criteria=("count", "error", "depth", "dress"))
+        assert routed.n_swaps >= 0
+
+    def test_error_criterion_prefers_good_edges(self):
+        """With cost-tied candidates the router must take the better edge."""
+        # diamond: 0-1, 0-2, 1-3, 2-3; gate (0,3) sits at distance 2 and
+        # every incident swap ties on remaining cost; edge errors break
+        # the tie in favour of the pristine (0,2) edge.
+        device = Device("d", 4, ((0, 1), (0, 2), (1, 3), (2, 3)),
+                        edge_errors={(0, 1): 0.3, (0, 2): 0.001,
+                                     (1, 3): 0.3, (2, 3): 0.3})
+        from repro.hamiltonians.hamiltonian import TwoLocalHamiltonian
+        h = TwoLocalHamiltonian(4)
+        h.add(1.0, "ZZ", (0, 3))
+        step = unify_circuit_operators(trotter_step(h))
+        routed = route(step, device, np.arange(4), seed=0,
+                       criteria=("count", "error"))
+        assert routed.swaps[0].physical_pair == (0, 2)
+
+
+class TestGrasp:
+    def test_beats_random(self):
+        step = unify_circuit_operators(trotter_step(nnn_heisenberg(8, seed=0)))
+        instance = qap_from_problem(step, montreal())
+        result = grasp_search(instance, seed=0, iterations=10)
+        rng = np.random.default_rng(0)
+        random_costs = [
+            instance.cost(np.array(rng.permutation(27)[:8]))
+            for _ in range(20)
+        ]
+        assert result.cost < np.mean(random_costs)
+
+    def test_assignment_valid(self):
+        step = unify_circuit_operators(trotter_step(nnn_ising(8, seed=0)))
+        instance = qap_from_problem(step, montreal())
+        result = grasp_search(instance, seed=1, iterations=5)
+        assert len(set(result.assignment.tolist())) == 8
+        assert np.isclose(result.cost, instance.cost(result.assignment))
+
+    def test_comparable_to_tabu_on_chain(self):
+        step = unify_circuit_operators(trotter_step(nnn_ising(8, seed=0)))
+        instance = qap_from_problem(step, line(8))
+        grasp = grasp_search(instance, seed=0, iterations=10)
+        tabu = tabu_search(instance, seed=0)
+        assert grasp.cost <= tabu.cost * 1.5
+
+
+class TestReadoutMitigation:
+    def test_confusion_matrix_columns_sum_to_one(self):
+        a = confusion_matrix(0.02, 0.05)
+        assert np.allclose(a.sum(axis=0), 1.0)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(0.6, 0.1)
+
+    def test_distribution_roundtrip(self, rng):
+        """Applying the channel then mitigating recovers the original."""
+        n = 3
+        p = rng.dirichlet(np.ones(2**n))
+        a = confusion_matrix(0.03, 0.06)
+        noisy = p.reshape((2,) * n)
+        for axis in range(n):
+            noisy = np.moveaxis(
+                np.tensordot(a, noisy, axes=(1, axis)), 0, axis
+            )
+        recovered = mitigate_distribution(noisy.reshape(-1), n, 0.03, 0.06,
+                                          clip=False)
+        assert np.allclose(recovered, p, atol=1e-10)
+
+    def test_clip_keeps_simplex(self, rng):
+        p = rng.dirichlet(np.ones(8))
+        out = mitigate_distribution(p, 3, 0.04)
+        assert np.all(out >= 0)
+        assert np.isclose(out.sum(), 1.0)
+
+    def test_wrong_dimension(self):
+        with pytest.raises(ValueError):
+            mitigate_distribution(np.ones(5) / 5, 3, 0.01)
+
+    def test_zz_expectation_shortcut(self):
+        # symmetric flips shrink <ZZ> by (1-2p)^2
+        p = 0.05
+        true_value = -0.8
+        shrunk = true_value * (1 - 2 * p) ** 2
+        assert np.isclose(
+            mitigate_expectation_zz(shrunk, p, p), true_value
+        )
+
+    def test_too_noisy_rejected(self):
+        with pytest.raises(ValueError):
+            mitigate_expectation_zz(0.1, 0.5, 0.5)
+
+
+class TestMitigationEndToEnd:
+    def test_mitigation_improves_monte_carlo(self):
+        """Readout mitigation recovers most of the readout loss."""
+        from repro.hamiltonians.qaoa import (
+            QAOAProblem, cost_diagonal, minimum_cost, random_regular_graph,
+        )
+        from repro.quantum.statevector import Statevector
+
+        g = random_regular_graph(3, 6, seed=0)
+        problem = QAOAProblem(g, (0.35,), (-0.39,))
+        state = Statevector.plus(6)
+        circuit = problem.ideal_circuit()
+        # drop the H layer (state already |+>^n)
+        from repro.quantum.circuit import Circuit
+        body = Circuit(6, [gate for gate in circuit
+                           if gate.name != "H"])
+        state.apply_circuit(body)
+        p = state.probabilities()
+        diag = cost_diagonal(g, 6)
+        ideal = float(p @ diag)
+        # apply readout channel
+        a = confusion_matrix(0.05, 0.05)
+        noisy = p.reshape((2,) * 6)
+        for axis in range(6):
+            noisy = np.moveaxis(
+                np.tensordot(a, noisy, axes=(1, axis)), 0, axis
+            )
+        noisy = noisy.reshape(-1)
+        degraded = float(noisy @ diag)
+        recovered = float(mitigate_distribution(noisy, 6, 0.05) @ diag)
+        assert abs(recovered - ideal) < abs(degraded - ideal) * 0.2
+
+
+class TestWeightedDistance:
+    def test_weighted_distance_changes_metric(self):
+        from repro.noise.device_noise import with_noise_weighted_distance
+        noisy = with_random_edge_errors(montreal(), seed=3)
+        weighted = with_noise_weighted_distance(noisy)
+        assert not np.allclose(weighted.distance, noisy.distance)
+        # weights >= 1, so weighted distances dominate hop counts
+        assert np.all(weighted.distance >= noisy.distance - 1e-12)
+
+    def test_requires_calibration(self):
+        from repro.noise.device_noise import with_noise_weighted_distance
+        with pytest.raises(ValueError):
+            with_noise_weighted_distance(montreal())
+
+    def test_noise_aware_compilation_improves_success(self):
+        """The headline of the noise-aware extension: better edge-aware
+        success at a modest gate cost."""
+        from repro.core.compiler import TwoQANCompiler
+        from repro.noise.device_noise import with_noise_weighted_distance
+        noisy = with_random_edge_errors(montreal(), spread=0.8, seed=5)
+        step = trotter_step(nnn_ising(10, seed=0))
+        blind = TwoQANCompiler(noisy, "CNOT", seed=1).compile(step)
+        aware = TwoQANCompiler(
+            with_noise_weighted_distance(noisy), "CNOT", seed=1,
+            swap_criteria=("count", "error", "depth", "dress"),
+        ).compile(step)
+        blind_success = edge_aware_success(blind.circuit, noisy)
+        aware_success = edge_aware_success(aware.circuit, noisy)
+        assert aware_success > blind_success

@@ -1,0 +1,175 @@
+"""Tests for noise calibration, the fidelity proxy, and Monte Carlo."""
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import TwoQANCompiler
+from repro.core.metrics import CircuitMetrics
+from repro.core.unify import unify_circuit_operators
+from repro.devices import grid
+from repro.hamiltonians.qaoa import (
+    QAOAProblem,
+    cost_diagonal,
+    minimum_cost,
+    random_regular_graph,
+)
+from repro.noise.estimator import (
+    circuit_duration_us,
+    circuit_fidelity_proxy,
+    noisy_normalized_cost,
+)
+from repro.noise.model import MONTREAL_CALIBRATION, NoiseCalibration
+from repro.noise.montecarlo import monte_carlo_normalized_cost
+from repro.quantum.statevector import Statevector
+
+
+class TestCalibration:
+    def test_paper_values(self):
+        cal = MONTREAL_CALIBRATION
+        assert np.isclose(cal.two_qubit_error, 0.01241)
+        assert np.isclose(cal.readout_error, 0.01832)
+        assert np.isclose(cal.t1_us, 87.75)
+        assert np.isclose(cal.t2_us, 72.65)
+
+    def test_effective_coherence_between_t1_t2(self):
+        cal = MONTREAL_CALIBRATION
+        assert cal.t2_us <= cal.effective_coherence_us <= cal.t1_us
+
+
+class TestProxy:
+    def test_fidelity_in_unit_interval(self):
+        m = CircuitMetrics(50, 20, 40)
+        f = circuit_fidelity_proxy(m, 10)
+        assert 0.0 < f < 1.0
+
+    def test_more_gates_lower_fidelity(self):
+        small = CircuitMetrics(20, 10, 15)
+        large = CircuitMetrics(80, 10, 15)
+        assert circuit_fidelity_proxy(large, 8) < \
+            circuit_fidelity_proxy(small, 8)
+
+    def test_deeper_lower_fidelity(self):
+        shallow = CircuitMetrics(40, 10, 15)
+        deep = CircuitMetrics(40, 60, 80)
+        assert circuit_fidelity_proxy(deep, 8) < \
+            circuit_fidelity_proxy(shallow, 8)
+
+    def test_more_qubits_lower_fidelity(self):
+        m = CircuitMetrics(40, 15, 25)
+        assert circuit_fidelity_proxy(m, 20) < circuit_fidelity_proxy(m, 4)
+
+    def test_duration_combines_layers(self):
+        m = CircuitMetrics(10, 5, 9)
+        cal = MONTREAL_CALIBRATION
+        expected = 5 * cal.two_qubit_time_us + 4 * cal.single_qubit_time_us
+        assert np.isclose(circuit_duration_us(m, cal), expected)
+
+    def test_noisy_cost_shrinks_toward_zero(self):
+        m = CircuitMetrics(100, 40, 70)
+        noisy = noisy_normalized_cost(0.6, m, 12)
+        assert 0.0 < noisy < 0.6
+
+
+class TestMonteCarlo:
+    @pytest.fixture
+    def compiled_qaoa(self):
+        g = random_regular_graph(3, 6, seed=4)
+        problem = QAOAProblem(g, (0.35,), (-0.39,))
+        step = unify_circuit_operators(problem.layer_step(0))
+        compiler = TwoQANCompiler(grid(2, 3), "CNOT", seed=1,
+                                  solve_angles=True)
+        result = compiler.compile(step)
+        return result, problem, g
+
+    def test_noiseless_limit_matches_ideal(self, compiled_qaoa):
+        result, problem, g = compiled_qaoa
+        ideal = problem.normalized_cost()
+        quiet = NoiseCalibration(0, 0, 0, 1e9, 1e9, 0.1, 0.01)
+        diag = cost_diagonal(g, 6)
+        # permute cost to physical qubit positions via the final map
+        perm_diag = _permuted_diag(diag, result.final_map, 6)
+        initial = _embedded_plus(result.initial_map, 6)
+        value = monte_carlo_normalized_cost(
+            result.circuit, perm_diag, minimum_cost(g, 6),
+            n_trajectories=8, seed=0, calibration=quiet, initial=initial,
+        )
+        assert abs(value - ideal) < 0.15  # shot noise only
+
+    def test_noise_degrades_performance(self, compiled_qaoa):
+        result, problem, g = compiled_qaoa
+        diag = cost_diagonal(g, 6)
+        perm_diag = _permuted_diag(diag, result.final_map, 6)
+        initial = _embedded_plus(result.initial_map, 6)
+        noisy_cal = NoiseCalibration(0.05, 0.001, 0.05, 50, 50, 0.4, 0.035)
+        noisy = monte_carlo_normalized_cost(
+            result.circuit, perm_diag, minimum_cost(g, 6),
+            n_trajectories=40, seed=1, calibration=noisy_cal,
+            initial=initial,
+        )
+        assert noisy < problem.normalized_cost()
+
+
+def _permuted_diag(diag, final_map, n):
+    """Re-index a logical diagonal observable to physical positions."""
+    indices = np.arange(2**n)
+    physical_of_logical = final_map.logical_to_physical
+    source = np.zeros_like(indices)
+    for logical in range(n):
+        bit = (indices >> (n - 1 - physical_of_logical[logical])) & 1
+        source |= bit << (n - 1 - logical)
+    return diag[source]
+
+
+def _embedded_plus(initial_map, n):
+    """|+>^n is permutation invariant; embedding is trivial."""
+    return Statevector.plus(n)
+
+
+class TestProxyValidation:
+    """The analytic fidelity proxy must agree with Monte-Carlo trajectories
+    on what it models (gate depolarising + readout; no decoherence)."""
+
+    def test_proxy_matches_monte_carlo_ordering(self):
+        from repro.baselines import compile_tket_like
+        from repro.core.compiler import TwoQANCompiler
+        from repro.core.unify import unify_circuit_operators
+        from repro.devices import grid
+
+        g = random_regular_graph(3, 6, seed=4)
+        problem = QAOAProblem(g, (0.35,), (-0.39,))
+        step = unify_circuit_operators(problem.layer_step(0))
+        device = grid(2, 3)
+        ours = TwoQANCompiler(device, "CNOT", seed=1,
+                              solve_angles=True).compile(step)
+        theirs = compile_tket_like(step, device, "CNOT", seed=1, solve=True)
+
+        # gate+readout noise only (no decoherence term in the MC model)
+        cal = NoiseCalibration(0.03, 0.0, 0.03, 1e9, 1e9, 0.4, 0.035)
+        diag = cost_diagonal(g, 6)
+        cmin = minimum_cost(g, 6)
+
+        def run(result):
+            perm = result.final_map.logical_to_physical if hasattr(
+                result.final_map, "logical_to_physical"
+            ) else result.final_map
+            indices = np.arange(2**6)
+            source = np.zeros_like(indices)
+            for logical in range(6):
+                bit = (indices >> (6 - 1 - perm[logical])) & 1
+                source |= bit << (6 - 1 - logical)
+            return monte_carlo_normalized_cost(
+                result.circuit, diag[source], cmin, n_trajectories=150,
+                seed=3, calibration=cal, initial=Statevector.plus(6),
+            )
+
+        mc_ours = run(ours)
+        mc_theirs = run(theirs)
+        # The smaller circuit must keep more signal, in MC as in the proxy.
+        assert mc_ours > mc_theirs
+        proxy_ours = circuit_fidelity_proxy(ours.metrics, 6, calibration=cal)
+        ideal = problem.normalized_cost()
+        # MC value within a factor-2 band of proxy * ideal (shot noise,
+        # Pauli-error micro-structure).
+        assert 0.3 * proxy_ours * ideal < mc_ours < min(
+            1.0, 3.0 * proxy_ours * ideal + 0.15
+        )

@@ -1,0 +1,182 @@
+"""Tests for the circuit IR: construction, metrics, unitaries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum.circuit import Circuit
+from repro.quantum.gates import Gate, standard_gate_unitary
+
+
+def bell_circuit():
+    c = Circuit(2)
+    c.add("H", 0)
+    c.add("CNOT", 0, 1)
+    return c
+
+
+class TestConstruction:
+    def test_append_and_len(self):
+        c = bell_circuit()
+        assert len(c) == 2
+
+    def test_out_of_range_rejected(self):
+        c = Circuit(2)
+        with pytest.raises(ValueError):
+            c.add("H", 2)
+
+    def test_extend(self):
+        c = Circuit(3)
+        c.extend([Gate("H", (0,)), Gate("CNOT", (1, 2))])
+        assert len(c) == 2
+
+    def test_copy_is_independent(self):
+        c = bell_circuit()
+        d = c.copy()
+        d.add("X", 0)
+        assert len(c) == 2 and len(d) == 3
+
+    def test_iteration_order(self):
+        c = bell_circuit()
+        names = [g.name for g in c]
+        assert names == ["H", "CNOT"]
+
+
+class TestMetrics:
+    def test_count_by_name(self):
+        c = bell_circuit()
+        assert c.count("cnot") == 1
+        assert c.count("H") == 1
+        assert c.count("X") == 0
+
+    def test_two_qubit_gate_count(self):
+        c = bell_circuit()
+        assert c.n_two_qubit_gates == 1
+        assert c.n_single_qubit_gates == 1
+
+    def test_depth_sequential(self):
+        c = Circuit(2)
+        c.add("CNOT", 0, 1)
+        c.add("CNOT", 0, 1)
+        assert c.depth() == 2
+
+    def test_depth_parallel(self):
+        c = Circuit(4)
+        c.add("CNOT", 0, 1)
+        c.add("CNOT", 2, 3)
+        assert c.depth() == 1
+
+    def test_two_qubit_depth_ignores_1q_layers(self):
+        c = Circuit(2)
+        c.add("H", 0)
+        c.add("H", 1)
+        c.add("CNOT", 0, 1)
+        c.add("RZ", 1, params=(0.3,))
+        assert c.depth() == 3
+        assert c.two_qubit_depth() == 1
+
+    def test_depth_empty(self):
+        assert Circuit(3).depth() == 0
+        assert Circuit(3).two_qubit_depth() == 0
+
+    def test_single_qubit_gates_block_packing(self):
+        c = Circuit(2)
+        c.add("H", 0)
+        c.add("CNOT", 0, 1)
+        c.add("H", 1)
+        c.add("CNOT", 0, 1)
+        # layers: [H0], [CNOT], [H1], [CNOT]
+        assert c.two_qubit_depth() == 2
+        assert c.depth() == 4
+
+    def test_layers_partition_gates(self):
+        c = Circuit(3)
+        c.add("CNOT", 0, 1)
+        c.add("H", 2)
+        c.add("CNOT", 1, 2)
+        layers = c.layers()
+        assert sum(len(l) for l in layers) == 3
+        assert [g.name for g in layers[0]] == ["CNOT", "H"]
+
+
+class TestUnitary:
+    def test_bell_state(self):
+        u = bell_circuit().unitary()
+        state = u @ np.eye(4)[0]
+        expected = np.array([1, 0, 0, 1]) / np.sqrt(2)
+        assert np.allclose(state, expected)
+
+    def test_gate_order_matters(self):
+        c1 = Circuit(1)
+        c1.add("X", 0)
+        c1.add("S", 0)
+        c2 = Circuit(1)
+        c2.add("S", 0)
+        c2.add("X", 0)
+        assert not np.allclose(c1.unitary(), c2.unitary())
+
+    def test_unitary_on_nonadjacent_qubits(self):
+        c = Circuit(3)
+        c.add("CNOT", 0, 2)
+        u = c.unitary()
+        # |100> -> |101>
+        state = np.zeros(8)
+        state[4] = 1
+        assert np.allclose(u @ state, np.eye(8)[5])
+
+    def test_reversed_qubit_order_gate(self):
+        c = Circuit(2)
+        c.add("CNOT", 1, 0)  # control qubit 1
+        u = c.unitary()
+        state = np.zeros(4)
+        state[1] = 1  # |01>: control set
+        assert np.allclose(u @ state, np.eye(4)[3])
+
+    def test_unitary_is_unitary(self):
+        c = Circuit(3)
+        c.add("H", 0)
+        c.add("SYC", 1, 2)
+        c.add("RZ", 0, params=(0.7,))
+        c.add("SWAP", 0, 2)
+        u = c.unitary()
+        assert np.allclose(u @ u.conj().T, np.eye(8), atol=1e-12)
+
+    def test_large_unitary_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit(13).unitary()
+
+    @given(st.lists(
+        st.tuples(st.sampled_from(["H", "X", "S", "T"]), st.integers(0, 2)),
+        min_size=1, max_size=8,
+    ))
+    @settings(max_examples=25, deadline=None)
+    def test_unitary_composition_property(self, gates):
+        """Circuit unitary equals the product of expanded gate unitaries."""
+        c = Circuit(3)
+        expected = np.eye(8, dtype=complex)
+        for name, qubit in gates:
+            c.add(name, qubit)
+            factors = [np.eye(2, dtype=complex)] * 3
+            factors[qubit] = standard_gate_unitary(name)
+            expanded = np.kron(np.kron(factors[0], factors[1]), factors[2])
+            expected = expanded @ expected
+        assert np.allclose(c.unitary(), expected)
+
+
+class TestReversedOrder:
+    def test_two_qubit_gates_reversed(self):
+        c = Circuit(3)
+        c.add("CNOT", 0, 1)
+        c.add("SWAP", 1, 2)
+        c.add("H", 0)
+        r = c.reversed_two_qubit_order()
+        two_q = [g.name for g in r if g.n_qubits == 2]
+        assert two_q == ["SWAP", "CNOT"]
+
+    def test_single_qubit_gates_preserved(self):
+        c = Circuit(2)
+        c.add("H", 0)
+        c.add("CNOT", 0, 1)
+        r = c.reversed_two_qubit_order()
+        assert r.count("H") == 1

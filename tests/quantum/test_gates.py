@@ -1,0 +1,113 @@
+"""Tests for gate objects and standard unitaries."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.quantum.gates import Gate, standard_gate_unitary
+
+
+class TestStandardUnitaries:
+    @pytest.mark.parametrize("name", [
+        "I", "X", "Y", "Z", "H", "S", "SDG", "T",
+        "CNOT", "CZ", "SWAP", "ISWAP", "SYC",
+    ])
+    def test_fixed_gates_unitary(self, name):
+        u = standard_gate_unitary(name)
+        assert np.allclose(u @ u.conj().T, np.eye(u.shape[0]))
+
+    def test_case_insensitive(self):
+        assert np.allclose(
+            standard_gate_unitary("cnot"), standard_gate_unitary("CNOT")
+        )
+
+    def test_s_sdg_inverse(self):
+        s = standard_gate_unitary("S")
+        sdg = standard_gate_unitary("SDG")
+        assert np.allclose(s @ sdg, np.eye(2))
+
+    def test_h_squares_to_identity(self):
+        h = standard_gate_unitary("H")
+        assert np.allclose(h @ h, np.eye(2))
+
+    def test_cnot_action(self):
+        cnot = standard_gate_unitary("CNOT")
+        # |10> -> |11>
+        state = np.zeros(4)
+        state[2] = 1
+        assert np.allclose(cnot @ state, np.eye(4)[3])
+
+    def test_swap_action(self):
+        swap = standard_gate_unitary("SWAP")
+        state = np.zeros(4)
+        state[1] = 1  # |01>
+        assert np.allclose(swap @ state, np.eye(4)[2])  # |10>
+
+    def test_syc_is_fsim(self):
+        syc = standard_gate_unitary("SYC")
+        fsim = standard_gate_unitary("FSIM", (math.pi / 2, math.pi / 6))
+        assert np.allclose(syc, fsim)
+
+    def test_rz_diagonal(self):
+        rz = standard_gate_unitary("RZ", (0.8,))
+        assert abs(rz[0, 1]) == 0 and abs(rz[1, 0]) == 0
+
+    def test_rx_ry_rz_unitary(self):
+        for name in ("RX", "RY", "RZ"):
+            u = standard_gate_unitary(name, (1.1,))
+            assert np.allclose(u @ u.conj().T, np.eye(2))
+
+    def test_rotation_composition(self):
+        a = standard_gate_unitary("RZ", (0.3,))
+        b = standard_gate_unitary("RZ", (0.5,))
+        assert np.allclose(a @ b, standard_gate_unitary("RZ", (0.8,)))
+
+    def test_u3_general(self):
+        u = standard_gate_unitary("U3", (0.4, 1.1, -0.2))
+        assert np.allclose(u @ u.conj().T, np.eye(2))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            standard_gate_unitary("RX", (0.1, 0.2))
+        with pytest.raises(ValueError):
+            standard_gate_unitary("CNOT", (0.1,))
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(ValueError):
+            standard_gate_unitary("FOO")
+
+
+class TestGateObject:
+    def test_unitary_resolved_from_name(self):
+        g = Gate("H", (0,))
+        assert np.allclose(g.unitary(), standard_gate_unitary("H"))
+
+    def test_explicit_matrix_wins(self):
+        matrix = np.eye(2, dtype=complex) * 1j
+        g = Gate("CUSTOM", (0,), matrix=matrix)
+        assert np.allclose(g.unitary(), matrix)
+
+    def test_matrix_shape_checked(self):
+        with pytest.raises(ValueError):
+            Gate("BAD", (0, 1), matrix=np.eye(2, dtype=complex))
+
+    def test_repeated_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("CNOT", (1, 1))
+
+    def test_on_relocates(self):
+        g = Gate("CNOT", (0, 1)).on(3, 5)
+        assert g.qubits == (3, 5)
+
+    def test_with_meta_merges(self):
+        g = Gate("H", (0,), meta={"a": 1}).with_meta(b=2)
+        assert g.meta == {"a": 1, "b": 2}
+
+    def test_is_two_qubit(self):
+        assert Gate("CNOT", (0, 1)).is_two_qubit
+        assert not Gate("H", (0,)).is_two_qubit
+
+    def test_str_formats(self):
+        assert str(Gate("RZ", (2,), (0.5,))) == "RZ(0.5)[2]"
+        assert str(Gate("CNOT", (0, 1))) == "CNOT[0,1]"

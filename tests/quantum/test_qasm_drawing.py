@@ -1,0 +1,130 @@
+"""Tests for OpenQASM export and text drawing."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.circuit import Circuit
+from repro.quantum.drawing import draw
+from repro.quantum.gates import Gate, standard_gate_unitary
+from repro.quantum.qasm import to_qasm
+from repro.quantum.unitaries import allclose_up_to_global_phase
+
+
+def _qasm_gate_identities():
+    """The iswap / syc gate definitions embedded in the QASM header."""
+    iswap_body = Circuit(2)
+    for name, qubits in (("S", (0,)), ("S", (1,)), ("H", (0,)),
+                         ("CNOT", (0, 1)), ("CNOT", (1, 0)), ("H", (1,))):
+        iswap_body.append(Gate(name, qubits))
+    syc_body = Circuit(2)
+    for name, qubits in (("H", (1,)), ("CNOT", (1, 0)), ("CNOT", (0, 1)),
+                         ("H", (0,)), ("SDG", (0,)), ("SDG", (1,))):
+        syc_body.append(Gate(name, qubits))
+    cu1 = np.diag([1, 1, 1, np.exp(-1j * np.pi / 6)]).astype(complex)
+    return iswap_body.unitary(), cu1 @ syc_body.unitary()
+
+
+class TestQasmIdentities:
+    def test_iswap_definition_matches_matrix(self):
+        iswap, _ = _qasm_gate_identities()
+        assert allclose_up_to_global_phase(
+            iswap, standard_gate_unitary("ISWAP")
+        )
+
+    def test_syc_definition_matches_matrix(self):
+        _, syc = _qasm_gate_identities()
+        assert allclose_up_to_global_phase(syc, standard_gate_unitary("SYC"))
+
+
+class TestQasmExport:
+    def test_header_and_register(self):
+        c = Circuit(3)
+        c.add("H", 0)
+        text = to_qasm(c)
+        assert "OPENQASM 2.0;" in text
+        assert "qreg q[3];" in text
+        assert "h q[0];" in text
+
+    def test_two_qubit_gates(self):
+        c = Circuit(2)
+        c.add("CNOT", 0, 1)
+        c.add("CZ", 1, 0)
+        c.add("SWAP", 0, 1)
+        text = to_qasm(c)
+        assert "cx q[0],q[1];" in text
+        assert "cz q[1],q[0];" in text
+        assert "swap q[0],q[1];" in text
+
+    def test_custom_gate_definitions_included_when_used(self):
+        c = Circuit(2)
+        c.add("ISWAP", 0, 1)
+        text = to_qasm(c)
+        assert "gate iswap" in text
+        assert "iswap q[0],q[1];" in text
+        assert "gate syc" not in text
+
+    def test_matrix_gate_as_u3(self, rng):
+        from repro.quantum.unitaries import random_unitary
+        c = Circuit(1)
+        c.append(Gate("U1Q", (0,), matrix=random_unitary(2, rng)))
+        text = to_qasm(c)
+        assert "u3(" in text
+
+    def test_rotation_gates(self):
+        c = Circuit(1)
+        c.add("RZ", 0, params=(0.5,))
+        assert "rz(0.5) q[0];" in to_qasm(c)
+
+    def test_measure_option(self):
+        c = Circuit(2)
+        c.add("H", 0)
+        text = to_qasm(c, include_measure=True)
+        assert "creg c[2];" in text
+        assert "measure q -> c;" in text
+
+    def test_undecomposed_two_qubit_rejected(self):
+        c = Circuit(2)
+        c.append(Gate("APP2Q", (0, 1), matrix=np.eye(4, dtype=complex)))
+        with pytest.raises(ValueError):
+            to_qasm(c)
+
+    def test_compiled_circuit_exports(self):
+        """A full 2QAN output must serialise without errors."""
+        from repro import TwoQANCompiler, nnn_ising, trotter_step
+        from repro.devices import line
+        step = trotter_step(nnn_ising(5, seed=0))
+        result = TwoQANCompiler(line(5), "CNOT", seed=0,
+                                solve_angles=True).compile(step)
+        text = to_qasm(result.circuit, include_measure=True)
+        assert text.count("cx") >= result.metrics.n_two_qubit_gates
+
+
+class TestDrawing:
+    def test_draws_all_qubits(self):
+        c = Circuit(3)
+        c.add("H", 0)
+        c.add("CNOT", 0, 1)
+        text = draw(c)
+        assert "q0:" in text and "q1:" in text and "q2:" in text
+
+    def test_cnot_symbols(self):
+        c = Circuit(2)
+        c.add("CNOT", 0, 1)
+        text = draw(c)
+        assert "*" in text and "X" in text
+
+    def test_connector_between_wires(self):
+        c = Circuit(2)
+        c.add("CZ", 0, 1)
+        assert "│" in draw(c)
+
+    def test_empty_circuit(self):
+        text = draw(Circuit(2))
+        assert "q0:" in text
+
+    def test_width_truncation(self):
+        c = Circuit(1)
+        for _ in range(100):
+            c.add("H", 0)
+        lines = draw(c, max_width=40).splitlines()
+        assert all(len(line) <= 40 for line in lines)

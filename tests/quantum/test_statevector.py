@@ -1,0 +1,144 @@
+"""Tests for the statevector simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum.circuit import Circuit
+from repro.quantum.gates import Gate
+from repro.quantum.statevector import Statevector, simulate
+from repro.quantum.unitaries import random_unitary
+
+
+class TestStates:
+    def test_zero_state(self):
+        s = Statevector.zero(3)
+        assert s.amplitudes[0] == 1
+        assert np.allclose(np.linalg.norm(s.amplitudes), 1)
+
+    def test_plus_state_uniform(self):
+        s = Statevector.plus(2)
+        assert np.allclose(s.probabilities(), 0.25)
+
+    def test_copy_independent(self):
+        s = Statevector.zero(1)
+        t = s.copy()
+        t.amplitudes[0] = 0
+        assert s.amplitudes[0] == 1
+
+
+class TestGateApplication:
+    def test_x_flips(self):
+        s = Statevector.zero(2)
+        s.apply_gate(Gate("X", (1,)))
+        assert abs(s.amplitudes[1]) == 1  # |01>
+
+    def test_cnot_msb_control(self):
+        s = Statevector.zero(2)
+        s.apply_gate(Gate("X", (0,)))
+        s.apply_gate(Gate("CNOT", (0, 1)))
+        assert abs(s.amplitudes[3]) == 1  # |11>
+
+    def test_gate_out_of_range(self):
+        s = Statevector.zero(2)
+        with pytest.raises(ValueError):
+            s.apply_gate(Gate("X", (2,)))
+
+    def test_matches_dense_unitary(self, rng):
+        c = Circuit(4)
+        c.add("H", 0)
+        c.add("SYC", 1, 3)
+        c.add("CNOT", 0, 2)
+        c.add("SWAP", 2, 3)
+        c.add("RZ", 1, params=(0.9,))
+        state = simulate(c)
+        expected = c.unitary() @ np.eye(16)[:, 0]
+        assert np.allclose(state.amplitudes, expected)
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_norm_preserved(self, seed):
+        rng = np.random.default_rng(seed)
+        c = Circuit(3)
+        for _ in range(5):
+            q = int(rng.integers(3))
+            c.add("RX", q, params=(float(rng.uniform(0, 6)),))
+            a, b = rng.choice(3, size=2, replace=False)
+            c.add("CNOT", int(a), int(b))
+        state = simulate(c)
+        assert np.isclose(np.linalg.norm(state.amplitudes), 1.0)
+
+    def test_random_two_qubit_matrix_gate(self, rng):
+        u = random_unitary(4, rng)
+        c = Circuit(2)
+        c.append(Gate("APP2Q", (0, 1), matrix=u))
+        state = simulate(c)
+        assert np.allclose(state.amplitudes, u[:, 0])
+
+
+class TestObservables:
+    def test_expectation_diagonal(self):
+        s = Statevector.zero(2)
+        diag = np.array([1.0, -1.0, -1.0, 1.0])  # ZZ
+        assert s.expectation_diagonal(diag) == 1.0
+
+    def test_expectation_diagonal_plus_state(self):
+        s = Statevector.plus(2)
+        diag = np.array([1.0, -1.0, -1.0, 1.0])
+        assert np.isclose(s.expectation_diagonal(diag), 0.0)
+
+    def test_expectation_dense(self):
+        s = Statevector.zero(1)
+        z = np.diag([1.0, -1.0]).astype(complex)
+        assert np.isclose(s.expectation(z), 1.0)
+
+    def test_dimension_mismatch(self):
+        s = Statevector.zero(2)
+        with pytest.raises(ValueError):
+            s.expectation_diagonal(np.zeros(3))
+
+    def test_fidelity_self(self):
+        s = Statevector.plus(3)
+        assert np.isclose(s.fidelity(s), 1.0)
+
+    def test_fidelity_orthogonal(self):
+        a = Statevector.zero(1)
+        b = Statevector.zero(1)
+        b.apply_gate(Gate("X", (0,)))
+        assert np.isclose(a.fidelity(b), 0.0)
+
+
+class TestPermutation:
+    def test_permute_roundtrip(self, rng):
+        c = Circuit(3)
+        c.add("H", 0)
+        c.add("CNOT", 0, 1)
+        c.add("RY", 2, params=(0.4,))
+        state = simulate(c)
+        perm = {0: 2, 1: 0, 2: 1}
+        inverse = {v: k for k, v in perm.items()}
+        roundtrip = state.permute(perm).permute(inverse)
+        assert np.allclose(roundtrip.amplitudes, state.amplitudes)
+
+    def test_permute_matches_swap_gates(self):
+        c = Circuit(2)
+        c.add("X", 0)
+        state = simulate(c)             # |10>
+        swapped = state.permute({0: 1, 1: 0})
+        assert abs(swapped.amplitudes[1]) == 1  # |01>
+
+
+class TestCircuitApplication:
+    def test_size_mismatch(self):
+        s = Statevector.zero(2)
+        with pytest.raises(ValueError):
+            s.apply_circuit(Circuit(3))
+
+    def test_simulate_with_initial(self):
+        c = Circuit(1)
+        c.add("X", 0)
+        initial = Statevector.plus(1)
+        out = simulate(c, initial)
+        # X|+> = |+>
+        assert np.allclose(out.amplitudes, initial.amplitudes)

@@ -1,0 +1,89 @@
+"""Tests for single-qubit gate fusion."""
+
+import numpy as np
+
+from repro.quantum.circuit import Circuit
+from repro.quantum.gates import Gate
+from repro.quantum.transforms import count_entangling, merge_single_qubit_gates
+from repro.quantum.unitaries import allclose_up_to_global_phase
+
+
+class TestMerge:
+    def test_adjacent_gates_fused(self):
+        c = Circuit(1)
+        c.add("H", 0)
+        c.add("S", 0)
+        c.add("T", 0)
+        merged = merge_single_qubit_gates(c)
+        assert len(merged) == 1
+        assert allclose_up_to_global_phase(merged.gates[0].unitary(),
+                                           c.unitary())
+
+    def test_identity_runs_dropped(self):
+        c = Circuit(1)
+        c.add("H", 0)
+        c.add("H", 0)
+        merged = merge_single_qubit_gates(c)
+        assert len(merged) == 0
+
+    def test_two_qubit_gate_barrier(self):
+        c = Circuit(2)
+        c.add("H", 0)
+        c.add("CNOT", 0, 1)
+        c.add("H", 0)
+        merged = merge_single_qubit_gates(c)
+        names = [g.name for g in merged]
+        assert names == ["U1Q", "CNOT", "U1Q"]
+
+    def test_unitary_preserved(self):
+        c = Circuit(2)
+        c.add("H", 0)
+        c.add("S", 1)
+        c.add("CNOT", 0, 1)
+        c.add("T", 0)
+        c.add("RX", 1, params=(0.3,))
+        c.add("CNOT", 1, 0)
+        c.add("H", 1)
+        merged = merge_single_qubit_gates(c)
+        assert allclose_up_to_global_phase(merged.unitary(), c.unitary())
+
+    def test_phase_gates_dropped(self):
+        c = Circuit(1)
+        c.add("S", 0)
+        c.add("S", 0)  # Z up to phase? S*S = Z, not phase; use Z*Z
+        merged = merge_single_qubit_gates(c)
+        assert len(merged) == 1  # Z gate survives
+        c2 = Circuit(1)
+        c2.add("Z", 0)
+        c2.add("Z", 0)
+        assert len(merge_single_qubit_gates(c2)) == 0
+
+    def test_independent_qubits_both_fused(self):
+        c = Circuit(2)
+        c.add("H", 0)
+        c.add("T", 0)
+        c.add("H", 1)
+        c.add("S", 1)
+        merged = merge_single_qubit_gates(c)
+        assert len(merged) == 2
+        assert {g.qubits[0] for g in merged} == {0, 1}
+
+    def test_depth_reduced(self):
+        c = Circuit(2)
+        for _ in range(4):
+            c.add("T", 0)
+        c.add("CNOT", 0, 1)
+        merged = merge_single_qubit_gates(c)
+        assert merged.depth() < c.depth()
+
+    def test_empty_circuit(self):
+        assert len(merge_single_qubit_gates(Circuit(3))) == 0
+
+
+class TestCountEntangling:
+    def test_counts_multiqubit_only(self):
+        c = Circuit(3)
+        c.add("H", 0)
+        c.add("CNOT", 0, 1)
+        c.add("SWAP", 1, 2)
+        assert count_entangling(c) == 2

@@ -1,0 +1,97 @@
+"""Tests for unitary helper functions."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.unitaries import (
+    allclose_up_to_global_phase,
+    average_gate_fidelity,
+    closest_kron_factors,
+    process_fidelity,
+    random_su2,
+    random_unitary,
+    to_su2,
+    to_su4,
+)
+
+
+class TestGlobalPhase:
+    def test_equal_matrices(self, rng):
+        u = random_unitary(4, rng)
+        assert allclose_up_to_global_phase(u, u)
+
+    def test_phase_rotated(self, rng):
+        u = random_unitary(4, rng)
+        assert allclose_up_to_global_phase(np.exp(0.7j) * u, u)
+
+    def test_different_matrices(self, rng):
+        u, v = random_unitary(4, rng), random_unitary(4, rng)
+        assert not allclose_up_to_global_phase(u, v)
+
+    def test_shape_mismatch(self):
+        assert not allclose_up_to_global_phase(np.eye(2), np.eye(4))
+
+    def test_scaled_not_equal(self, rng):
+        u = random_unitary(2, rng)
+        assert not allclose_up_to_global_phase(2.0 * u, u)
+
+
+class TestFidelities:
+    def test_process_fidelity_identical(self, rng):
+        u = random_unitary(4, rng)
+        assert np.isclose(process_fidelity(u, u), 1.0)
+
+    def test_process_fidelity_phase_invariant(self, rng):
+        u = random_unitary(4, rng)
+        assert np.isclose(process_fidelity(np.exp(1j) * u, u), 1.0)
+
+    def test_average_fidelity_range(self, rng):
+        u, v = random_unitary(4, rng), random_unitary(4, rng)
+        f = average_gate_fidelity(u, v)
+        assert 0.0 <= f <= 1.0
+
+    def test_average_fidelity_identity(self, rng):
+        u = random_unitary(4, rng)
+        assert np.isclose(average_gate_fidelity(u, u), 1.0)
+
+
+class TestKronFactors:
+    def test_exact_product_recovered(self, rng):
+        a, b = random_unitary(2, rng), random_unitary(2, rng)
+        fa, fb = closest_kron_factors(np.kron(a, b))
+        assert np.allclose(np.kron(fa, fb), np.kron(a, b))
+
+    def test_non_product_approximated(self, rng):
+        cnot = np.array(
+            [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]],
+            dtype=complex,
+        )
+        fa, fb = closest_kron_factors(cnot)
+        # CNOT is entangling: no tensor product reproduces it
+        assert not np.allclose(np.kron(fa, fb), cnot)
+
+    def test_wrong_shape(self):
+        with pytest.raises(ValueError):
+            closest_kron_factors(np.eye(2))
+
+
+class TestSpecialization:
+    def test_to_su2(self, rng):
+        u = random_unitary(2, rng)
+        su, phase = to_su2(u)
+        assert np.isclose(np.linalg.det(su), 1.0)
+        assert np.allclose(phase * su, u)
+
+    def test_to_su4(self, rng):
+        u = random_unitary(4, rng)
+        su, phase = to_su4(u)
+        assert np.isclose(np.linalg.det(su), 1.0)
+        assert np.allclose(phase * su, u)
+
+    def test_random_su2_determinant(self, rng):
+        for _ in range(5):
+            assert np.isclose(np.linalg.det(random_su2(rng)), 1.0)
+
+    def test_random_unitary_is_unitary(self, rng):
+        u = random_unitary(8, rng)
+        assert np.allclose(u @ u.conj().T, np.eye(8), atol=1e-10)

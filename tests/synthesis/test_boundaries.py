@@ -1,0 +1,98 @@
+"""Boundary fuzzing of the synthesis stack.
+
+The Weyl chamber has walls (x = pi/4, y = 0, y = |z|, z = 0) where
+canonicalization is degenerate and the Makhlin invariants flatten; these
+tests hammer the analytic CNOT path (cheap, so many cases) and sample
+the numerical SYC/iSWAP path on the boundary classes relevant to the
+benchmarks (dressed SWAPs live at x = y = pi/4).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum.gates import standard_gate_unitary
+from repro.quantum.unitaries import random_su2
+from repro.synthesis.cnot_basis import decompose_to_cnots
+from repro.synthesis.gateset import get_gateset
+from repro.synthesis.weyl import canonical_gate, kak_decompose, weyl_coordinates
+
+PI4 = math.pi / 4
+
+
+def dressed(rng, x, y, z):
+    """A locally-dressed canonical gate (random 1q clothing)."""
+    left = np.kron(random_su2(rng), random_su2(rng))
+    right = np.kron(random_su2(rng), random_su2(rng))
+    return left @ canonical_gate(x, y, z) @ right
+
+
+BOUNDARY_CLASSES = [
+    (PI4, 0.3, 0.1),        # x wall
+    (PI4, PI4, 0.2),        # x = y wall (dressed-SWAP territory)
+    (PI4, PI4, -0.2),       # mirror at the wall
+    (0.4, 0.4, 0.1),        # x = y interior
+    (0.4, 0.2, 0.2),        # y = z wall
+    (0.4, 0.2, -0.2),       # y = -z wall
+    (0.4, 0.0, 0.0),        # y = z = 0 edge
+    (PI4, PI4, PI4),        # SWAP corner
+    (PI4, 0.0, 0.0),        # CNOT corner
+    (1e-9, 1e-10, 0.0),     # near identity
+]
+
+
+class TestKakOnWalls:
+    @pytest.mark.parametrize("coords", BOUNDARY_CLASSES,
+                             ids=[str(i) for i in range(len(BOUNDARY_CLASSES))])
+    def test_kak_roundtrip_on_walls(self, coords, rng):
+        for _ in range(3):
+            u = dressed(rng, *coords)
+            d = kak_decompose(u)
+            assert np.abs(d.reconstruct() - u).max() < 1e-6
+
+    @pytest.mark.parametrize("coords", BOUNDARY_CLASSES,
+                             ids=[str(i) for i in range(len(BOUNDARY_CLASSES))])
+    def test_cnot_synthesis_on_walls(self, coords, rng):
+        for _ in range(3):
+            u = dressed(rng, *coords)
+            circuit, phase = decompose_to_cnots(u)
+            assert np.abs(phase * circuit.unitary() - u).max() < 1e-6
+
+    @given(st.integers(0, 10**6), st.floats(0, PI4))
+    @settings(max_examples=25, deadline=None)
+    def test_x_wall_family(self, seed, y):
+        """(pi/4, y, z=y) classes: two walls at once."""
+        rng = np.random.default_rng(seed)
+        u = dressed(rng, PI4, y, y)
+        circuit, phase = decompose_to_cnots(u)
+        assert np.abs(phase * circuit.unitary() - u).max() < 1e-6
+
+    def test_coordinates_stable_under_dressing_on_walls(self, rng):
+        for coords in BOUNDARY_CLASSES[:6]:
+            u = dressed(rng, *coords)
+            measured = weyl_coordinates(u)
+            reference = weyl_coordinates(canonical_gate(*coords))
+            assert np.allclose(measured, reference, atol=1e-6)
+
+
+class TestNumericalOnWalls:
+    @pytest.mark.parametrize("basis", ["SYC", "ISWAP"])
+    def test_dressed_swap_classes(self, basis, rng):
+        """x = y = pi/4 classes: where every dressed SWAP lives."""
+        gs = get_gateset(basis)
+        for z in (0.1, -0.1):
+            u = dressed(rng, PI4, PI4, z)
+            circuit, phase = gs.decompose(u, solve=True, seed=7)
+            assert np.abs(phase * circuit.unitary() - u).max() < 1e-6
+
+    @pytest.mark.parametrize("basis", ["SYC", "ISWAP"])
+    def test_small_angle_rotations(self, basis):
+        """Tiny ZZ angles (weak-coupling Trotter steps) stay 2 gates."""
+        gs = get_gateset(basis)
+        u = canonical_gate(0.01, 0.0, 0.0)
+        assert gs.gates_needed(u) == 2
+        circuit, phase = gs.decompose(u, solve=True, seed=1)
+        assert np.abs(phase * circuit.unitary() - u).max() < 1e-6

@@ -1,0 +1,113 @@
+"""Tests for analytic CNOT-basis synthesis (paper Figure 5 behaviour)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum.gates import standard_gate_unitary
+from repro.quantum.unitaries import random_unitary
+from repro.synthesis.cnot_basis import cnot_count, decompose_to_cnots
+from repro.synthesis.weyl import canonical_gate, weyl_coordinates
+
+from tests.conftest import pauli_exponential
+
+PI4 = math.pi / 4
+
+
+def entangling_count(circuit):
+    return sum(1 for g in circuit if g.n_qubits == 2)
+
+
+class TestCounts:
+    def test_identity_needs_zero(self):
+        assert cnot_count((0.0, 0.0, 0.0)) == 0
+
+    def test_cnot_class_needs_one(self):
+        assert cnot_count((PI4, 0.0, 0.0)) == 1
+
+    def test_z_zero_needs_two(self):
+        assert cnot_count((0.3, 0.2, 0.0)) == 2
+
+    def test_generic_needs_three(self):
+        assert cnot_count((0.3, 0.2, 0.1)) == 3
+        assert cnot_count((PI4, PI4, PI4)) == 3
+
+    def test_mirror_needs_three(self):
+        assert cnot_count((0.3, 0.2, -0.1)) == 3
+
+
+class TestPaperFigure5:
+    """SWAP = 3 CNOTs; exp(i theta ZZ) = 2 CNOTs; dressed SWAP = 3 CNOTs."""
+
+    def test_swap_three_cnots(self):
+        circuit, phase = decompose_to_cnots(standard_gate_unitary("SWAP"))
+        assert entangling_count(circuit) == 3
+
+    def test_zz_rotation_two_cnots(self):
+        u = pauli_exponential(0, 0, 0.8)
+        circuit, phase = decompose_to_cnots(u)
+        assert entangling_count(circuit) == 2
+        assert np.abs(phase * circuit.unitary() - u).max() < 1e-7
+
+    def test_dressed_swap_three_not_five(self, dressed_swap_unitary):
+        circuit, phase = decompose_to_cnots(dressed_swap_unitary)
+        assert entangling_count(circuit) == 3
+        assert np.abs(
+            phase * circuit.unitary() - dressed_swap_unitary
+        ).max() < 1e-7
+
+    def test_heisenberg_term_three_cnots(self, heisenberg_unitary):
+        """Three unified Heisenberg Paulis cost 3 CNOTs, not 6."""
+        circuit, phase = decompose_to_cnots(heisenberg_unitary)
+        assert entangling_count(circuit) == 3
+        assert np.abs(
+            phase * circuit.unitary() - heisenberg_unitary
+        ).max() < 1e-7
+
+    def test_xy_term_two_cnots(self):
+        u = pauli_exponential(0.5, 0.7, 0)
+        circuit, _ = decompose_to_cnots(u)
+        assert entangling_count(circuit) == 2
+
+
+class TestExactness:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_random_unitaries_exact(self, seed):
+        rng = np.random.default_rng(seed)
+        u = random_unitary(4, rng)
+        circuit, phase = decompose_to_cnots(u)
+        assert np.abs(phase * circuit.unitary() - u).max() < 1e-6
+        assert entangling_count(circuit) <= 3
+
+    @given(
+        x=st.floats(0.02, PI4 - 0.02),
+        y=st.floats(0.02, PI4 - 0.02),
+        z=st.floats(-PI4 + 0.02, PI4 - 0.02),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_canonical_gates_exact(self, x, y, z):
+        u = canonical_gate(x, y, z)
+        circuit, phase = decompose_to_cnots(u)
+        assert np.abs(phase * circuit.unitary() - u).max() < 1e-6
+
+    def test_local_gate_zero_cnots(self, rng):
+        u = np.kron(random_unitary(2, rng), random_unitary(2, rng))
+        circuit, phase = decompose_to_cnots(u)
+        assert entangling_count(circuit) == 0
+        assert np.abs(phase * circuit.unitary() - u).max() < 1e-7
+
+    def test_count_matches_weyl_prediction(self, rng):
+        for _ in range(10):
+            u = random_unitary(4, rng)
+            circuit, _ = decompose_to_cnots(u)
+            assert entangling_count(circuit) == cnot_count(
+                weyl_coordinates(u)
+            )
+
+    def test_cnot_itself_one_gate(self):
+        circuit, phase = decompose_to_cnots(standard_gate_unitary("CNOT"))
+        assert entangling_count(circuit) == 1

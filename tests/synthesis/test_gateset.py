@@ -1,0 +1,101 @@
+"""Tests for the retargetable gate-set layer (CNOT / CZ / SYC / iSWAP)."""
+
+import numpy as np
+import pytest
+
+from repro.quantum.gates import standard_gate_unitary
+from repro.quantum.unitaries import random_unitary
+from repro.synthesis.gateset import GATESETS, get_gateset
+
+from tests.conftest import pauli_exponential
+
+
+def entangling(circuit):
+    return [g for g in circuit if g.n_qubits == 2]
+
+
+class TestLookup:
+    def test_all_four_bases(self):
+        assert set(GATESETS) == {"CNOT", "CZ", "SYC", "ISWAP"}
+
+    def test_case_insensitive(self):
+        assert get_gateset("cnot").name == "CNOT"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            get_gateset("XX")
+
+
+class TestCountsPerBasis:
+    """Gate costs that drive every benchmark figure."""
+
+    @pytest.mark.parametrize("basis,expected", [
+        ("CNOT", 2), ("CZ", 2), ("SYC", 2), ("ISWAP", 2),
+    ])
+    def test_zz_rotation(self, basis, expected):
+        gs = get_gateset(basis)
+        assert gs.gates_needed(pauli_exponential(0, 0, 0.8)) == expected
+
+    @pytest.mark.parametrize("basis", ["CNOT", "CZ", "SYC", "ISWAP"])
+    def test_heisenberg_term_three(self, basis, heisenberg_unitary):
+        assert get_gateset(basis).gates_needed(heisenberg_unitary) == 3
+
+    @pytest.mark.parametrize("basis", ["CNOT", "CZ", "SYC", "ISWAP"])
+    def test_swap_three(self, basis):
+        swap = standard_gate_unitary("SWAP")
+        assert get_gateset(basis).gates_needed(swap) == 3
+
+    @pytest.mark.parametrize("basis", ["CNOT", "CZ", "SYC", "ISWAP"])
+    def test_dressed_swap_three(self, basis, dressed_swap_unitary):
+        assert get_gateset(basis).gates_needed(dressed_swap_unitary) == 3
+
+    @pytest.mark.parametrize("basis", ["CNOT", "CZ", "SYC", "ISWAP"])
+    def test_local_zero(self, basis, rng):
+        u = np.kron(random_unitary(2, rng), random_unitary(2, rng))
+        assert get_gateset(basis).gates_needed(u) == 0
+
+    def test_own_basis_one(self):
+        assert get_gateset("SYC").gates_needed(
+            standard_gate_unitary("SYC")
+        ) == 1
+        assert get_gateset("ISWAP").gates_needed(
+            standard_gate_unitary("ISWAP")
+        ) == 1
+        assert get_gateset("CNOT").gates_needed(
+            standard_gate_unitary("CNOT")
+        ) == 1
+
+
+class TestExactDecomposition:
+    @pytest.mark.parametrize("basis", ["CNOT", "CZ"])
+    def test_analytic_bases_random(self, basis, rng):
+        gs = get_gateset(basis)
+        for _ in range(5):
+            u = random_unitary(4, rng)
+            circuit, phase = gs.decompose(u, solve=True)
+            assert np.abs(phase * circuit.unitary() - u).max() < 1e-6
+            names = {g.name for g in entangling(circuit)}
+            assert names <= {basis}
+
+    @pytest.mark.parametrize("basis", ["SYC", "ISWAP"])
+    def test_numerical_bases_structured(self, basis, dressed_swap_unitary):
+        gs = get_gateset(basis)
+        for target in (
+            pauli_exponential(0, 0, 0.8),
+            dressed_swap_unitary,
+        ):
+            circuit, phase = gs.decompose(target, solve=True, seed=5)
+            assert np.abs(phase * circuit.unitary() - target).max() < 1e-6
+            assert {g.name for g in entangling(circuit)} <= {basis}
+
+    @pytest.mark.parametrize("basis", ["CNOT", "CZ", "SYC", "ISWAP"])
+    def test_structural_mode_counts_match(self, basis, heisenberg_unitary):
+        gs = get_gateset(basis)
+        solved, _ = gs.decompose(heisenberg_unitary, solve=True, seed=2)
+        structural, _ = gs.decompose(heisenberg_unitary, solve=False)
+        assert len(entangling(solved)) == len(entangling(structural))
+
+    def test_cz_basis_uses_only_cz(self, rng):
+        circuit, _ = get_gateset("CZ").decompose(random_unitary(4, rng))
+        for gate in entangling(circuit):
+            assert gate.name == "CZ"

@@ -1,0 +1,114 @@
+"""Tests for the numerical (SYC / iSWAP) decomposition machinery."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.quantum.gates import standard_gate_unitary
+from repro.quantum.unitaries import random_unitary
+from repro.synthesis.numerical import (
+    invariant_distance,
+    makhlin_invariants,
+    min_basis_gates,
+    solve_sandwich,
+)
+from repro.synthesis.weyl import canonical_gate
+
+from tests.conftest import pauli_exponential
+
+PI4 = math.pi / 4
+ISWAP = standard_gate_unitary("ISWAP")
+SYC = standard_gate_unitary("SYC")
+ISWAP_COORDS = (PI4, PI4, 0.0)
+SYC_COORDS = (PI4, PI4, math.pi / 24)
+
+
+class TestInvariants:
+    def test_local_invariance(self, rng):
+        u = random_unitary(4, rng)
+        locals_ = np.kron(random_unitary(2, rng), random_unitary(2, rng))
+        g1a, g2a = makhlin_invariants(u)
+        g1b, g2b = makhlin_invariants(locals_ @ u)
+        assert abs(g1a - g1b) < 1e-9
+        assert abs(g2a - g2b) < 1e-9
+
+    def test_cnot_invariants(self):
+        g1, g2 = makhlin_invariants(standard_gate_unitary("CNOT"))
+        assert abs(g1) < 1e-9
+        assert abs(g2 - 1.0) < 1e-9
+
+    def test_identity_invariants(self):
+        g1, g2 = makhlin_invariants(np.eye(4, dtype=complex))
+        assert abs(g1 - 1.0) < 1e-9
+        assert abs(g2 - 3.0) < 1e-9
+
+    def test_distance_zero_same_class(self, rng):
+        u = random_unitary(4, rng)
+        locals_ = np.kron(random_unitary(2, rng), random_unitary(2, rng))
+        assert invariant_distance(u, locals_ @ u) < 1e-12
+
+    def test_distance_positive_different_class(self):
+        assert invariant_distance(
+            standard_gate_unitary("CNOT"), standard_gate_unitary("SWAP")
+        ) > 1e-3
+
+
+class TestMinBasisGates:
+    def test_identity_zero(self):
+        assert min_basis_gates((0, 0, 0), ISWAP_COORDS) == 0
+
+    def test_own_class_one(self):
+        assert min_basis_gates(ISWAP_COORDS, ISWAP_COORDS) == 1
+        assert min_basis_gates(SYC_COORDS, SYC_COORDS) == 1
+
+    def test_z_zero_two(self):
+        assert min_basis_gates((0.3, 0.1, 0.0), ISWAP_COORDS) == 2
+        assert min_basis_gates((PI4, 0.0, 0.0), SYC_COORDS) == 2
+
+    def test_generic_three(self):
+        assert min_basis_gates((0.3, 0.2, 0.1), ISWAP_COORDS) == 3
+        assert min_basis_gates((PI4, PI4, PI4), SYC_COORDS) == 3
+
+
+class TestSandwichSolver:
+    @pytest.mark.parametrize("basis", [ISWAP, SYC], ids=["iswap", "syc"])
+    def test_two_gates_reach_cnot_class(self, basis):
+        target = standard_gate_unitary("CNOT")
+        solution = solve_sandwich(basis, 2, target, seed=1)
+        assert solution is not None
+
+    @pytest.mark.parametrize("basis", [ISWAP, SYC], ids=["iswap", "syc"])
+    def test_two_gates_reach_zz_rotation(self, basis):
+        target = pauli_exponential(0, 0, 0.8)
+        solution = solve_sandwich(basis, 2, target, seed=1)
+        assert solution is not None
+
+    @pytest.mark.parametrize("basis", [ISWAP, SYC], ids=["iswap", "syc"])
+    def test_two_gates_cannot_reach_swap(self, basis):
+        target = standard_gate_unitary("SWAP")
+        solution = solve_sandwich(basis, 2, target, seed=1, restarts=6)
+        assert solution is None
+
+    @pytest.mark.parametrize("basis", [ISWAP, SYC], ids=["iswap", "syc"])
+    def test_three_gates_reach_generic(self, basis, rng):
+        target = random_unitary(4, rng)
+        solution = solve_sandwich(basis, 3, target, seed=1)
+        assert solution is not None
+
+    def test_one_gate_only_own_class(self):
+        assert solve_sandwich(ISWAP, 1, ISWAP, seed=0) is not None
+        assert solve_sandwich(
+            ISWAP, 1, standard_gate_unitary("CNOT"), seed=0
+        ) is None
+
+    def test_zero_gates_identity_only(self):
+        assert solve_sandwich(ISWAP, 0, np.eye(4, dtype=complex)) is not None
+        assert solve_sandwich(ISWAP, 0, ISWAP) is None
+
+    def test_solution_gates_structure(self):
+        target = canonical_gate(0.4, 0.2, 0.0)
+        solution = solve_sandwich(ISWAP, 2, target, seed=1)
+        gates = solution.gates("ISWAP", ISWAP)
+        two_q = [g for g in gates if g.n_qubits == 2]
+        assert len(two_q) == 2

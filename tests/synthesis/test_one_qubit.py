@@ -1,0 +1,63 @@
+"""Tests for ZYZ single-qubit synthesis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum.gates import standard_gate_unitary
+from repro.quantum.unitaries import random_unitary
+from repro.synthesis.one_qubit import (
+    is_identity_up_to_phase,
+    zyz_angles,
+    zyz_matrix,
+)
+
+
+class TestRoundtrip:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=50, deadline=None)
+    def test_random_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        u = random_unitary(2, rng)
+        rebuilt = zyz_matrix(*zyz_angles(u))
+        assert np.abs(rebuilt - u).max() < 1e-9
+
+    @pytest.mark.parametrize("name", ["I", "X", "Y", "Z", "H", "S", "T"])
+    def test_named_gates(self, name):
+        u = standard_gate_unitary(name)
+        rebuilt = zyz_matrix(*zyz_angles(u))
+        assert np.abs(rebuilt - u).max() < 1e-9
+
+    def test_diagonal_gate(self):
+        u = np.diag([np.exp(0.3j), np.exp(-0.8j)])
+        rebuilt = zyz_matrix(*zyz_angles(u))
+        assert np.abs(rebuilt - u).max() < 1e-9
+
+    def test_antidiagonal_gate(self):
+        u = np.array([[0, np.exp(0.2j)], [np.exp(0.5j), 0]])
+        rebuilt = zyz_matrix(*zyz_angles(u))
+        assert np.abs(rebuilt - u).max() < 1e-9
+
+    def test_wrong_shape(self):
+        with pytest.raises(ValueError):
+            zyz_angles(np.eye(4, dtype=complex))
+
+    def test_theta_range(self, rng):
+        for _ in range(10):
+            _, _, theta, _ = zyz_angles(random_unitary(2, rng))
+            assert 0 <= theta <= np.pi + 1e-12
+
+
+class TestIdentityCheck:
+    def test_identity(self):
+        assert is_identity_up_to_phase(np.eye(2, dtype=complex))
+
+    def test_global_phase(self):
+        assert is_identity_up_to_phase(np.exp(0.4j) * np.eye(2))
+
+    def test_z_is_not_phase(self):
+        assert not is_identity_up_to_phase(np.diag([1, -1]).astype(complex))
+
+    def test_x_is_not_phase(self):
+        assert not is_identity_up_to_phase(standard_gate_unitary("X"))

@@ -1,0 +1,188 @@
+"""Tests for the KAK / Weyl-chamber decomposition."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quantum.gates import standard_gate_unitary
+from repro.quantum.unitaries import random_su2, random_unitary
+from repro.synthesis.weyl import (
+    canonical_gate,
+    kak_decompose,
+    mirror_x_z,
+    weyl_coordinates,
+)
+
+PI4 = math.pi / 4
+
+
+class TestCanonicalGate:
+    def test_identity(self):
+        assert np.allclose(canonical_gate(0, 0, 0), np.eye(4))
+
+    def test_commuting_factorization(self):
+        u = canonical_gate(0.3, 0.2, 0.1)
+        v = (canonical_gate(0.3, 0, 0) @ canonical_gate(0, 0.2, 0)
+             @ canonical_gate(0, 0, 0.1))
+        assert np.allclose(u, v)
+
+    def test_unitary(self):
+        u = canonical_gate(0.5, -0.4, 1.2)
+        assert np.allclose(u @ u.conj().T, np.eye(4))
+
+    def test_iswap_is_canonical(self):
+        iswap = standard_gate_unitary("ISWAP")
+        assert np.allclose(canonical_gate(PI4, PI4, 0), iswap)
+
+
+class TestKnownCoordinates:
+    @pytest.mark.parametrize("name,expected", [
+        ("CNOT", (PI4, 0.0, 0.0)),
+        ("CZ", (PI4, 0.0, 0.0)),
+        ("SWAP", (PI4, PI4, PI4)),
+        ("ISWAP", (PI4, PI4, 0.0)),
+        ("SYC", (PI4, PI4, math.pi / 24)),
+    ])
+    def test_standard_gate_classes(self, name, expected):
+        coords = weyl_coordinates(standard_gate_unitary(name))
+        assert np.allclose(coords, expected, atol=1e-7)
+
+    def test_identity_class(self):
+        assert np.allclose(weyl_coordinates(np.eye(4, dtype=complex)), 0.0)
+
+    def test_interior_point_fixed(self):
+        coords = weyl_coordinates(canonical_gate(0.3, 0.2, 0.1))
+        assert np.allclose(coords, (0.3, 0.2, 0.1), atol=1e-8)
+
+    def test_mirror_class_distinguished(self):
+        plus = weyl_coordinates(canonical_gate(0.3, 0.2, 0.1))
+        minus = weyl_coordinates(canonical_gate(0.3, 0.2, -0.1))
+        assert np.allclose(plus, (0.3, 0.2, 0.1), atol=1e-8)
+        assert np.allclose(minus, (0.3, 0.2, -0.1), atol=1e-8)
+
+    def test_swap_dagger_same_class_as_swap(self):
+        swap = standard_gate_unitary("SWAP")
+        assert np.allclose(
+            weyl_coordinates(swap.conj().T), (PI4, PI4, PI4), atol=1e-7
+        )
+
+
+class TestChamberInvariance:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_local_invariance(self, seed):
+        """Weyl coordinates are invariant under single-qubit dressing."""
+        rng = np.random.default_rng(seed)
+        u = random_unitary(4, rng)
+        locals_ = np.kron(random_su2(rng), random_su2(rng))
+        locals2 = np.kron(random_su2(rng), random_su2(rng))
+        a = weyl_coordinates(u)
+        b = weyl_coordinates(locals_ @ u @ locals2)
+        assert np.allclose(a, b, atol=1e-6)
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_coordinates_in_chamber(self, seed):
+        rng = np.random.default_rng(seed)
+        x, y, z = weyl_coordinates(random_unitary(4, rng))
+        assert x <= PI4 + 1e-8
+        assert x >= y - 1e-8
+        assert y >= abs(z) - 1e-8
+
+    def test_coordinate_folding(self):
+        """Shifted generator angles fold into the chamber."""
+        a = weyl_coordinates(canonical_gate(0.3 + math.pi / 2, 0.2, 0.1))
+        assert np.allclose(a, (0.3, 0.2, 0.1), atol=1e-7)
+
+    def test_sign_pair_folding(self):
+        a = weyl_coordinates(canonical_gate(-0.3, -0.2, 0.1))
+        assert np.allclose(a, (0.3, 0.2, 0.1), atol=1e-7)
+
+
+class TestReconstruction:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=50, deadline=None)
+    def test_random_roundtrip(self, seed):
+        rng = np.random.default_rng(seed)
+        u = random_unitary(4, rng)
+        d = kak_decompose(u)
+        assert np.abs(d.reconstruct() - u).max() < 1e-6
+
+    @pytest.mark.parametrize("name", ["CNOT", "CZ", "SWAP", "ISWAP", "SYC"])
+    def test_clifford_roundtrip(self, name):
+        u = standard_gate_unitary(name)
+        d = kak_decompose(u)
+        assert np.abs(d.reconstruct() - u).max() < 1e-6
+
+    def test_locals_are_products(self, rng):
+        u = random_unitary(4, rng)
+        d = kak_decompose(u)
+        for factor in (d.a1, d.a2, d.b1, d.b2):
+            assert np.allclose(
+                factor @ factor.conj().T, np.eye(2), atol=1e-7
+            )
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            kak_decompose(np.eye(2, dtype=complex))
+
+
+class TestMirror:
+    def test_mirror_reconstructs(self, rng):
+        u = random_unitary(4, rng)
+        d = kak_decompose(u)
+        m = mirror_x_z(d)
+        assert np.abs(m.reconstruct() - u).max() < 1e-6
+
+    def test_mirror_coordinates(self, rng):
+        u = random_unitary(4, rng)
+        d = kak_decompose(u)
+        m = mirror_x_z(d)
+        assert np.isclose(m.x, math.pi / 2 - d.x)
+        assert np.isclose(m.y, d.y)
+        assert np.isclose(m.z, -d.z)
+
+
+class TestCanonicalizationMoves:
+    """Regression tests for the move bookkeeping (permutation word table)."""
+
+    def test_three_cycle_permutations(self, rng):
+        """Coordinates requiring a 3-cycle sort must still reconstruct.
+
+        Regression: the words for the two 3-cycles were once swapped,
+        producing 'canonicalization mismatch' on coordinates like
+        (small, tiny, large).
+        """
+        for raw in [(0.0086, 0.561, 0.352), (0.352, 0.0086, 0.561),
+                    (0.561, 0.352, 0.0086)]:
+            u = canonical_gate(*raw)
+            d = kak_decompose(u)
+            assert np.abs(d.reconstruct() - u).max() < 1e-7
+            assert np.allclose(sorted(d.coordinates, reverse=True),
+                               sorted(raw, reverse=True), atol=1e-7)
+
+    def test_negative_coordinate_folding(self):
+        for raw in [(-0.3, 0.2, -0.1), (0.3, -0.2, -0.1), (-0.3, -0.2, 0.1)]:
+            u = canonical_gate(*raw)
+            d = kak_decompose(u)
+            assert np.abs(d.reconstruct() - u).max() < 1e-7
+            x, y, z = d.coordinates
+            assert PI4 + 1e-8 >= x >= y >= abs(z) - 1e-8
+
+    def test_large_shift_folding(self):
+        u = canonical_gate(0.3 + math.pi, 0.2 - math.pi / 2, 0.1)
+        d = kak_decompose(u)
+        assert np.abs(d.reconstruct() - u).max() < 1e-7
+        assert np.allclose(d.coordinates, (0.3, 0.2, 0.1), atol=1e-7)
+
+    def test_phase_preserved_exactly(self, rng):
+        """reconstruct() must match including the global phase."""
+        from repro.quantum.unitaries import random_unitary
+        for _ in range(5):
+            u = np.exp(1j * rng.uniform(0, 2 * math.pi)) * \
+                random_unitary(4, rng)
+            d = kak_decompose(u)
+            assert np.abs(d.reconstruct() - u).max() < 1e-6

@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main, make_parser
+
+
+class TestParser:
+    def test_defaults(self):
+        args = make_parser().parse_args([])
+        assert args.benchmark == "NNN_Heisenberg"
+        assert args.device == "montreal"
+        assert args.gateset == "CNOT"
+
+    def test_invalid_benchmark(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["--benchmark", "bogus"])
+
+
+class TestMain:
+    def test_basic_run(self, capsys):
+        code = main(["--benchmark", "NNN_Ising", "--qubits", "6",
+                     "--device", "aspen", "--gateset", "ISWAP",
+                     "--mapping-trials", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2QAN:" in out
+        assert "swaps=" in out
+
+    def test_compare_mode(self, capsys):
+        code = main(["--benchmark", "NNN_Ising", "--qubits", "6",
+                     "--device", "aspen", "--mapping-trials", "1",
+                     "--compare"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "NoMap" in out
+        assert "tket-like" in out
+
+    def test_all_to_all_device(self, capsys):
+        code = main(["--qubits", "6", "--device", "all-to-all",
+                     "--mapping-trials", "1"])
+        assert code == 0
+
+    def test_too_many_qubits(self, capsys):
+        code = main(["--qubits", "30", "--device", "montreal"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,30 @@
+"""Smoke tests: every example script must run end to end.
+
+The examples double as documentation; broken examples are worse than no
+examples.  Stdout is captured so the suite stays quiet.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys, monkeypatch):
+    # Examples pick their own problem sizes; they are sized to finish in
+    # well under a minute each.
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "retarget_gatesets", "qaoa_maxcut_montreal",
+            "verified_simulation", "noise_aware_compilation"} <= names

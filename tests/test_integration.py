@@ -1,0 +1,124 @@
+"""Cross-module integration tests: the full pipelines the paper runs."""
+
+import numpy as np
+import pytest
+
+from repro import TwoQANCompiler, nnn_heisenberg, nnn_ising, trotter_step
+from repro.baselines import (
+    compile_ic_qaoa,
+    compile_nomap,
+    compile_qiskit_like,
+    compile_tket_like,
+)
+from repro.core.unify import unify_circuit_operators
+from repro.devices import aspen, grid, line, montreal, sycamore
+from repro.hamiltonians.models import nnn_xy
+from repro.hamiltonians.qaoa import QAOAProblem, random_regular_graph
+from repro.noise.estimator import noisy_normalized_cost
+from repro.verification import (
+    verify_commuting_equivalence,
+    verify_compilation,
+    verify_operator_conservation,
+)
+
+
+class TestFullPipelineSemantics:
+    """Compile with exact angles on problem-sized devices and verify."""
+
+    @pytest.mark.parametrize("model,n,device_factory", [
+        (nnn_ising, 6, lambda: grid(2, 3)),
+        (nnn_xy, 6, lambda: grid(2, 3)),
+        (nnn_heisenberg, 5, lambda: line(5)),
+    ])
+    @pytest.mark.parametrize("gateset", ["CNOT", "ISWAP"])
+    def test_unitary_correct(self, model, n, device_factory, gateset):
+        step = unify_circuit_operators(trotter_step(model(n, seed=1)))
+        compiler = TwoQANCompiler(device_factory(), gateset, seed=3,
+                                  solve_angles=True)
+        result = compiler.compile(step)
+        assert verify_operator_conservation(result, step)
+        assert verify_compilation(result, step)
+
+    def test_qaoa_layer_exact(self):
+        g = random_regular_graph(3, 6, seed=5)
+        problem = QAOAProblem(g, (0.45,), (-0.35,))
+        step = unify_circuit_operators(problem.layer_step(0))
+        compiler = TwoQANCompiler(grid(2, 3), "CNOT", seed=2,
+                                  solve_angles=True)
+        result = compiler.compile(step)
+        assert verify_commuting_equivalence(result, step)
+
+
+class TestCrossDeviceConsistency:
+    """2QAN must win on every device/gate-set combination."""
+
+    @pytest.mark.parametrize("device_factory,gateset", [
+        (montreal, "CNOT"),
+        (sycamore, "SYC"),
+        (aspen, "ISWAP"),
+        (sycamore, "CZ"),
+        (aspen, "CZ"),
+    ])
+    def test_2qan_at_most_baseline_gates(self, device_factory, gateset):
+        device = device_factory()
+        step = trotter_step(nnn_heisenberg(10, seed=2))
+        ours = TwoQANCompiler(device, gateset, seed=1).compile(step)
+        tket = compile_tket_like(step, device, gateset, seed=1)
+        qiskit = compile_qiskit_like(step, device, gateset, seed=1)
+        assert ours.metrics.n_two_qubit_gates <= \
+            tket.metrics.n_two_qubit_gates
+        assert ours.metrics.n_two_qubit_gates <= \
+            qiskit.metrics.n_two_qubit_gates
+
+    def test_swap_counts_ordered(self):
+        device = montreal()
+        g = random_regular_graph(3, 14, seed=3)
+        step = QAOAProblem(g, (0.35,), (-0.39,)).layer_step(0)
+        ours = TwoQANCompiler(device, "CNOT", seed=1).compile(step)
+        ic = compile_ic_qaoa(step, device, "CNOT", seed=1)
+        tket = compile_tket_like(step, device, "CNOT", seed=1)
+        assert ours.metrics.n_swaps <= ic.metrics.n_swaps
+        assert ours.metrics.n_two_qubit_gates <= \
+            min(ic.metrics.n_two_qubit_gates,
+                tket.metrics.n_two_qubit_gates)
+
+
+class TestFidelityOrdering:
+    """Figure 10's message: lower compiled cost -> higher fidelity."""
+
+    def test_2qan_highest_estimated_fidelity(self):
+        device = montreal()
+        g = random_regular_graph(3, 12, seed=7)
+        problem = QAOAProblem(g, (0.35,), (-0.39,))
+        step = problem.layer_step(0)
+        ideal = problem.normalized_cost()
+
+        ours = TwoQANCompiler(device, "CNOT", seed=1).compile(step)
+        ic = compile_ic_qaoa(step, device, "CNOT", seed=1)
+        tket = compile_tket_like(step, device, "CNOT", seed=1)
+        qiskit = compile_qiskit_like(step, device, "CNOT", seed=1)
+
+        scores = {
+            name: noisy_normalized_cost(ideal, r.metrics, 12)
+            for name, r in [("2qan", ours), ("ic", ic), ("tket", tket),
+                            ("qiskit", qiskit)]
+        }
+        assert scores["2qan"] == max(scores.values())
+        assert scores["2qan"] > scores["qiskit"]
+        assert all(0 <= v <= ideal for v in scores.values())
+
+
+class TestScalability:
+    def test_fifty_qubit_heisenberg_compiles(self):
+        """The paper's largest benchmark size must run (on Sycamore)."""
+        step = trotter_step(nnn_heisenberg(50, seed=0))
+        compiler = TwoQANCompiler(sycamore(), "SYC", seed=0,
+                                  mapping_trials=1)
+        result = compiler.compile(step)
+        unified_pairs = 2 * 50 - 3
+        executed = sum(
+            1 for g in result.scheduled.to_circuit().gates
+            if g.name in ("APP2Q", "DRESSED_SWAP")
+        )
+        assert executed == unified_pairs
+        assert result.metrics.n_two_qubit_gates >= unified_pairs * 3

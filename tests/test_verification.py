@@ -1,0 +1,92 @@
+"""Tests for the semantic verification utilities themselves."""
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import TwoQANCompiler
+from repro.core.unify import unify_circuit_operators
+from repro.devices import grid, line
+from repro.hamiltonians.models import nnn_heisenberg, nnn_ising, nnn_xy
+from repro.hamiltonians.qaoa import QAOAProblem, random_regular_graph
+from repro.hamiltonians.trotter import trotter_step
+from repro.verification import (
+    executed_order_circuit,
+    permutation_unitary,
+    verify_commuting_equivalence,
+    verify_compilation,
+    verify_operator_conservation,
+)
+
+
+class TestPermutationUnitary:
+    def test_identity(self):
+        p = permutation_unitary({0: 0, 1: 1}, 2)
+        assert np.allclose(p, np.eye(4))
+
+    def test_swap_two_qubits(self):
+        p = permutation_unitary({0: 1, 1: 0}, 2)
+        # |01> (logical q1=1) -> physical q0=1 -> |10>
+        assert p[2, 1] == 1.0
+
+    def test_permutation_is_unitary(self):
+        p = permutation_unitary({0: 2, 1: 0, 2: 1}, 3)
+        assert np.allclose(p @ p.T, np.eye(8))
+
+    def test_composition(self):
+        a = permutation_unitary({0: 1, 1: 2, 2: 0}, 3)
+        inverse = permutation_unitary({1: 0, 2: 1, 0: 2}, 3)
+        assert np.allclose(inverse @ a, np.eye(8))
+
+
+class TestVerifiers:
+    @pytest.fixture
+    def compiled(self):
+        step = unify_circuit_operators(
+            trotter_step(nnn_xy(5, seed=2))
+        )
+        compiler = TwoQANCompiler(line(5), "CNOT", seed=4,
+                                  solve_angles=True)
+        return compiler.compile(step), step
+
+    def test_verify_passes_on_correct(self, compiled):
+        result, step = compiled
+        assert verify_compilation(result, step)
+        assert verify_operator_conservation(result, step)
+
+    def test_verify_rejects_tampered_circuit(self, compiled):
+        result, step = compiled
+        from repro.quantum.gates import Gate
+        result.circuit.append(Gate("X", (0,)))
+        assert not verify_compilation(result, step)
+
+    def test_executed_order_covers_all_ops(self, compiled):
+        result, step = compiled
+        logical = executed_order_circuit(result.scheduled, 5)
+        two_q = sum(1 for g in logical if g.n_qubits == 2)
+        assert two_q == len(step.two_qubit_ops)
+
+    def test_size_mismatch_rejected(self, compiled):
+        result, step = compiled
+        from repro.devices import montreal
+        big = TwoQANCompiler(montreal(), "CNOT", seed=0).compile(step)
+        with pytest.raises(ValueError):
+            verify_compilation(big, step)
+
+    def test_commuting_equivalence_qaoa(self):
+        g = random_regular_graph(3, 6, seed=3)
+        step = unify_circuit_operators(
+            QAOAProblem(g, (0.5,), (0.3,)).layer_step(0)
+        )
+        compiler = TwoQANCompiler(grid(2, 3), "CNOT", seed=1,
+                                  solve_angles=True)
+        result = compiler.compile(step)
+        assert verify_commuting_equivalence(result, step)
+
+    @pytest.mark.parametrize("gateset", ["CZ", "ISWAP"])
+    def test_verification_other_gatesets(self, gateset):
+        step = unify_circuit_operators(trotter_step(nnn_ising(5, seed=1)))
+        compiler = TwoQANCompiler(line(5), gateset, seed=2,
+                                  solve_angles=True)
+        result = compiler.compile(step)
+        assert verify_compilation(result, step)
+        assert verify_commuting_equivalence(result, step)
