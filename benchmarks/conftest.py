@@ -8,6 +8,11 @@ By default the sweeps use reduced problem-size grids so the whole suite
 finishes in minutes; set ``REPRO_FULL=1`` for the paper's full ranges
 (qubit counts up to 50 and 10 QAOA instances per size -- expect a long
 run, the paper itself reports Tabu times of ~15 min at n = 50).
+
+Sweeps run on the parallel engine: ``REPRO_JOBS`` sets the worker count
+(default: all cores) and completed rows persist under
+``benchmarks/results/store`` so an interrupted suite resumes instead of
+recomputing; set ``REPRO_STORE=0`` to force fresh measurements.
 """
 
 from __future__ import annotations
@@ -17,9 +22,53 @@ from pathlib import Path
 
 import pytest
 
+from repro.analysis.engine import default_jobs, open_store, run_engine
+from repro.analysis.harness import BenchmarkRow, SweepConfig
+from repro.analysis.store import source_digest
+
 FULL = os.environ.get("REPRO_FULL", "0") == "1"
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _env_jobs() -> int:
+    try:
+        return int(os.environ.get("REPRO_JOBS", "0")) or default_jobs()
+    except ValueError:
+        return default_jobs()
+
+
+JOBS = _env_jobs()
+USE_STORE = os.environ.get("REPRO_STORE", "1") == "1"
+STORE_ROOT = RESULTS_DIR / "store"
+
+
+# Stored rows die with the code: sweeps persist under a subdirectory
+# named by a digest of the src/repro sources, so any source edit starts
+# a fresh cache and stale rows are never replayed.  Directories from
+# older digests are pruned so the cache never grows without bound.
+CODE_DIGEST = source_digest()
+
+
+def _prune_stale_stores() -> None:
+    if not STORE_ROOT.is_dir():
+        return
+    import re
+    import shutil
+    for child in STORE_ROOT.iterdir():
+        if (child.is_dir() and child.name != CODE_DIGEST
+                and re.fullmatch(r"[0-9a-f]{16}", child.name)):
+            shutil.rmtree(child, ignore_errors=True)
+
+
+_prune_stale_stores()
+
+
+def engine_sweep(config: SweepConfig) -> list[BenchmarkRow]:
+    """Run one sweep on the engine with the suite's jobs/store settings."""
+    store = (open_store(STORE_ROOT / CODE_DIGEST, config)
+             if USE_STORE else None)
+    return run_engine(config, jobs=JOBS, store=store)
 
 # Paper ranges (Figures 7-9): Heisenberg/XY up to 50, Ising up to 40,
 # QAOA 4..22.  Reduced ranges keep every family's shape visible.

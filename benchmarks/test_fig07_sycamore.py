@@ -10,16 +10,16 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis.harness import SweepConfig, aggregate, format_rows, run_sweep
+from repro.analysis.harness import SweepConfig, aggregate, format_rows
 from repro.devices import sycamore
 
-from benchmarks.conftest import QAOA_INSTANCES, SIZES, write_result
+from benchmarks.conftest import QAOA_INSTANCES, SIZES, engine_sweep, write_result
 
 COMPILERS = ("2qan", "tket", "qiskit", "nomap")
 
 
 def _sweep(benchmark_name: str, sizes, instances=1):
-    return run_sweep(SweepConfig(
+    return engine_sweep(SweepConfig(
         benchmark=benchmark_name,
         device=sycamore(),
         gateset="SYC",

@@ -8,17 +8,17 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis.harness import SweepConfig, aggregate, format_rows, run_sweep
+from repro.analysis.harness import SweepConfig, aggregate, format_rows
 from repro.devices import montreal
 
-from benchmarks.conftest import QAOA_INSTANCES, SIZES, write_result
+from benchmarks.conftest import QAOA_INSTANCES, SIZES, engine_sweep, write_result
 
 COMPILERS = ("2qan", "tket", "qiskit", "nomap")
 QAOA_COMPILERS = ("2qan", "ic_qaoa", "tket", "qiskit", "nomap")
 
 
 def _sweep(benchmark_name: str, sizes, compilers=COMPILERS, instances=1):
-    return run_sweep(SweepConfig(
+    return engine_sweep(SweepConfig(
         benchmark=benchmark_name,
         device=montreal(),
         gateset="CNOT",

@@ -12,17 +12,19 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.analysis.harness import SweepConfig, aggregate, format_rows, run_sweep
+from repro.analysis.harness import SweepConfig, aggregate, format_rows
 from repro.analysis.overhead import reduction_table, summarize_reductions
 from repro.devices import aspen, sycamore
 
-from benchmarks.conftest import FULL, QAOA_INSTANCES, SIZES, write_result
+from benchmarks.conftest import (
+    FULL, QAOA_INSTANCES, SIZES, engine_sweep, write_result,
+)
 
 COMPILERS = ("2qan", "tket", "qiskit", "nomap")
 
 
 def _sweep(device_factory, family, sizes, instances=1):
-    return run_sweep(SweepConfig(
+    return engine_sweep(SweepConfig(
         benchmark=family,
         device=device_factory(),
         gateset="CZ",

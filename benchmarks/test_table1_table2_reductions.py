@@ -10,11 +10,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.analysis.harness import SweepConfig, run_sweep
+from repro.analysis.harness import SweepConfig
 from repro.analysis.overhead import reduction_table, summarize_reductions
 from repro.devices import aspen, montreal, sycamore
 
-from benchmarks.conftest import FULL, write_result
+from benchmarks.conftest import FULL, engine_sweep, write_result
 
 DEVICES = (
     ("sycamore", sycamore, "SYC"),
@@ -28,7 +28,7 @@ FAMILIES = ("NNN_Heisenberg", "NNN_XY", "NNN_Ising")
 def _sweep_all(device_factory, gateset):
     rows = []
     for family in FAMILIES:
-        rows.extend(run_sweep(SweepConfig(
+        rows.extend(engine_sweep(SweepConfig(
             benchmark=family,
             device=device_factory(),
             gateset=gateset,

@@ -6,17 +6,28 @@ Examples::
         --device montreal --gateset CNOT
     python -m repro --benchmark QAOA-REG-3 --qubits 12 --device sycamore \
         --gateset SYC --compare
+    python -m repro sweep --benchmark NNN_Ising --device aspen \
+        --gateset CNOT --sizes 6,8,10 --jobs 4 --store results/store
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro.analysis.harness import build_step
+from repro.analysis.harness import SweepConfig, build_step, format_rows
 from repro.baselines import compile_nomap, compile_qiskit_like, compile_tket_like
 from repro.core.compiler import TwoQANCompiler
 from repro.devices.library import all_to_all, by_name
+
+BENCHMARKS = ["NNN_Heisenberg", "NNN_XY", "NNN_Ising", "QAOA-REG-3"]
+DEVICES = ["montreal", "sycamore", "aspen", "manhattan", "all-to-all"]
+GATESETS = ["CNOT", "CZ", "SYC", "ISWAP"]
+SWEEP_COMPILERS = ["2qan", "2qan_nodress", "tket", "qiskit", "ic_qaoa",
+                   "nomap"]
+SWEEP_METRICS = ["n_swaps", "n_dressed", "n_two_qubit_gates",
+                 "two_qubit_depth", "total_depth", "seconds"]
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -24,19 +35,20 @@ def make_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="2QAN reproduction: compile 2-local Hamiltonian "
                     "simulation benchmarks onto NISQ devices",
+        epilog="subcommand: 'repro sweep ...' runs a parallel, resumable "
+               "(sizes x instances x compilers) sweep; see "
+               "'repro sweep --help'",
     )
     parser.add_argument("--benchmark", default="NNN_Heisenberg",
-                        choices=["NNN_Heisenberg", "NNN_XY", "NNN_Ising",
-                                 "QAOA-REG-3"],
+                        choices=BENCHMARKS,
                         help="benchmark family")
     parser.add_argument("--qubits", type=int, default=10,
                         help="problem size")
     parser.add_argument("--device", default="montreal",
-                        choices=["montreal", "sycamore", "aspen",
-                                 "manhattan", "all-to-all"],
+                        choices=DEVICES,
                         help="target device")
     parser.add_argument("--gateset", default="CNOT",
-                        choices=["CNOT", "CZ", "SYC", "ISWAP"],
+                        choices=GATESETS,
                         help="hardware two-qubit basis")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--mapping-trials", type=int, default=5,
@@ -46,16 +58,134 @@ def make_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _csv(text: str) -> list[str]:
+    return [item for item in (p.strip() for p in text.split(",")) if item]
+
+
+def _resolve_device(name: str, max_qubits: int):
+    """Build the target device, or None (with a message) if too small.
+
+    ``all-to-all`` is sized to ``max_qubits``; note that for stored
+    sweeps the device (including its size) is part of the store key, so
+    growing an all-to-all sweep's size grid starts a fresh store file.
+    """
+    device = all_to_all(max_qubits) if name == "all-to-all" else by_name(name)
+    if max_qubits > device.n_qubits:
+        print(f"error: {max_qubits} qubits exceed {device.name}",
+              file=sys.stderr)
+        return None
+    return device
+
+
+def make_sweep_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro sweep",
+        description="Run a (sizes x instances x compilers) sweep on the "
+                    "parallel engine with an optional persistent store",
+    )
+    parser.add_argument("--benchmark", default="NNN_Heisenberg",
+                        choices=BENCHMARKS, help="benchmark family")
+    parser.add_argument("--device", default="montreal", choices=DEVICES,
+                        help="target device")
+    parser.add_argument("--gateset", default="CNOT", choices=GATESETS,
+                        help="hardware two-qubit basis")
+    parser.add_argument("--sizes", default="6,10,14",
+                        help="comma-separated problem sizes")
+    parser.add_argument("--compilers", default="2qan,tket,qiskit,nomap",
+                        help=f"comma-separated subset of {SWEEP_COMPILERS}")
+    parser.add_argument("--instances", type=int, default=1,
+                        help="random instances per size (QAOA)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: all cores)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="persist/resume rows under this directory")
+    parser.add_argument("--json", action="store_true",
+                        help="emit raw rows as JSON instead of tables")
+    parser.add_argument("--metrics",
+                        default="n_swaps,n_two_qubit_gates,two_qubit_depth",
+                        help=f"comma-separated subset of {SWEEP_METRICS} "
+                             "for the text tables")
+    return parser
+
+
+def sweep_main(argv: list[str]) -> int:
+    from repro.analysis.engine import default_jobs, open_store, run_engine
+    from repro.analysis.store import row_to_dict, source_digest
+
+    args = make_sweep_parser().parse_args(argv)
+    try:
+        sizes = tuple(dict.fromkeys(int(s) for s in _csv(args.sizes)))
+    except ValueError:
+        print(f"error: bad --sizes {args.sizes!r}", file=sys.stderr)
+        return 1
+    metrics = _csv(args.metrics)
+    bad_metrics = [m for m in metrics if m not in SWEEP_METRICS]
+    if bad_metrics:
+        print(f"error: bad --metrics (unknown: {bad_metrics}; choose "
+              f"from {SWEEP_METRICS})", file=sys.stderr)
+        return 1
+    if args.instances < 1:
+        print("error: --instances must be >= 1", file=sys.stderr)
+        return 1
+    if args.jobs is not None and args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 1
+    if not sizes:
+        print("error: --sizes must name at least one size", file=sys.stderr)
+        return 1
+    compilers = tuple(dict.fromkeys(_csv(args.compilers)))
+    unknown = [c for c in compilers if c not in SWEEP_COMPILERS]
+    if not compilers or unknown:
+        print(f"error: bad --compilers (unknown: {unknown}; "
+              f"choose from {SWEEP_COMPILERS})", file=sys.stderr)
+        return 1
+    device = _resolve_device(args.device, max(sizes))
+    if device is None:
+        return 1
+
+    config = SweepConfig(
+        benchmark=args.benchmark,
+        device=device,
+        gateset=args.gateset,
+        sizes=sizes,
+        compilers=compilers,
+        instances=args.instances,
+        seed=args.seed,
+    )
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    # salt the store with a source digest so rows computed by an older
+    # version of the compiler are never replayed as fresh results
+    store = (open_store(args.store, config, salt=source_digest())
+             if args.store else None)
+    try:
+        rows = run_engine(config, jobs=jobs, store=store)
+    except ValueError as exc:
+        # e.g. ic_qaoa on a benchmark without mutually commuting layers
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.json:
+        print(json.dumps([row_to_dict(row) for row in rows], indent=2))
+        return 0
+    print(f"{args.benchmark} on {device.name} ({args.gateset} basis), "
+          f"{len(rows)} rows, jobs={jobs}"
+          + (f", store={store.path}" if store else ""))
+    for metric in metrics:
+        print(f"\n[{metric}]")
+        print(format_rows(rows, metric, compilers))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "sweep":
+        return sweep_main(argv[1:])
     args = make_parser().parse_args(argv)
     step = build_step(args.benchmark, args.qubits, args.seed)
-    if args.device == "all-to-all":
-        device = all_to_all(args.qubits)
-    else:
-        device = by_name(args.device)
-    if args.qubits > device.n_qubits:
-        print(f"error: {args.qubits} qubits exceed {device.name}",
-              file=sys.stderr)
+    device = _resolve_device(args.device, args.qubits)
+    if device is None:
         return 1
 
     compiler = TwoQANCompiler(device, args.gateset, seed=args.seed,

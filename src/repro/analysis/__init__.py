@@ -1,18 +1,36 @@
-"""Evaluation harness: sweeps, overhead tables, runtime analysis."""
+"""Evaluation harness: sweeps, parallel engine, result store, tables."""
 
 from repro.analysis.harness import (
+    AmbiguousRowsError,
     BenchmarkRow,
     SweepConfig,
+    aggregate,
     run_sweep,
     format_rows,
 )
+from repro.analysis.engine import (
+    SweepTask,
+    expand_tasks,
+    open_store,
+    parallel_map,
+    run_engine,
+)
 from repro.analysis.overhead import reduction_table, summarize_reductions
+from repro.analysis.store import ResultStore
 
 __all__ = [
+    "AmbiguousRowsError",
     "BenchmarkRow",
+    "ResultStore",
     "SweepConfig",
-    "run_sweep",
+    "SweepTask",
+    "aggregate",
+    "expand_tasks",
     "format_rows",
+    "open_store",
+    "parallel_map",
     "reduction_table",
+    "run_engine",
+    "run_sweep",
     "summarize_reductions",
 ]

@@ -1,0 +1,223 @@
+"""Parallel, cache-aware sweep engine.
+
+The serial harness loops over a :class:`SweepConfig` in one process; the
+engine instead decomposes the sweep into independent
+``(benchmark, size, instance, compiler)`` :class:`SweepTask` units, each
+with a deterministic seed derived the same way as the serial loop, and
+executes them across a :class:`concurrent.futures.ProcessPoolExecutor`.
+Identical seeding means ``run_engine(config, jobs=N)`` returns rows with
+the same metrics as the serial path for every ``N`` -- only the
+``seconds`` wall-time column varies.
+
+Fairness: every task compiles with its own :class:`DecomposeCache`
+(parallel mode) or a per-compiler cache (serial mode), so no compiler's
+reported runtime benefits from another compiler having pre-warmed the
+decomposition cache.
+
+With a :class:`~repro.analysis.store.ResultStore` attached, each row is
+persisted the moment its task completes and already-stored tasks are
+never recomputed, so interrupted sweeps resume and grid extensions only
+pay for the new cells.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.analysis.harness import (
+    BenchmarkRow,
+    SweepConfig,
+    build_step,
+    compile_with,
+)
+from repro.analysis.store import ResultStore, config_fingerprint
+from repro.core.decompose import DecomposeCache
+from repro.devices.topology import Device
+
+
+def default_jobs() -> int:
+    """Worker count used when the caller does not specify one."""
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One independent unit of sweep work, fully described by values."""
+
+    benchmark: str
+    gateset: str
+    n_qubits: int
+    instance: int
+    compiler: str
+    instance_seed: int
+    compiler_seed: int
+    qaoa_degree: int = 3
+
+    @property
+    def key(self) -> str:
+        """Stable store key identifying this task within its config."""
+        return (f"{self.benchmark}|{self.gateset}|n{self.n_qubits}"
+                f"|i{self.instance}|{self.compiler}|s{self.instance_seed}"
+                f"|c{self.compiler_seed}|d{self.qaoa_degree}")
+
+
+def expand_tasks(config: SweepConfig) -> list[SweepTask]:
+    """Decompose a sweep into tasks, seeded exactly like the serial loop."""
+    tasks: list[SweepTask] = []
+    for n_qubits in config.sizes:
+        for instance in range(config.instances):
+            instance_seed = config.seed + 7919 * instance + n_qubits
+            for compiler_name in config.compilers:
+                tasks.append(SweepTask(
+                    benchmark=config.benchmark,
+                    gateset=config.gateset,
+                    n_qubits=n_qubits,
+                    instance=instance,
+                    compiler=compiler_name,
+                    instance_seed=instance_seed,
+                    compiler_seed=config.seed + instance,
+                    qaoa_degree=config.qaoa_degree,
+                ))
+    return tasks
+
+
+def execute_task(task: SweepTask, device: Device,
+                 cache: DecomposeCache | None = None) -> BenchmarkRow:
+    """Build and compile one task; the process-pool worker entry point."""
+    step = build_step(task.benchmark, task.n_qubits, task.instance_seed,
+                      task.qaoa_degree)
+    if cache is None:
+        cache = DecomposeCache()
+    start = time.perf_counter()
+    result = compile_with(task.compiler, step, device, task.gateset,
+                          task.compiler_seed, cache)
+    elapsed = time.perf_counter() - start
+    metrics = result.metrics
+    return BenchmarkRow(
+        benchmark=task.benchmark,
+        device=device.name,
+        gateset=task.gateset,
+        n_qubits=task.n_qubits,
+        instance=task.instance,
+        compiler=task.compiler,
+        n_swaps=metrics.n_swaps,
+        n_dressed=metrics.n_dressed,
+        n_two_qubit_gates=metrics.n_two_qubit_gates,
+        two_qubit_depth=metrics.two_qubit_depth,
+        total_depth=metrics.total_depth,
+        seconds=elapsed,
+    )
+
+
+def _edge_map(mapping: dict | None) -> list | None:
+    if mapping is None:
+        return None
+    return sorted([a, b, value] for (a, b), value in mapping.items())
+
+
+def config_key(config: SweepConfig, salt: str | None = None) -> str:
+    """Fingerprint of the sweep *environment* (not the grid).
+
+    Sizes, instance counts and compiler lists are deliberately excluded:
+    they are encoded per-task in :attr:`SweepTask.key`, so extending a
+    grid reuses the rows already stored for the old cells.  Per-edge
+    calibration (errors/weights) *is* included: it changes routing and
+    mapping, so differently-calibrated devices must not share rows.
+    ``salt`` lets callers fold extra state (e.g. a source-code digest)
+    into the key.
+    """
+    device = config.device
+    return config_fingerprint({
+        "benchmark": config.benchmark,
+        "device": {
+            "name": device.name,
+            "n_qubits": device.n_qubits,
+            "edges": [list(edge) for edge in device.edges],
+            "edge_errors": _edge_map(device.edge_errors),
+            "edge_weights": _edge_map(device.edge_weights),
+        },
+        "gateset": config.gateset,
+        "seed": config.seed,
+        "qaoa_degree": config.qaoa_degree,
+        "salt": salt,
+    })
+
+
+def open_store(root: str | Path, config: SweepConfig,
+               salt: str | None = None) -> ResultStore:
+    """The store file for one sweep environment under a store directory."""
+    return ResultStore(Path(root) / f"sweep-{config_key(config, salt)}.jsonl")
+
+
+def run_engine(config: SweepConfig, jobs: int = 1,
+               store: ResultStore | None = None) -> list[BenchmarkRow]:
+    """Run a sweep, in parallel when ``jobs > 1``, resuming from ``store``.
+
+    Returns rows in the same deterministic (size, instance, compiler)
+    order as the serial harness regardless of completion order.
+    """
+    tasks = expand_tasks(config)
+    results: dict[str, BenchmarkRow] = {}
+    if store is not None:
+        stored = store.load()
+        for task in tasks:
+            hit = stored.get(task.key)
+            if hit is not None:
+                results[task.key] = hit
+    # dedupe by key: a config listing a compiler or size twice should
+    # compute (and store) each unique task once; the returned row list
+    # still mirrors the requested task order.
+    seen: set[str] = set()
+    pending = []
+    for task in tasks:
+        if task.key not in results and task.key not in seen:
+            seen.add(task.key)
+            pending.append(task)
+
+    def record(task: SweepTask, row: BenchmarkRow) -> None:
+        results[task.key] = row
+        if store is not None:
+            store.put(task.key, row)
+
+    if pending and jobs > 1:
+        failure: BaseException | None = None
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {pool.submit(execute_task, task, config.device): task
+                       for task in pending}
+            # drain every future even after a failure so rows that did
+            # complete are recorded (and stored) before the error surfaces;
+            # a resume then only recomputes the genuinely missing tasks.
+            for future in as_completed(futures):
+                try:
+                    row = future.result()
+                except BaseException as exc:
+                    if failure is None:
+                        failure = exc
+                    continue
+                record(futures[future], row)
+        if failure is not None:
+            raise failure
+    elif pending:
+        caches: dict[str, DecomposeCache] = {}
+        for task in pending:
+            cache = caches.setdefault(task.compiler, DecomposeCache())
+            record(task, execute_task(task, config.device, cache))
+    return [results[task.key] for task in tasks]
+
+
+def parallel_map(fn: Callable, items: Iterable, jobs: int = 1) -> list:
+    """Order-preserving map over a process pool (serial when jobs <= 1).
+
+    ``fn`` and every item must be picklable; used by the runtime-scaling
+    benchmark to fan independent measurements out across cores.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(fn, items))

@@ -9,7 +9,6 @@ plus the dressed-SWAP count and the NoMap baseline).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -82,13 +81,12 @@ def compile_with(name: str, step: TrotterStep, device: Device,
                  gateset: str, seed: int, cache: DecomposeCache):
     """Dispatch one compiler by name; returns (metrics-bearing result)."""
     if name == "2qan":
-        compiler = TwoQANCompiler(device=device, gateset=gateset, seed=seed)
-        compiler._cache = cache
+        compiler = TwoQANCompiler(device=device, gateset=gateset, seed=seed,
+                                  cache=cache)
         return compiler.compile(step)
     if name == "2qan_nodress":
         compiler = TwoQANCompiler(device=device, gateset=gateset, seed=seed,
-                                  dress=False)
-        compiler._cache = cache
+                                  dress=False, cache=cache)
         return compiler.compile(step)
     if name == "tket":
         return compile_tket_like(step, device, gateset, seed=seed, cache=cache)
@@ -101,54 +99,75 @@ def compile_with(name: str, step: TrotterStep, device: Device,
     raise ValueError(f"unknown compiler {name!r}")
 
 
-def run_sweep(config: SweepConfig) -> list[BenchmarkRow]:
-    """Run all (size, instance, compiler) combinations of a sweep."""
-    rows: list[BenchmarkRow] = []
-    cache = DecomposeCache()
-    for n_qubits in config.sizes:
-        for instance in range(config.instances):
-            instance_seed = config.seed + 7919 * instance + n_qubits
-            step = build_step(config.benchmark, n_qubits, instance_seed,
-                              config.qaoa_degree)
-            for compiler_name in config.compilers:
-                start = time.perf_counter()
-                result = compile_with(compiler_name, step, config.device,
-                                      config.gateset, config.seed + instance,
-                                      cache)
-                elapsed = time.perf_counter() - start
-                metrics = result.metrics
-                rows.append(BenchmarkRow(
-                    benchmark=config.benchmark,
-                    device=config.device.name,
-                    gateset=config.gateset,
-                    n_qubits=n_qubits,
-                    instance=instance,
-                    compiler=compiler_name,
-                    n_swaps=metrics.n_swaps,
-                    n_dressed=metrics.n_dressed,
-                    n_two_qubit_gates=metrics.n_two_qubit_gates,
-                    two_qubit_depth=metrics.two_qubit_depth,
-                    total_depth=metrics.total_depth,
-                    seconds=elapsed,
-                ))
-    return rows
+def run_sweep(config: SweepConfig, jobs: int = 1,
+              store=None) -> list[BenchmarkRow]:
+    """Run all (size, instance, compiler) combinations of a sweep.
+
+    Delegates to :func:`repro.analysis.engine.run_engine`; ``jobs > 1``
+    fans tasks out over a process pool and ``store`` (a
+    :class:`~repro.analysis.store.ResultStore`) makes the sweep
+    resumable.  The defaults preserve the historical serial metrics and
+    row order exactly; only ``seconds`` differs, because each compiler
+    now gets its own decomposition cache (the timing-fairness fix)
+    instead of sharing one warmed by whichever compiler ran first.
+    """
+    from repro.analysis.engine import run_engine
+
+    return run_engine(config, jobs=jobs, store=store)
+
+
+class AmbiguousRowsError(ValueError):
+    """Rows from unrelated sweeps would have been silently averaged."""
+
+
+def _check_homogeneous(selected: list[BenchmarkRow], benchmark: str | None,
+                       device: str | None, gateset: str | None) -> None:
+    for name, wanted in (("benchmark", benchmark), ("device", device),
+                         ("gateset", gateset)):
+        if wanted is not None:
+            continue
+        distinct = {getattr(r, name) for r in selected}
+        if len(distinct) > 1:
+            raise AmbiguousRowsError(
+                f"rows mix several {name}s {sorted(distinct)}; pass "
+                f"{name}=... to select one instead of averaging them"
+            )
 
 
 def aggregate(rows: list[BenchmarkRow], compiler: str, n_qubits: int,
-              attribute: str) -> float:
-    """Mean of one metric over instances."""
-    values = [
-        getattr(r, attribute) for r in rows
+              attribute: str, *, benchmark: str | None = None,
+              device: str | None = None, gateset: str | None = None) -> float:
+    """Mean of one metric over instances.
+
+    Rows are selected by ``compiler`` and ``n_qubits`` plus any of the
+    optional ``benchmark``/``device``/``gateset`` filters.  If a filter
+    is omitted and the selected rows disagree on that field, the call
+    raises :class:`AmbiguousRowsError` rather than silently averaging
+    measurements from unrelated sweeps.
+    """
+    selected = [
+        r for r in rows
         if r.compiler == compiler and r.n_qubits == n_qubits
+        and (benchmark is None or r.benchmark == benchmark)
+        and (device is None or r.device == device)
+        and (gateset is None or r.gateset == gateset)
     ]
-    if not values:
+    if not selected:
         raise ValueError(f"no rows for {compiler} at n={n_qubits}")
-    return float(np.mean(values))
+    _check_homogeneous(selected, benchmark, device, gateset)
+    return float(np.mean([getattr(r, attribute) for r in selected]))
 
 
 def format_rows(rows: list[BenchmarkRow], attribute: str,
-                compilers: tuple[str, ...] | None = None) -> str:
-    """Figure-style text table: one line per size, one column per compiler."""
+                compilers: tuple[str, ...] | None = None, *,
+                benchmark: str | None = None, device: str | None = None,
+                gateset: str | None = None) -> str:
+    """Figure-style text table: one line per size, one column per compiler.
+
+    The same mixed-sweep guard as :func:`aggregate` applies: tabulating
+    rows that span several benchmarks/devices/gatesets without an
+    explicit filter raises :class:`AmbiguousRowsError`.
+    """
     if not rows:
         return "(no data)"
     if compilers is None:
@@ -160,7 +179,12 @@ def format_rows(rows: list[BenchmarkRow], attribute: str,
         cells = []
         for compiler in compilers:
             try:
-                cells.append(f"{aggregate(rows, compiler, n, attribute):12.1f}")
+                value = aggregate(rows, compiler, n, attribute,
+                                  benchmark=benchmark, device=device,
+                                  gateset=gateset)
+                cells.append(f"{value:12.1f}")
+            except AmbiguousRowsError:
+                raise
             except ValueError:
                 cells.append(f"{'-':>12s}")
         lines.append(f"{n:4d} " + "".join(cells))

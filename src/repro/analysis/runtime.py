@@ -46,6 +46,36 @@ def measure_runtime(label: str, step: TrotterStep, device: Device,
     )
 
 
+@dataclass(frozen=True)
+class RuntimeSpec:
+    """A picklable description of one runtime measurement.
+
+    Workers rebuild the Trotter step from the benchmark name and seed, so
+    a list of specs can be fanned out across a process pool with
+    :func:`repro.analysis.engine.parallel_map`.
+    """
+
+    label: str
+    benchmark: str
+    n_qubits: int
+    device: Device
+    gateset: str = "CNOT"
+    seed: int = 0
+    mapping_trials: int = 5
+    qaoa_degree: int = 3
+
+
+def measure_runtime_spec(spec: RuntimeSpec) -> RuntimeRecord:
+    """Build the spec's problem and measure one compilation."""
+    from repro.analysis.harness import build_step
+
+    step = build_step(spec.benchmark, spec.n_qubits, spec.seed,
+                      spec.qaoa_degree)
+    return measure_runtime(spec.label, step, spec.device,
+                           gateset=spec.gateset, seed=spec.seed,
+                           mapping_trials=spec.mapping_trials)
+
+
 def format_runtime_table(records: list[RuntimeRecord]) -> str:
     header = (
         f"{'benchmark':24s} {'n':>4s} {'ops':>5s} {'map(s)':>8s} "

@@ -1,0 +1,114 @@
+"""Persistent on-disk result store for experiment sweeps.
+
+A :class:`ResultStore` is an append-only JSON-lines file: one line per
+completed ``(benchmark, size, instance, compiler)`` task, written as soon
+as the task finishes.  Interrupted sweeps therefore resume exactly where
+they stopped -- the engine replays the file, skips every task whose key
+is already present, and only computes the remainder.
+
+Store files are named by a *config fingerprint* (a SHA-256 prefix over
+the sweep's environment: benchmark family, device topology incl.
+calibration, gate set, base seed), so sweeps with different
+environments never share a file while re-runs and grid *extensions*
+(more sizes, more compilers) of the same environment reuse every row
+already on disk.
+
+Caveat: resumed rows are returned verbatim, including their ``seconds``
+wall time, which was measured under whatever parallelism/load the
+original run had.  Metrics are deterministic; timings are informational.
+Use :mod:`repro.analysis.runtime` (which never touches the store) for
+paper-grade timing measurements.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+
+from repro.analysis.harness import BenchmarkRow
+
+_ROW_FIELDS = tuple(f.name for f in dataclasses.fields(BenchmarkRow))
+
+
+def row_to_dict(row: BenchmarkRow) -> dict:
+    """Serialise one row to a plain JSON-compatible dict."""
+    return dataclasses.asdict(row)
+
+
+def row_from_dict(payload: dict) -> BenchmarkRow:
+    """Inverse of :func:`row_to_dict` (ignores unknown keys)."""
+    return BenchmarkRow(**{name: payload[name] for name in _ROW_FIELDS})
+
+
+def config_fingerprint(payload: dict) -> str:
+    """Stable short hash of a JSON-compatible config description."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def source_digest() -> str:
+    """Digest of the installed ``repro`` sources.
+
+    Stored rows depend on the compiler implementation as much as on the
+    sweep config; salting a store key with this digest makes any code
+    change invalidate the cache instead of silently replaying rows
+    computed by an older compiler.
+    """
+    import repro
+
+    root = Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+class ResultStore:
+    """Append-only JSON-lines store mapping task keys to benchmark rows.
+
+    ``__contains__``/``__len__`` re-parse the file on every call; for
+    bulk membership checks call :meth:`load` once and query the dict
+    (as the engine does).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def load(self) -> dict[str, BenchmarkRow]:
+        """Read every stored row; tolerates a torn final line.
+
+        A sweep killed mid-write leaves a truncated last line; it is
+        dropped (that task simply reruns) instead of poisoning the store.
+        """
+        rows: dict[str, BenchmarkRow] = {}
+        if not self.path.exists():
+            return rows
+        with self.path.open() as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                    rows[payload["task"]] = row_from_dict(payload["row"])
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    continue
+        return rows
+
+    def put(self, key: str, row: BenchmarkRow) -> None:
+        """Append one completed task; durable immediately."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps({"task": key, "row": row_to_dict(row)},
+                          sort_keys=True)
+        with self.path.open("a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.load()
+
+    def __len__(self) -> int:
+        return len(self.load())

@@ -67,11 +67,13 @@ class TwoQANCompiler:
     hybrid_schedule: bool = True
     swap_criteria: tuple[str, ...] = ("count", "depth", "dress")
     solve_angles: bool = False
+    cache: DecomposeCache | None = None
 
     def __post_init__(self) -> None:
         if isinstance(self.gateset, str):
             self.gateset = get_gateset(self.gateset)
-        self._cache = DecomposeCache()
+        if self.cache is None:
+            self.cache = DecomposeCache()
 
     # ------------------------------------------------------------------
     def compile(self, step: TrotterStep,
@@ -109,7 +111,7 @@ class TwoQANCompiler:
         app_circuit = scheduled.to_circuit()
         circuit = decompose_circuit(app_circuit, self.gateset,
                                     solve=self.solve_angles, seed=self.seed,
-                                    cache=self._cache)
+                                    cache=self.cache)
         timings["decomposition"] = time.perf_counter() - t0
 
         metrics = CircuitMetrics.from_circuit(
@@ -173,7 +175,7 @@ class TwoQANCompiler:
         app_circuit = first.scheduled.to_circuit()
         return decompose_circuit(app_circuit, self.gateset,
                                  solve=self.solve_angles, seed=self.seed,
-                                 cache=self._cache)
+                                 cache=self.cache)
 
 
     # ------------------------------------------------------------------

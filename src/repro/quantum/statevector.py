@@ -86,8 +86,16 @@ class Statevector:
         """Relabel qubits: amplitude of qubit ``q`` moves to ``permutation[q]``.
 
         Used to undo the qubit relabelling produced by routing SWAPs when
-        checking compiled-circuit semantics.
+        checking compiled-circuit semantics.  ``permutation`` must be a
+        bijection on all ``n_qubits`` qubit labels; a partial or
+        non-bijective dict would silently scramble amplitudes.
         """
+        labels = set(range(self.n_qubits))
+        if set(permutation) != labels or set(permutation.values()) != labels:
+            raise ValueError(
+                f"permutation must map every qubit 0..{self.n_qubits - 1} "
+                f"to a distinct qubit; got {permutation!r}"
+            )
         axes = [0] * self.n_qubits
         for src, dst in permutation.items():
             axes[dst] = src

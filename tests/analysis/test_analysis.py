@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.harness import (
+    AmbiguousRowsError,
     BenchmarkRow,
     SweepConfig,
     aggregate,
@@ -13,7 +14,12 @@ from repro.analysis.harness import (
     run_sweep,
 )
 from repro.analysis.overhead import reduction_table, summarize_reductions
-from repro.analysis.runtime import format_runtime_table, measure_runtime
+from repro.analysis.runtime import (
+    RuntimeSpec,
+    format_runtime_table,
+    measure_runtime,
+    measure_runtime_spec,
+)
 from repro.core.decompose import DecomposeCache
 from repro.devices import aspen, grid, line, montreal
 from repro.hamiltonians.trotter import trotter_step
@@ -122,6 +128,14 @@ class TestRuntime:
         table = format_runtime_table([record])
         assert "ising8" in table
 
+    def test_spec_worker(self):
+        spec = RuntimeSpec("ising8", "NNN_Ising", 8, montreal(),
+                           mapping_trials=1)
+        record = measure_runtime_spec(spec)
+        assert record.label == "ising8"
+        assert record.n_qubits == 8
+        assert record.total_s > 0
+
 
 class TestFormatting:
     def test_format_rows_missing_compiler_dash(self):
@@ -142,3 +156,60 @@ class TestFormatting:
         ]
         table = format_rows(rows, "n_two_qubit_gates")
         assert "2qan" in table and "nomap" in table
+
+
+class TestCrossSweepContamination:
+    """Concatenated rows from unrelated sweeps must not silently average."""
+
+    MIXED = [
+        BenchmarkRow("NNN_Ising", "aspen-16", "CNOT", 6, 0, "2qan",
+                     1, 1, 10, 5, 8, 0.1),
+        BenchmarkRow("NNN_Heisenberg", "aspen-16", "CNOT", 6, 0, "2qan",
+                     3, 2, 30, 15, 20, 0.1),
+    ]
+
+    def test_mixed_benchmarks_raise(self):
+        with pytest.raises(AmbiguousRowsError):
+            aggregate(self.MIXED, "2qan", 6, "n_swaps")
+
+    def test_explicit_benchmark_filter_selects(self):
+        value = aggregate(self.MIXED, "2qan", 6, "n_swaps",
+                          benchmark="NNN_Ising")
+        assert value == 1
+
+    def test_mixed_devices_raise(self):
+        rows = [
+            BenchmarkRow("NNN_Ising", "aspen-16", "CNOT", 6, 0, "2qan",
+                         1, 1, 10, 5, 8, 0.1),
+            BenchmarkRow("NNN_Ising", "montreal-27", "CNOT", 6, 0, "2qan",
+                         2, 1, 12, 6, 9, 0.1),
+        ]
+        with pytest.raises(AmbiguousRowsError):
+            aggregate(rows, "2qan", 6, "n_swaps")
+        assert aggregate(rows, "2qan", 6, "n_swaps",
+                         device="montreal-27") == 2
+
+    def test_mixed_gatesets_raise(self):
+        rows = [
+            BenchmarkRow("NNN_Ising", "aspen-16", "CNOT", 6, 0, "2qan",
+                         1, 1, 10, 5, 8, 0.1),
+            BenchmarkRow("NNN_Ising", "aspen-16", "CZ", 6, 0, "2qan",
+                         1, 1, 20, 9, 12, 0.1),
+        ]
+        with pytest.raises(AmbiguousRowsError):
+            aggregate(rows, "2qan", 6, "n_two_qubit_gates")
+        assert aggregate(rows, "2qan", 6, "n_two_qubit_gates",
+                         gateset="CZ") == 20
+
+    def test_format_rows_propagates_ambiguity(self):
+        with pytest.raises(AmbiguousRowsError):
+            format_rows(self.MIXED, "n_swaps")
+
+    def test_format_rows_with_filter(self):
+        table = format_rows(self.MIXED, "n_swaps",
+                            benchmark="NNN_Heisenberg")
+        assert "3.0" in table
+
+    def test_homogeneous_rows_unaffected(self):
+        homogeneous = [r for r in self.MIXED if r.benchmark == "NNN_Ising"]
+        assert aggregate(homogeneous, "2qan", 6, "n_swaps") == 1

@@ -1,0 +1,202 @@
+"""Tests for the parallel sweep engine and its store integration."""
+
+import dataclasses
+
+import pytest
+
+import repro.analysis.engine as engine_module
+from repro.analysis.engine import (
+    SweepTask,
+    config_key,
+    execute_task,
+    expand_tasks,
+    open_store,
+    parallel_map,
+    run_engine,
+)
+from repro.analysis.harness import SweepConfig, run_sweep
+from repro.devices import aspen, line, montreal
+
+CONFIG = SweepConfig("NNN_Ising", aspen(), "CNOT", (6, 8),
+                     compilers=("2qan", "nomap"))
+
+
+def metrics_only(row):
+    """Row minus the wall-time column (the only engine-order-dependent bit)."""
+    return dataclasses.replace(row, seconds=0.0)
+
+
+class TestExpandTasks:
+    def test_count_and_order(self):
+        tasks = expand_tasks(CONFIG)
+        assert len(tasks) == 2 * 2
+        assert [(t.n_qubits, t.compiler) for t in tasks] == [
+            (6, "2qan"), (6, "nomap"), (8, "2qan"), (8, "nomap"),
+        ]
+
+    def test_seeding_matches_serial_convention(self):
+        config = SweepConfig("QAOA-REG-3", montreal(), "CNOT", (6,),
+                             compilers=("2qan",), instances=2, seed=5)
+        tasks = expand_tasks(config)
+        assert tasks[0].instance_seed == 5 + 6
+        assert tasks[1].instance_seed == 5 + 7919 + 6
+        assert tasks[1].compiler_seed == 6
+
+    def test_keys_unique(self):
+        tasks = expand_tasks(CONFIG)
+        assert len({t.key for t in tasks}) == len(tasks)
+
+
+class TestExecuteTask:
+    def test_single_task(self):
+        task = SweepTask("NNN_Ising", "CNOT", 6, 0, "2qan",
+                         instance_seed=6, compiler_seed=0)
+        row = execute_task(task, aspen())
+        assert row.device == "aspen-16"
+        assert row.n_two_qubit_gates > 0
+        assert row.seconds > 0
+
+
+class TestEngineVsSerial:
+    def test_serial_engine_matches_run_sweep(self):
+        engine_rows = run_engine(CONFIG, jobs=1)
+        sweep_rows = run_sweep(CONFIG)
+        assert [metrics_only(r) for r in engine_rows] == \
+            [metrics_only(r) for r in sweep_rows]
+
+    def test_parallel_matches_serial(self):
+        serial = run_engine(CONFIG, jobs=1)
+        parallel = run_engine(CONFIG, jobs=2)
+        assert [metrics_only(r) for r in parallel] == \
+            [metrics_only(r) for r in serial]
+
+
+class TestStoreIntegration:
+    def test_rows_persist(self, tmp_path):
+        store = open_store(tmp_path, CONFIG)
+        rows = run_engine(CONFIG, jobs=1, store=store)
+        assert len(store.load()) == len(rows)
+
+    def test_resume_recomputes_nothing(self, tmp_path, monkeypatch):
+        store = open_store(tmp_path, CONFIG)
+        first = run_engine(CONFIG, jobs=1, store=store)
+
+        def explode(*args, **kwargs):
+            raise AssertionError("task recomputed despite full store")
+
+        monkeypatch.setattr(engine_module, "execute_task", explode)
+        second = run_engine(CONFIG, jobs=1, store=store)
+        assert second == first
+
+    def test_partial_store_runs_only_missing(self, tmp_path, monkeypatch):
+        store = open_store(tmp_path, CONFIG)
+        tasks = expand_tasks(CONFIG)
+        store.put(tasks[0].key, execute_task(tasks[0], CONFIG.device))
+
+        executed = []
+        real = engine_module.execute_task
+
+        def counting(task, device, cache=None):
+            executed.append(task.key)
+            return real(task, device, cache)
+
+        monkeypatch.setattr(engine_module, "execute_task", counting)
+        rows = run_engine(CONFIG, jobs=1, store=store)
+        assert len(rows) == len(tasks)
+        assert tasks[0].key not in executed
+        assert len(executed) == len(tasks) - 1
+
+    def test_grid_extension_reuses_old_cells(self, tmp_path, monkeypatch):
+        small = dataclasses.replace(CONFIG, sizes=(6,))
+        run_engine(small, jobs=1, store=open_store(tmp_path, small))
+
+        executed = []
+        real = engine_module.execute_task
+
+        def counting(task, device, cache=None):
+            executed.append(task.n_qubits)
+            return real(task, device, cache)
+
+        monkeypatch.setattr(engine_module, "execute_task", counting)
+        big = dataclasses.replace(CONFIG, sizes=(6, 8))
+        rows = run_engine(big, jobs=1, store=open_store(tmp_path, big))
+        assert len(rows) == 4
+        assert set(executed) == {8}
+
+    def test_config_key_separates_environments(self):
+        other_seed = dataclasses.replace(CONFIG, seed=99)
+        other_device = dataclasses.replace(CONFIG, device=line(8))
+        bigger_grid = dataclasses.replace(CONFIG, sizes=(6, 8, 10))
+        assert config_key(CONFIG) != config_key(other_seed)
+        assert config_key(CONFIG) != config_key(other_device)
+        assert config_key(CONFIG) == config_key(bigger_grid)
+
+    def test_parallel_failure_still_records_completed_rows(self, tmp_path):
+        config = SweepConfig("NNN_Heisenberg", aspen(), "CNOT", (6,),
+                             compilers=("2qan", "ic_qaoa", "nomap"))
+        store = open_store(tmp_path, config)
+        with pytest.raises(ValueError):
+            run_engine(config, jobs=2, store=store)   # ic_qaoa rejects this
+        stored = store.load()
+        assert len(stored) == 2
+        assert {row.compiler for row in stored.values()} == {"2qan", "nomap"}
+
+    def test_duplicate_tasks_computed_once(self, tmp_path, monkeypatch):
+        config = SweepConfig("NNN_Ising", aspen(), "CNOT", (6,),
+                             compilers=("2qan", "2qan"))
+        executed = []
+        real = engine_module.execute_task
+
+        def counting(task, device, cache=None):
+            executed.append(task.key)
+            return real(task, device, cache)
+
+        monkeypatch.setattr(engine_module, "execute_task", counting)
+        store = open_store(tmp_path, config)
+        rows = run_engine(config, jobs=1, store=store)
+        assert len(rows) == 2 and rows[0] == rows[1]
+        assert len(executed) == 1
+        assert len(store.load()) == 1
+
+    def test_config_key_separates_device_calibration(self):
+        from repro.devices.topology import Device
+        base = CONFIG.device
+        calibrated = Device(base.name, base.n_qubits, base.edges,
+                            edge_errors={(0, 1): 0.02})
+        weighted = Device(base.name, base.n_qubits, base.edges,
+                          edge_weights={(0, 1): 3.0})
+        assert config_key(CONFIG) != \
+            config_key(dataclasses.replace(CONFIG, device=calibrated))
+        assert config_key(CONFIG) != \
+            config_key(dataclasses.replace(CONFIG, device=weighted))
+
+    def test_config_key_salt(self):
+        assert config_key(CONFIG) != config_key(CONFIG, salt="code-v2")
+        assert config_key(CONFIG, salt="a") != config_key(CONFIG, salt="b")
+
+
+class TestCacheFairness:
+    def test_serial_mode_gives_each_compiler_its_own_cache(self, monkeypatch):
+        seen = {}
+        real = engine_module.execute_task
+
+        def capture(task, device, cache=None):
+            seen.setdefault(task.compiler, set()).add(id(cache))
+            return real(task, device, cache)
+
+        monkeypatch.setattr(engine_module, "execute_task", capture)
+        run_engine(CONFIG, jobs=1)
+        # one cache per compiler, reused across sizes, never shared
+        assert all(len(ids) == 1 for ids in seen.values())
+        assert seen["2qan"].isdisjoint(seen["nomap"])
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(abs, [-1, 2, -3], jobs=1) == [1, 2, 3]
+
+    def test_parallel_preserves_order(self):
+        assert parallel_map(abs, [-1, 2, -3], jobs=2) == [1, 2, 3]
+
+    def test_empty(self):
+        assert parallel_map(abs, [], jobs=4) == []

@@ -1,0 +1,92 @@
+"""Tests for the persistent JSON-lines result store."""
+
+import json
+
+from repro.analysis.harness import BenchmarkRow
+from repro.analysis.store import (
+    ResultStore,
+    config_fingerprint,
+    row_from_dict,
+    row_to_dict,
+    source_digest,
+)
+
+
+def make_row(**overrides) -> BenchmarkRow:
+    base = dict(benchmark="NNN_Ising", device="aspen-16", gateset="CNOT",
+                n_qubits=6, instance=0, compiler="2qan", n_swaps=1,
+                n_dressed=1, n_two_qubit_gates=10, two_qubit_depth=5,
+                total_depth=8, seconds=0.1)
+    base.update(overrides)
+    return BenchmarkRow(**base)
+
+
+class TestRowSerialisation:
+    def test_roundtrip(self):
+        row = make_row()
+        assert row_from_dict(row_to_dict(row)) == row
+
+    def test_unknown_keys_ignored(self):
+        payload = row_to_dict(make_row())
+        payload["extra"] = "future-field"
+        assert row_from_dict(payload) == make_row()
+
+
+class TestFingerprint:
+    def test_stable(self):
+        payload = {"a": 1, "b": [1, 2]}
+        assert config_fingerprint(payload) == config_fingerprint(dict(payload))
+
+    def test_order_independent(self):
+        assert config_fingerprint({"a": 1, "b": 2}) == \
+            config_fingerprint({"b": 2, "a": 1})
+
+    def test_distinguishes(self):
+        assert config_fingerprint({"a": 1}) != config_fingerprint({"a": 2})
+
+    def test_source_digest_stable_and_short(self):
+        digest = source_digest()
+        assert digest == source_digest()
+        assert len(digest) == 16
+
+
+class TestResultStore:
+    def test_empty(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        assert store.load() == {}
+        assert len(store) == 0
+
+    def test_put_and_load(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        row = make_row()
+        store.put("k1", row)
+        store.put("k2", make_row(compiler="tket"))
+        loaded = store.load()
+        assert loaded["k1"] == row
+        assert loaded["k2"].compiler == "tket"
+        assert "k1" in store and "missing" not in store
+
+    def test_creates_parent_dirs(self, tmp_path):
+        store = ResultStore(tmp_path / "deep" / "nested" / "s.jsonl")
+        store.put("k", make_row())
+        assert len(store) == 1
+
+    def test_latest_write_wins(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        store.put("k", make_row(n_swaps=1))
+        store.put("k", make_row(n_swaps=9))
+        assert store.load()["k"].n_swaps == 9
+
+    def test_torn_final_line_dropped(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        store.put("good", make_row())
+        with store.path.open("a") as handle:
+            handle.write('{"task": "torn", "row": {"benchm')
+        loaded = store.load()
+        assert set(loaded) == {"good"}
+
+    def test_reload_from_disk(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        ResultStore(path).put("k", make_row())
+        assert json.loads(path.read_text().splitlines()[0])["task"] == "k"
+        assert ResultStore(path).load()["k"] == make_row()

@@ -53,6 +53,33 @@ class TestBasics:
         assert result.qap_cost > 0
 
 
+class TestCacheInjection:
+    def test_public_cache_field_used(self, montreal_device):
+        from repro.core.decompose import DecomposeCache
+        cache = DecomposeCache()
+        compiler = TwoQANCompiler(montreal_device, "CNOT", seed=0,
+                                  cache=cache)
+        assert compiler.cache is cache
+        compiler.compile(trotter_step(nnn_ising(6, seed=0)))
+        assert len(cache._store) > 0
+
+    def test_default_cache_created(self, montreal_device):
+        from repro.core.decompose import DecomposeCache
+        compiler = TwoQANCompiler(montreal_device, "CNOT", seed=0)
+        assert isinstance(compiler.cache, DecomposeCache)
+
+    def test_shared_cache_across_compilers(self, montreal_device):
+        from repro.core.decompose import DecomposeCache
+        cache = DecomposeCache()
+        step = trotter_step(nnn_ising(6, seed=0))
+        TwoQANCompiler(montreal_device, "CNOT", seed=0,
+                       cache=cache).compile(step)
+        warm = len(cache._store)
+        TwoQANCompiler(montreal_device, "CNOT", seed=0,
+                       cache=cache).compile(step)
+        assert len(cache._store) == warm
+
+
 class TestHeadlineBehaviour:
     """The properties the paper's abstract claims."""
 

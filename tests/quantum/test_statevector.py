@@ -128,6 +128,26 @@ class TestPermutation:
         swapped = state.permute({0: 1, 1: 0})
         assert abs(swapped.amplitudes[1]) == 1  # |01>
 
+    def test_partial_permutation_rejected(self):
+        state = Statevector.zero(3)
+        with pytest.raises(ValueError, match="bijection|distinct"):
+            state.permute({0: 1, 1: 0})          # qubit 2 missing
+
+    def test_non_bijective_permutation_rejected(self):
+        state = Statevector.zero(2)
+        with pytest.raises(ValueError):
+            state.permute({0: 1, 1: 1})          # two qubits -> one slot
+
+    def test_out_of_range_permutation_rejected(self):
+        state = Statevector.zero(2)
+        with pytest.raises(ValueError):
+            state.permute({0: 2, 1: 0})
+
+    def test_identity_permutation_ok(self):
+        state = Statevector.plus(2)
+        same = state.permute({0: 0, 1: 1})
+        assert np.allclose(same.amplitudes, state.amplitudes)
+
 
 class TestCircuitApplication:
     def test_size_mismatch(self):

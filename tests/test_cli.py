@@ -1,8 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.__main__ import main, make_parser
+from repro.__main__ import main, make_parser, make_sweep_parser
 
 
 class TestParser:
@@ -45,3 +47,79 @@ class TestMain:
         code = main(["--qubits", "30", "--device", "montreal"])
         assert code == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestSweepParser:
+    def test_defaults(self):
+        args = make_sweep_parser().parse_args([])
+        assert args.sizes == "6,10,14"
+        assert args.jobs is None
+        assert args.store is None
+
+    def test_invalid_device(self):
+        with pytest.raises(SystemExit):
+            make_sweep_parser().parse_args(["--device", "bogus"])
+
+
+class TestSweepCommand:
+    ARGS = ["sweep", "--benchmark", "NNN_Ising", "--device", "aspen",
+            "--gateset", "CNOT", "--sizes", "6", "--compilers",
+            "2qan,nomap", "--jobs", "1"]
+
+    def test_text_tables(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "[n_swaps]" in out
+        assert "2qan" in out and "nomap" in out
+
+    def test_json_output(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 2
+        assert {r["compiler"] for r in rows} == {"2qan", "nomap"}
+        assert all(r["benchmark"] == "NNN_Ising" for r in rows)
+
+    def test_store_resume(self, tmp_path, capsys):
+        store_args = self.ARGS + ["--store", str(tmp_path)]
+        assert main(store_args) == 0
+        stored = list(tmp_path.glob("sweep-*.jsonl"))
+        assert len(stored) == 1
+        first = stored[0].read_text()
+        assert main(store_args) == 0
+        # second run recomputed nothing: the store file is unchanged
+        assert stored[0].read_text() == first
+
+    def test_bad_sizes(self, capsys):
+        code = main(["sweep", "--sizes", "six"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_compiler(self, capsys):
+        code = main(["sweep", "--compilers", "2qan,bogus"])
+        assert code == 1
+        assert "bogus" in capsys.readouterr().err
+
+    def test_unknown_metric_rejected_before_compute(self, capsys):
+        code = main(["sweep", "--metrics", "n_swap"])
+        assert code == 1
+        assert "n_swap" in capsys.readouterr().err
+
+    def test_help_mentions_sweep(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        assert "sweep" in capsys.readouterr().out
+
+    def test_oversized_sweep_rejected(self, capsys):
+        code = main(["sweep", "--device", "aspen", "--sizes", "30"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_zero_instances_rejected(self, capsys):
+        code = main(["sweep", "--instances", "0"])
+        assert code == 1
+        assert "--instances" in capsys.readouterr().err
+
+    def test_zero_jobs_rejected(self, capsys):
+        code = main(["sweep", "--jobs", "0"])
+        assert code == 1
+        assert "--jobs" in capsys.readouterr().err
