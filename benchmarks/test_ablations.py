@@ -12,11 +12,9 @@ and measures the damage:
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.compiler import TwoQANCompiler
 from repro.core.routing import route
-from repro.core.scheduling import schedule_alap
 from repro.core.unify import unify_circuit_operators
 from repro.devices import montreal
 from repro.hamiltonians.models import nnn_heisenberg

@@ -9,7 +9,6 @@ undressed SWAP costs 3).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.analysis.harness import SweepConfig, aggregate, format_rows

@@ -8,7 +8,6 @@ overhead is then ~3x its 1-layer overhead.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.compiler import TwoQANCompiler
 from repro.devices import montreal

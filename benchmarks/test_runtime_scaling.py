@@ -9,7 +9,6 @@ stay comfortably below it at larger sizes.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis.engine import parallel_map
 from repro.analysis.runtime import (

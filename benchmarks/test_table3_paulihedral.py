@@ -10,7 +10,6 @@ a Manhattan-like 65-qubit heavy-hex device.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.compiler import TwoQANCompiler
 from repro.devices import all_to_all, manhattan

@@ -9,7 +9,6 @@ the exact evolution -- the full workflow a physicist would run.
 Run with ``python examples/verified_simulation.py``.
 """
 
-import numpy as np
 import scipy.linalg as sla
 
 from repro import TwoQANCompiler, trotter_step

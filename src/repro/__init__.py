@@ -30,6 +30,7 @@ Subpackages
 
 from repro.core.compiler import CompilationResult, TwoQANCompiler, compile_step
 from repro.core.metrics import CircuitMetrics
+from repro.core.registry import compiler_names, get_compiler
 from repro.hamiltonians.models import nnn_heisenberg, nnn_ising, nnn_xy
 from repro.hamiltonians.qaoa import QAOAProblem, make_qaoa_problem
 from repro.hamiltonians.trotter import TrotterStep, trotter_step
@@ -42,6 +43,8 @@ __all__ = [
     "TwoQANCompiler",
     "CompilationResult",
     "compile_step",
+    "get_compiler",
+    "compiler_names",
     "CircuitMetrics",
     "Circuit",
     "Gate",

@@ -6,6 +6,9 @@ Examples::
         --device montreal --gateset CNOT
     python -m repro --benchmark QAOA-REG-3 --qubits 12 --device sycamore \
         --gateset SYC --compare
+    python -m repro compile --compiler tket --benchmark NNN_Ising \
+        --qubits 8 --device aspen
+    python -m repro compile --list-compilers
     python -m repro sweep --benchmark NNN_Ising --device aspen \
         --gateset CNOT --sizes 6,8,10 --jobs 4 --store results/store
 """
@@ -14,18 +17,30 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 
-from repro.analysis.harness import SweepConfig, build_step, format_rows
-from repro.baselines import compile_nomap, compile_qiskit_like, compile_tket_like
-from repro.core.compiler import TwoQANCompiler
+from repro.analysis.harness import (
+    SweepConfig,
+    build_step,
+    format_pass_timings,
+    format_rows,
+)
+from repro.core.registry import (
+    compiler_names,
+    compiler_specs,
+    get_compiler,
+    resolve_spec,
+)
 from repro.devices.library import all_to_all, by_name
 
 BENCHMARKS = ["NNN_Heisenberg", "NNN_XY", "NNN_Ising", "QAOA-REG-3"]
 DEVICES = ["montreal", "sycamore", "aspen", "manhattan", "all-to-all"]
 GATESETS = ["CNOT", "CZ", "SYC", "ISWAP"]
-SWEEP_COMPILERS = ["2qan", "2qan_nodress", "tket", "qiskit", "ic_qaoa",
-                   "nomap"]
+SWEEP_COMPILERS = list(compiler_names())
+COMPILER_CHOICES = sorted(
+    {name for spec in compiler_specs() for name in (spec.name, *spec.aliases)}
+)
 SWEEP_METRICS = ["n_swaps", "n_dressed", "n_two_qubit_gates",
                  "two_qubit_depth", "total_depth", "seconds"]
 
@@ -35,9 +50,10 @@ def make_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="2QAN reproduction: compile 2-local Hamiltonian "
                     "simulation benchmarks onto NISQ devices",
-        epilog="subcommand: 'repro sweep ...' runs a parallel, resumable "
-               "(sizes x instances x compilers) sweep; see "
-               "'repro sweep --help'",
+        epilog="subcommands: 'repro compile ...' compiles one benchmark "
+               "with any registered compiler; 'repro sweep ...' runs a "
+               "parallel, resumable (sizes x instances x compilers) "
+               "sweep; see 'repro compile --help' / 'repro sweep --help'",
     )
     parser.add_argument("--benchmark", default="NNN_Heisenberg",
                         choices=BENCHMARKS,
@@ -77,6 +93,106 @@ def _resolve_device(name: str, max_qubits: int):
     return device
 
 
+# ----------------------------------------------------------------------
+# repro compile
+# ----------------------------------------------------------------------
+def make_compile_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro compile",
+        description="Compile one benchmark instance with any compiler "
+                    "from the registry and print metrics + pass timings",
+    )
+    parser.add_argument("--compiler", default="2qan",
+                        choices=COMPILER_CHOICES,
+                        help="registry name (or alias) of the compiler")
+    parser.add_argument("--benchmark", default="NNN_Heisenberg",
+                        choices=BENCHMARKS, help="benchmark family")
+    parser.add_argument("--qubits", type=int, default=10,
+                        help="problem size")
+    parser.add_argument("--device", default="montreal", choices=DEVICES,
+                        help="target device")
+    parser.add_argument("--gateset", default="CNOT", choices=GATESETS,
+                        help="hardware two-qubit basis")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", action="store_true",
+                        help="emit metrics/timings as JSON")
+    parser.add_argument("--list-compilers", action="store_true",
+                        help="list registered compilers and exit")
+    return parser
+
+
+def _print_compiler_list() -> None:
+    print("registered compilers:")
+    for spec in compiler_specs():
+        alias = (f" (aliases: {', '.join(spec.aliases)})"
+                 if spec.aliases else "")
+        print(f"  {spec.name:14s} {spec.summary}{alias}")
+
+
+def compile_main(argv: list[str]) -> int:
+    args = make_compile_parser().parse_args(argv)
+    if args.list_compilers:
+        _print_compiler_list()
+        return 0
+    spec = resolve_spec(args.compiler)
+    if spec.requires_device:
+        device = _resolve_device(args.device, args.qubits)
+        if device is None:
+            return 1
+    else:
+        # NoMap/Paulihedral compile on all-to-all connectivity whatever
+        # device is named; size the label accordingly instead of
+        # rejecting problems larger than the named device.
+        device = all_to_all(args.qubits)
+    gateset = args.gateset if spec.uses_gateset else None
+    step = build_step(args.benchmark, args.qubits, args.seed)
+    compiler = get_compiler(args.compiler, device=device,
+                            gateset=args.gateset, seed=args.seed)
+    try:
+        result = compiler.compile(step)
+    except ValueError as exc:
+        # e.g. ic_qaoa on a benchmark without mutually commuting layers
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    metrics = result.metrics
+    if args.json:
+        payload = {
+            "compiler": args.compiler,
+            "benchmark": args.benchmark,
+            "n_qubits": args.qubits,
+            "device": device.name,
+            "gateset": gateset,
+            "seed": args.seed,
+            "n_swaps": metrics.n_swaps,
+            "n_dressed": metrics.n_dressed,
+            "n_two_qubit_gates": metrics.n_two_qubit_gates,
+            "two_qubit_depth": metrics.two_qubit_depth,
+            "total_depth": metrics.total_depth,
+            "qap_cost": (None if math.isnan(result.qap_cost)
+                         else result.qap_cost),
+            "timings": result.timings,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    basis = (f"{gateset} basis" if gateset is not None
+             else "idealised CNOT cost model")
+    print(f"{args.benchmark} n={args.qubits} on {device.name} ({basis})")
+    print(f"  {args.compiler}: swaps={metrics.n_swaps} "
+          f"dressed={metrics.n_dressed} "
+          f"2q-gates={metrics.n_two_qubit_gates} "
+          f"2q-depth={metrics.two_qubit_depth} "
+          f"depth={metrics.total_depth}")
+    if not math.isnan(result.qap_cost):
+        print(f"  qap-cost={result.qap_cost:.0f}")
+    print("  pass timings: " + ", ".join(
+        f"{name}={seconds * 1000:.0f}ms"
+        for name, seconds in result.timings.items()))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# repro sweep
+# ----------------------------------------------------------------------
 def make_sweep_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro sweep",
@@ -106,6 +222,8 @@ def make_sweep_parser() -> argparse.ArgumentParser:
                         default="n_swaps,n_two_qubit_gates,two_qubit_depth",
                         help=f"comma-separated subset of {SWEEP_METRICS} "
                              "for the text tables")
+    parser.add_argument("--pass-timings", action="store_true",
+                        help="also print mean per-pass seconds per compiler")
     return parser
 
 
@@ -134,15 +252,26 @@ def sweep_main(argv: list[str]) -> int:
     if not sizes:
         print("error: --sizes must name at least one size", file=sys.stderr)
         return 1
-    compilers = tuple(dict.fromkeys(_csv(args.compilers)))
-    unknown = [c for c in compilers if c not in SWEEP_COMPILERS]
-    if not compilers or unknown:
+    requested = _csv(args.compilers)
+    unknown = [c for c in requested if c not in COMPILER_CHOICES]
+    if not requested or unknown:
         print(f"error: bad --compilers (unknown: {unknown}; "
-              f"choose from {SWEEP_COMPILERS})", file=sys.stderr)
+              f"choose from {COMPILER_CHOICES})", file=sys.stderr)
         return 1
-    device = _resolve_device(args.device, max(sizes))
-    if device is None:
-        return 1
+    # canonicalize aliases so 'tket,order' is one compiler, not two, and
+    # store keys stay stable across spellings
+    compilers = tuple(dict.fromkeys(
+        resolve_spec(c).name for c in requested
+    ))
+    if any(resolve_spec(c).requires_device for c in compilers):
+        device = _resolve_device(args.device, max(sizes))
+        if device is None:
+            return 1
+    else:
+        # all requested compilers ignore the device: compile on
+        # all-to-all connectivity at any size instead of rejecting
+        # problems larger than the named device
+        device = all_to_all(max(sizes))
 
     config = SweepConfig(
         benchmark=args.benchmark,
@@ -174,6 +303,9 @@ def sweep_main(argv: list[str]) -> int:
     for metric in metrics:
         print(f"\n[{metric}]")
         print(format_rows(rows, metric, compilers))
+    if args.pass_timings:
+        print("\n[pass seconds]")
+        print(format_pass_timings(rows, compilers))
     return 0
 
 
@@ -182,14 +314,17 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "sweep":
         return sweep_main(argv[1:])
+    if argv and argv[0] == "compile":
+        return compile_main(argv[1:])
     args = make_parser().parse_args(argv)
     step = build_step(args.benchmark, args.qubits, args.seed)
     device = _resolve_device(args.device, args.qubits)
     if device is None:
         return 1
 
-    compiler = TwoQANCompiler(device, args.gateset, seed=args.seed,
-                              mapping_trials=args.mapping_trials)
+    compiler = get_compiler("2qan", device=device, gateset=args.gateset,
+                            seed=args.seed,
+                            mapping_trials=args.mapping_trials)
     result = compiler.compile(step)
     print(f"{args.benchmark} n={args.qubits} on {device.name} "
           f"({args.gateset} basis)")
@@ -198,13 +333,12 @@ def main(argv: list[str] | None = None) -> int:
           f"2q-depth={result.metrics.two_qubit_depth} "
           f"depth={result.metrics.total_depth}")
     if args.compare:
-        nomap = compile_nomap(step, args.gateset, seed=args.seed)
-        tket = compile_tket_like(step, device, args.gateset, seed=args.seed)
-        qiskit = compile_qiskit_like(step, device, args.gateset,
-                                     seed=args.seed)
-        for name, r in (("NoMap", nomap), ("tket-like", tket),
-                        ("qiskit-like", qiskit)):
-            print(f"  {name}: swaps={r.n_swaps} "
+        for label, name in (("NoMap", "nomap"), ("tket-like", "tket"),
+                            ("qiskit-like", "qiskit")):
+            baseline = get_compiler(name, device=device,
+                                    gateset=args.gateset, seed=args.seed)
+            r = baseline.compile(step)
+            print(f"  {label}: swaps={r.n_swaps} "
                   f"2q-gates={r.metrics.n_two_qubit_gates} "
                   f"2q-depth={r.metrics.two_qubit_depth}")
     return 0

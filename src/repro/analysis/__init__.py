@@ -6,6 +6,7 @@ from repro.analysis.harness import (
     SweepConfig,
     aggregate,
     run_sweep,
+    format_pass_timings,
     format_rows,
 )
 from repro.analysis.engine import (
@@ -26,6 +27,7 @@ __all__ = [
     "SweepTask",
     "aggregate",
     "expand_tasks",
+    "format_pass_timings",
     "format_rows",
     "open_store",
     "parallel_map",

@@ -67,15 +67,25 @@ class SweepTask:
 
 
 def expand_tasks(config: SweepConfig) -> list[SweepTask]:
-    """Decompose a sweep into tasks, seeded exactly like the serial loop."""
+    """Decompose a sweep into tasks, seeded exactly like the serial loop.
+
+    Compilers whose registry spec ignores the gate set (the idealised
+    Paulihedral cost model) get ``gateset="n/a"`` in their task key and
+    row, so their rows are never mislabelled with a basis they ignore
+    and never recomputed per gate set.
+    """
+    from repro.core.registry import resolve_spec
+
     tasks: list[SweepTask] = []
     for n_qubits in config.sizes:
         for instance in range(config.instances):
             instance_seed = config.seed + 7919 * instance + n_qubits
             for compiler_name in config.compilers:
+                spec = resolve_spec(compiler_name)
                 tasks.append(SweepTask(
                     benchmark=config.benchmark,
-                    gateset=config.gateset,
+                    gateset=(config.gateset if spec.uses_gateset
+                             else "n/a"),
                     n_qubits=n_qubits,
                     instance=instance,
                     compiler=compiler_name,
@@ -111,6 +121,7 @@ def execute_task(task: SweepTask, device: Device,
         two_qubit_depth=metrics.two_qubit_depth,
         total_depth=metrics.total_depth,
         seconds=elapsed,
+        timings=dict(result.timings),
     )
 
 
@@ -123,13 +134,15 @@ def _edge_map(mapping: dict | None) -> list | None:
 def config_key(config: SweepConfig, salt: str | None = None) -> str:
     """Fingerprint of the sweep *environment* (not the grid).
 
-    Sizes, instance counts and compiler lists are deliberately excluded:
-    they are encoded per-task in :attr:`SweepTask.key`, so extending a
-    grid reuses the rows already stored for the old cells.  Per-edge
-    calibration (errors/weights) *is* included: it changes routing and
-    mapping, so differently-calibrated devices must not share rows.
-    ``salt`` lets callers fold extra state (e.g. a source-code digest)
-    into the key.
+    Sizes, instance counts, compiler lists and the gate set are
+    deliberately excluded: they are encoded per-task in
+    :attr:`SweepTask.key`, so extending a grid -- or re-running with
+    another gate set -- reuses every row already stored for the old
+    cells (including gateset-free compilers, whose ``n/a``-labelled
+    rows are shared across gate sets).  Per-edge calibration
+    (errors/weights) *is* included: it changes routing and mapping, so
+    differently-calibrated devices must not share rows.  ``salt`` lets
+    callers fold extra state (e.g. a source-code digest) into the key.
     """
     device = config.device
     return config_fingerprint({
@@ -141,7 +154,6 @@ def config_key(config: SweepConfig, salt: str | None = None) -> str:
             "edge_errors": _edge_map(device.edge_errors),
             "edge_weights": _edge_map(device.edge_weights),
         },
-        "gateset": config.gateset,
         "seed": config.seed,
         "qaoa_degree": config.qaoa_degree,
         "salt": salt,

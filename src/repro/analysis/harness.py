@@ -9,18 +9,12 @@ plus the dressed-SWAP count and the NoMap baseline).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.baselines import (
-    compile_ic_qaoa,
-    compile_nomap,
-    compile_qiskit_like,
-    compile_tket_like,
-)
-from repro.core.compiler import TwoQANCompiler
 from repro.core.decompose import DecomposeCache
+from repro.core.registry import get_compiler
 from repro.devices.topology import Device
 from repro.hamiltonians.models import MODEL_BUILDERS
 from repro.hamiltonians.qaoa import random_regular_graph, QAOAProblem
@@ -31,7 +25,12 @@ DEFAULT_COMPILERS = ("2qan", "tket", "qiskit")
 
 @dataclass(frozen=True)
 class BenchmarkRow:
-    """One (benchmark, size, instance, compiler) measurement."""
+    """One (benchmark, size, instance, compiler) measurement.
+
+    ``timings`` carries the compiler's per-pass wall times (one entry
+    per executed pipeline pass), so sweep reports can show where compile
+    time goes; like ``seconds`` it is informational, not deterministic.
+    """
 
     benchmark: str
     device: str
@@ -45,6 +44,7 @@ class BenchmarkRow:
     two_qubit_depth: int
     total_depth: int
     seconds: float
+    timings: dict[str, float] = field(default_factory=dict, compare=False)
 
 
 @dataclass
@@ -79,24 +79,10 @@ def build_step(benchmark: str, n_qubits: int, instance_seed: int,
 
 def compile_with(name: str, step: TrotterStep, device: Device,
                  gateset: str, seed: int, cache: DecomposeCache):
-    """Dispatch one compiler by name; returns (metrics-bearing result)."""
-    if name == "2qan":
-        compiler = TwoQANCompiler(device=device, gateset=gateset, seed=seed,
-                                  cache=cache)
-        return compiler.compile(step)
-    if name == "2qan_nodress":
-        compiler = TwoQANCompiler(device=device, gateset=gateset, seed=seed,
-                                  dress=False, cache=cache)
-        return compiler.compile(step)
-    if name == "tket":
-        return compile_tket_like(step, device, gateset, seed=seed, cache=cache)
-    if name == "qiskit":
-        return compile_qiskit_like(step, device, gateset, seed=seed, cache=cache)
-    if name == "ic_qaoa":
-        return compile_ic_qaoa(step, device, gateset, seed=seed, cache=cache)
-    if name == "nomap":
-        return compile_nomap(step, gateset, seed=seed, cache=cache)
-    raise ValueError(f"unknown compiler {name!r}")
+    """Dispatch one compiler by registry name; returns the result."""
+    compiler = get_compiler(name, device=device, gateset=gateset, seed=seed,
+                            cache=cache)
+    return compiler.compile(step)
 
 
 def run_sweep(config: SweepConfig, jobs: int = 1,
@@ -188,4 +174,35 @@ def format_rows(rows: list[BenchmarkRow], attribute: str,
             except ValueError:
                 cells.append(f"{'-':>12s}")
         lines.append(f"{n:4d} " + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_pass_timings(rows: list[BenchmarkRow],
+                        compilers: tuple[str, ...] | None = None) -> str:
+    """Where compile time goes: mean per-pass seconds per compiler.
+
+    One line per pipeline pass (in first-seen order), one column per
+    compiler; compilers whose pipeline lacks a pass show '-'.  Timings
+    are informational (wall time under whatever load the sweep ran
+    with), so no mixed-sweep guard applies.
+    """
+    if not rows:
+        return "(no data)"
+    if compilers is None:
+        compilers = tuple(dict.fromkeys(r.compiler for r in rows))
+    passes = list(dict.fromkeys(
+        name for r in rows for name in r.timings
+    ))
+    if not passes:
+        return "(no pass timings recorded)"
+    header = f"{'pass':14s}" + "".join(f"{c:>12s}" for c in compilers)
+    lines = [header]
+    for name in passes:
+        cells = []
+        for compiler in compilers:
+            values = [r.timings[name] for r in rows
+                      if r.compiler == compiler and name in r.timings]
+            cells.append(f"{np.mean(values):12.3f}" if values
+                         else f"{'-':>12s}")
+        lines.append(f"{name:14s}" + "".join(cells))
     return "\n".join(lines)

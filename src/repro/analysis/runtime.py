@@ -2,16 +2,20 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.core.compiler import TwoQANCompiler
+from repro.core.registry import get_compiler
 from repro.devices.topology import Device
 from repro.hamiltonians.trotter import TrotterStep
 
 
 @dataclass(frozen=True)
 class RuntimeRecord:
-    """Pass-by-pass wall times for one compilation."""
+    """Pass-by-pass wall times for one compilation.
+
+    Passes a compiler's pipeline does not run (e.g. baselines without a
+    mapping search) report 0.0.
+    """
 
     label: str
     n_qubits: int
@@ -29,20 +33,20 @@ class RuntimeRecord:
 
 def measure_runtime(label: str, step: TrotterStep, device: Device,
                     gateset: str = "CNOT", seed: int = 0,
-                    mapping_trials: int = 5) -> RuntimeRecord:
-    """Compile once and report per-pass timings."""
-    compiler = TwoQANCompiler(device=device, gateset=gateset, seed=seed,
-                              mapping_trials=mapping_trials)
-    result = compiler.compile(step)
+                    compiler: str = "2qan", **knobs) -> RuntimeRecord:
+    """Compile once with a registry compiler and report per-pass timings."""
+    instance = get_compiler(compiler, device=device, gateset=gateset,
+                            seed=seed, **knobs)
+    result = instance.compile(step)
     timings = result.timings
     return RuntimeRecord(
         label=label,
         n_qubits=step.n_qubits,
         n_operators=len(step.two_qubit_ops),
-        mapping_s=timings["mapping"],
-        routing_s=timings["routing"],
-        scheduling_s=timings["scheduling"],
-        decomposition_s=timings["decomposition"],
+        mapping_s=timings.get("mapping", 0.0),
+        routing_s=timings.get("routing", 0.0),
+        scheduling_s=timings.get("scheduling", 0.0),
+        decomposition_s=timings.get("decomposition", 0.0),
     )
 
 
@@ -53,6 +57,11 @@ class RuntimeSpec:
     Workers rebuild the Trotter step from the benchmark name and seed, so
     a list of specs can be fanned out across a process pool with
     :func:`repro.analysis.engine.parallel_map`.
+
+    ``mapping_trials`` is a 2QAN-family knob (other compilers have no
+    such parameter); to configure a baseline, put its constructor knobs
+    in ``knobs`` -- they are forwarded verbatim, so a knob the compiler
+    does not accept raises ``TypeError`` instead of being dropped.
     """
 
     label: str
@@ -63,6 +72,8 @@ class RuntimeSpec:
     seed: int = 0
     mapping_trials: int = 5
     qaoa_degree: int = 3
+    compiler: str = "2qan"
+    knobs: dict = field(default_factory=dict)
 
 
 def measure_runtime_spec(spec: RuntimeSpec) -> RuntimeRecord:
@@ -71,9 +82,12 @@ def measure_runtime_spec(spec: RuntimeSpec) -> RuntimeRecord:
 
     step = build_step(spec.benchmark, spec.n_qubits, spec.seed,
                       spec.qaoa_degree)
+    knobs = dict(spec.knobs)
+    if spec.compiler in ("2qan", "2qan_nodress"):
+        knobs.setdefault("mapping_trials", spec.mapping_trials)
     return measure_runtime(spec.label, step, spec.device,
                            gateset=spec.gateset, seed=spec.seed,
-                           mapping_trials=spec.mapping_trials)
+                           compiler=spec.compiler, **knobs)
 
 
 def format_runtime_table(records: list[RuntimeRecord]) -> str:

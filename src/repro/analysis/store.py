@@ -38,8 +38,14 @@ def row_to_dict(row: BenchmarkRow) -> dict:
 
 
 def row_from_dict(payload: dict) -> BenchmarkRow:
-    """Inverse of :func:`row_to_dict` (ignores unknown keys)."""
-    return BenchmarkRow(**{name: payload[name] for name in _ROW_FIELDS})
+    """Inverse of :func:`row_to_dict`.
+
+    Ignores unknown keys and tolerates keys with defaults being absent
+    (rows stored before the field existed, e.g. per-pass ``timings``).
+    """
+    return BenchmarkRow(
+        **{name: payload[name] for name in _ROW_FIELDS if name in payload}
+    )
 
 
 def config_fingerprint(payload: dict) -> str:

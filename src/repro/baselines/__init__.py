@@ -13,19 +13,53 @@ stand-ins (substitutions documented in DESIGN.md):
   SWAP selection) but performs no SWAP dressing.
 * :mod:`repro.baselines.nomap` -- the connectivity-free "NoMap" baseline
   against which all overheads are measured.
+
+Every baseline runs on the :mod:`repro.core.pipeline` substrate and
+returns a :class:`repro.core.pipeline.CompilationResult`; the old
+``BaselineResult`` name is a deprecated alias.  All baselines are also
+reachable by name through :func:`repro.core.registry.get_compiler`.
 """
 
-from repro.baselines.base import BaselineResult
-from repro.baselines.nomap import compile_nomap
-from repro.baselines.order_respecting import compile_qiskit_like, compile_tket_like
-from repro.baselines.paulihedral_like import compile_paulihedral_like
-from repro.baselines.qaoa_ic import compile_ic_qaoa
+from repro.baselines.nomap import NoMapCompiler, compile_nomap
+from repro.baselines.order_respecting import (
+    QiskitLikeCompiler,
+    TketLikeCompiler,
+    compile_qiskit_like,
+    compile_tket_like,
+)
+from repro.baselines.paulihedral_like import (
+    PaulihedralLikeCompiler,
+    compile_paulihedral_like,
+)
+from repro.baselines.qaoa_ic import ICQAOACompiler, compile_ic_qaoa
 
 __all__ = [
     "BaselineResult",
+    "NoMapCompiler",
+    "TketLikeCompiler",
+    "QiskitLikeCompiler",
+    "ICQAOACompiler",
+    "PaulihedralLikeCompiler",
     "compile_nomap",
     "compile_qiskit_like",
     "compile_tket_like",
     "compile_ic_qaoa",
     "compile_paulihedral_like",
 ]
+
+
+def __getattr__(name: str):
+    if name == "BaselineResult":
+        import warnings
+
+        from repro.core.pipeline import CompilationResult
+
+        # warn here (not via baselines.base) so the warning points at
+        # the deprecated import site rather than at this package
+        warnings.warn(
+            "BaselineResult is deprecated; baselines now return "
+            "repro.core.pipeline.CompilationResult",
+            DeprecationWarning, stacklevel=2,
+        )
+        return CompilationResult
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

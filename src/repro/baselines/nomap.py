@@ -3,24 +3,65 @@
 Pair-unified operators scheduled by graph colouring on an all-to-all
 device, then decomposed.  Every overhead number in the evaluation is an
 increase over this circuit.
+
+Pipeline: ``UnifyPass -> NoDeviceSchedulePass -> DecomposePass``.
 """
 
 from __future__ import annotations
 
-from repro.baselines.base import BaselineResult, lower_app_circuit
+from dataclasses import dataclass
+
+from repro.baselines.base import identity_map
+from repro.core.decompose import DecomposeCache
+from repro.core.pipeline import (
+    CompilationContext,
+    CompilationResult,
+    DecomposePass,
+    PassPipeline,
+    PipelineCompiler,
+    UnifyPass,
+)
 from repro.core.scheduling import schedule_no_device
-from repro.core.unify import unify_circuit_operators
 from repro.hamiltonians.trotter import TrotterStep
 from repro.synthesis.gateset import GateSet
 
 
+@dataclass(frozen=True)
+class NoDeviceSchedulePass:
+    """Colour-schedule the problem assuming all-to-all connectivity."""
+
+    name: str = "scheduling"
+
+    def run(self, ctx: CompilationContext) -> CompilationContext:
+        working = ctx.require("working")
+        ctx.app_circuit = schedule_no_device(working, seed=ctx.seed)
+        identity = identity_map(ctx.step.n_qubits)
+        ctx.initial_map = identity
+        ctx.final_map = identity
+        return ctx
+
+
+@dataclass
+class NoMapCompiler(PipelineCompiler):
+    """The NoMap baseline as a pipeline compiler (device-free)."""
+
+    gateset: GateSet
+    seed: int = 0
+    unify: bool = True
+    solve: bool = False
+    cache: DecomposeCache | None = None
+
+    def build_pipeline(self) -> PassPipeline:
+        return PassPipeline([
+            UnifyPass(enabled=self.unify),
+            NoDeviceSchedulePass(),
+            DecomposePass(solve=self.solve),
+        ])
+
+
 def compile_nomap(step: TrotterStep, gateset: str | GateSet, *,
                   unify: bool = True, solve: bool = False,
-                  seed: int = 0, cache=None) -> BaselineResult:
+                  seed: int = 0, cache=None) -> CompilationResult:
     """Compile assuming all-to-all connectivity."""
-    working = unify_circuit_operators(step) if unify else step
-    app_circuit = schedule_no_device(working, seed=seed)
-    identity = {q: q for q in range(step.n_qubits)}
-    return lower_app_circuit(app_circuit, gateset, n_swaps=0,
-                             initial_map=identity, final_map=identity,
-                             solve=solve, seed=seed, cache=cache)
+    return NoMapCompiler(gateset=gateset, seed=seed, unify=unify,
+                         solve=solve, cache=cache).compile(step)

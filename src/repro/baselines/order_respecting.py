@@ -6,15 +6,20 @@ dependency DAG).  Disjoint gates may run in any order -- that is the full
 extent of reordering a generic compiler can prove safe, and precisely
 what 2QAN's permutation-awareness goes beyond.
 
-* :func:`compile_tket_like` -- line placement + frontier routing with a
-  lookahead window and decay, in the spirit of t|ket>'s routing pass.
-* :func:`compile_qiskit_like` -- randomized placement (best of 5 by QAP
-  cost) + frontier routing *without* lookahead and with stochastic tie
-  breaking, in the spirit of Qiskit 0.26's stochastic swapper.
+* :class:`TketLikeCompiler` / :func:`compile_tket_like` -- line
+  placement + frontier routing with a lookahead window and decay, in the
+  spirit of t|ket>'s routing pass.
+* :class:`QiskitLikeCompiler` / :func:`compile_qiskit_like` --
+  randomized placement (best of 5 by QAP cost) + frontier routing
+  *without* lookahead and with stochastic tie breaking, in the spirit of
+  Qiskit 0.26's stochastic swapper.
 
 Neither dresses SWAPs.  Inputs are pair-unified first, matching the
 paper's protocol ("we also pre-process the input circuits for t|ket> and
 Qiskit by applying the circuit unitary unifying").
+
+Pipelines: ``UnifyPass -> {LinePlacementPass | RandomPlacementPass} ->
+FrontierRoutePass -> DecomposePass``.
 """
 
 from __future__ import annotations
@@ -23,9 +28,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.baselines.base import BaselineResult, lower_app_circuit, swap_gate
+from repro.baselines.base import swap_gate
+from repro.core.decompose import DecomposeCache
+from repro.core.pipeline import (
+    CompilationContext,
+    CompilationResult,
+    DecomposePass,
+    PassPipeline,
+    PipelineCompiler,
+    UnifyPass,
+)
 from repro.core.routing import QubitMap
-from repro.core.unify import unify_circuit_operators
 from repro.devices.topology import Device
 from repro.hamiltonians.trotter import TrotterStep, TwoQubitOperator
 from repro.mapping.placement import line_placement, random_mapping
@@ -159,54 +172,139 @@ def _route_order_respecting(step: TrotterStep, device: Device,
     return circuit, n_swaps, initial_map, qmap
 
 
-def compile_tket_like(step: TrotterStep, device: Device,
-                      gateset: str | GateSet, seed: int = 0, *,
-                      unify: bool = True, solve: bool = False,
-                      lookahead: int = 20, cache=None) -> BaselineResult:
-    """Line placement + lookahead frontier routing (t|ket> stand-in)."""
-    working = unify_circuit_operators(step) if unify else step
-    initial = line_placement(step.n_qubits, device)
-    app, n_swaps, init_map, final_map = _route_order_respecting(
-        working, device, initial, lookahead=lookahead, stochastic=False,
-        seed=seed,
-    )
-    app = _append_one_qubit_ops(app, working, final_map)
-    return lower_app_circuit(
-        app, gateset, n_swaps=n_swaps,
-        initial_map=init_map.logical_to_physical,
-        final_map=final_map.logical_to_physical,
-        solve=solve, seed=seed, cache=cache,
-    )
-
-
-def compile_qiskit_like(step: TrotterStep, device: Device,
-                        gateset: str | GateSet, seed: int = 0, *,
-                        unify: bool = True, solve: bool = False,
-                        trials: int = 5, cache=None) -> BaselineResult:
-    """Random best-of-k placement + stochastic no-lookahead routing
-    (Qiskit-0.26 stand-in)."""
-    working = unify_circuit_operators(step) if unify else step
-    instance = qap_from_problem(working, device)
-    placements = [
-        random_mapping(step.n_qubits, device, seed=seed + 31 * t)
-        for t in range(trials)
-    ]
-    initial = min(placements, key=instance.cost)
-    app, n_swaps, init_map, final_map = _route_order_respecting(
-        working, device, initial, lookahead=0, stochastic=True, seed=seed,
-    )
-    app = _append_one_qubit_ops(app, working, final_map)
-    return lower_app_circuit(
-        app, gateset, n_swaps=n_swaps,
-        initial_map=init_map.logical_to_physical,
-        final_map=final_map.logical_to_physical,
-        solve=solve, seed=seed, cache=cache,
-    )
-
-
 def _append_one_qubit_ops(circuit: Circuit, step: TrotterStep,
                           final_map: QubitMap) -> Circuit:
     for op in step.one_qubit_ops:
         circuit.append(Gate("APP1Q", (final_map.physical(op.qubit),),
                             matrix=op.unitary, meta={"label": op.label}))
     return circuit
+
+
+# ----------------------------------------------------------------------
+# Pipeline passes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LinePlacementPass:
+    """Deterministic line placement (the t|ket>-style initial map)."""
+
+    name: str = "mapping"
+
+    def run(self, ctx: CompilationContext) -> CompilationContext:
+        device = ctx.require("device")
+        ctx.assignment = (np.asarray(ctx.initial) if ctx.initial is not None
+                          else line_placement(ctx.step.n_qubits, device))
+        return ctx
+
+
+@dataclass(frozen=True)
+class RandomPlacementPass:
+    """Best of ``trials`` random placements scored by QAP cost."""
+
+    trials: int = 5
+    name: str = "mapping"
+
+    def run(self, ctx: CompilationContext) -> CompilationContext:
+        working = ctx.require("working")
+        device = ctx.require("device")
+        instance = qap_from_problem(working, device)
+        if ctx.initial is not None:
+            ctx.assignment = np.asarray(ctx.initial)
+        else:
+            placements = [
+                random_mapping(ctx.step.n_qubits, device,
+                               seed=ctx.seed + 31 * t)
+                for t in range(self.trials)
+            ]
+            ctx.assignment = min(placements, key=instance.cost)
+        ctx.qap_cost = float(instance.cost(ctx.assignment))
+        return ctx
+
+
+@dataclass(frozen=True)
+class FrontierRoutePass:
+    """Order-respecting frontier routing (shared t|ket>/Qiskit loop)."""
+
+    lookahead: int = 0
+    stochastic: bool = False
+    name: str = "routing"
+
+    def run(self, ctx: CompilationContext) -> CompilationContext:
+        working = ctx.require("working")
+        device = ctx.require("device")
+        assignment = ctx.require("assignment")
+        app, n_swaps, init_map, final_map = _route_order_respecting(
+            working, device, assignment, lookahead=self.lookahead,
+            stochastic=self.stochastic, seed=ctx.seed,
+        )
+        ctx.app_circuit = _append_one_qubit_ops(app, working, final_map)
+        ctx.n_swaps = n_swaps
+        ctx.initial_map = init_map
+        ctx.final_map = final_map
+        return ctx
+
+
+# ----------------------------------------------------------------------
+# Compilers
+# ----------------------------------------------------------------------
+@dataclass
+class _OrderRespectingCompiler(PipelineCompiler):
+    """Shared configuration for the two order-respecting stand-ins."""
+
+    device: Device
+    gateset: GateSet
+    seed: int = 0
+    unify: bool = True
+    solve: bool = False
+    cache: DecomposeCache | None = None
+
+
+@dataclass
+class TketLikeCompiler(_OrderRespectingCompiler):
+    """Line placement + lookahead frontier routing (t|ket> stand-in)."""
+
+    lookahead: int = 20
+
+    def build_pipeline(self) -> PassPipeline:
+        return PassPipeline([
+            UnifyPass(enabled=self.unify),
+            LinePlacementPass(),
+            FrontierRoutePass(lookahead=self.lookahead, stochastic=False),
+            DecomposePass(solve=self.solve),
+        ])
+
+
+@dataclass
+class QiskitLikeCompiler(_OrderRespectingCompiler):
+    """Random best-of-k placement + stochastic no-lookahead routing
+    (Qiskit-0.26 stand-in)."""
+
+    trials: int = 5
+
+    def build_pipeline(self) -> PassPipeline:
+        return PassPipeline([
+            UnifyPass(enabled=self.unify),
+            RandomPlacementPass(trials=self.trials),
+            FrontierRoutePass(lookahead=0, stochastic=True),
+            DecomposePass(solve=self.solve),
+        ])
+
+
+def compile_tket_like(step: TrotterStep, device: Device,
+                      gateset: str | GateSet, seed: int = 0, *,
+                      unify: bool = True, solve: bool = False,
+                      lookahead: int = 20, cache=None) -> CompilationResult:
+    """Line placement + lookahead frontier routing (t|ket> stand-in)."""
+    return TketLikeCompiler(device=device, gateset=gateset, seed=seed,
+                            unify=unify, solve=solve, lookahead=lookahead,
+                            cache=cache).compile(step)
+
+
+def compile_qiskit_like(step: TrotterStep, device: Device,
+                        gateset: str | GateSet, seed: int = 0, *,
+                        unify: bool = True, solve: bool = False,
+                        trials: int = 5, cache=None) -> CompilationResult:
+    """Random best-of-k placement + stochastic no-lookahead routing
+    (Qiskit-0.26 stand-in)."""
+    return QiskitLikeCompiler(device=device, gateset=gateset, seed=seed,
+                              unify=unify, solve=solve, trials=trials,
+                              cache=cache).compile(step)

@@ -20,47 +20,78 @@ lands higher (216 / 305 published vs 147 / 177 here).  The benchmark
 therefore compares 2QAN against both this bound and the published
 numbers; 2QAN matches the bound (unifying achieves 3 CNOTs per pair with
 routing included) and beats the published values.
+
+Pipeline: a single ``PaulihedralSchedulePass`` -- the cost model plays
+the role of decomposition, so no lowering pass follows.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from itertools import groupby
 
-from repro.baselines.base import BaselineResult
+from repro.baselines.base import identity_map
 from repro.core.metrics import CircuitMetrics
+from repro.core.pipeline import (
+    CompilationContext,
+    CompilationResult,
+    PassPipeline,
+    PipelineCompiler,
+)
 from repro.hamiltonians.trotter import TrotterStep
 from repro.quantum.circuit import Circuit
 
 
+@dataclass(frozen=True)
+class PaulihedralSchedulePass:
+    """Block-ordered scheduling under the idealised CNOT cost model."""
+
+    name: str = "scheduling"
+
+    def run(self, ctx: CompilationContext) -> CompilationContext:
+        step = ctx.step
+        ordered = sorted(step.two_qubit_ops,
+                         key=lambda op: (op.pair, op.label))
+        circuit = Circuit(step.n_qubits)
+        cnot_depth = [0] * step.n_qubits
+        n_cnots = 0
+        for pair, run in groupby(ordered, key=lambda op: op.pair):
+            run = list(run)
+            cost = 3 if len(run) >= 2 else 2
+            n_cnots += cost
+            u, v = pair
+            start = max(cnot_depth[u], cnot_depth[v])
+            cnot_depth[u] = cnot_depth[v] = start + cost
+            for op in run:
+                circuit.append(op.to_gate())
+        ctx.app_circuit = circuit
+        ctx.circuit = circuit
+        ctx.metrics = CircuitMetrics(
+            n_two_qubit_gates=n_cnots,
+            two_qubit_depth=max(cnot_depth, default=0),
+            total_depth=max(cnot_depth, default=0) + 1,
+            n_swaps=0,
+            n_dressed=0,
+        )
+        identity = identity_map(step.n_qubits)
+        ctx.initial_map = identity
+        ctx.final_map = identity
+        return ctx
+
+
+@dataclass
+class PaulihedralLikeCompiler(PipelineCompiler):
+    """The idealised Paulihedral baseline (device- and gate-set-free)."""
+
+    seed: int = 0
+    gateset: object = None
+    cache: object = None
+
+    def build_pipeline(self) -> PassPipeline:
+        return PassPipeline([PaulihedralSchedulePass()])
+
+
 def compile_paulihedral_like(step: TrotterStep, seed: int = 0,
-                             ) -> BaselineResult:
+                             ) -> CompilationResult:
     """All-to-all Paulihedral-style compilation of a Trotter step."""
-    ordered = sorted(step.two_qubit_ops, key=lambda op: (op.pair, op.label))
-    circuit = Circuit(step.n_qubits)
-    cnot_depth = [0] * step.n_qubits
-    n_cnots = 0
-    for pair, run in groupby(ordered, key=lambda op: op.pair):
-        run = list(run)
-        cost = 3 if len(run) >= 2 else 2
-        n_cnots += cost
-        u, v = pair
-        start = max(cnot_depth[u], cnot_depth[v])
-        cnot_depth[u] = cnot_depth[v] = start + cost
-        for op in run:
-            circuit.append(op.to_gate())
-    metrics = CircuitMetrics(
-        n_two_qubit_gates=n_cnots,
-        two_qubit_depth=max(cnot_depth, default=0),
-        total_depth=max(cnot_depth, default=0) + 1,
-        n_swaps=0,
-        n_dressed=0,
-    )
-    identity = {q: q for q in range(step.n_qubits)}
-    return BaselineResult(
-        circuit=circuit,
-        metrics=metrics,
-        n_swaps=0,
-        initial_map=identity,
-        final_map=identity,
-        app_circuit=circuit,
-    )
+    return PaulihedralLikeCompiler(seed=seed).compile(step)

@@ -12,15 +12,28 @@ therefore looks like 2QAN's (order-free absorption of NN gates) but:
 * it refuses Hamiltonians whose two-qubit terms do not all commute
   (the real tool is QAOA-specific; this is what restricts it to
   CNOT/CZ-friendly commuting circuits in the paper's comparison).
+
+Pipeline: ``UnifyPass -> CommutationGuardPass -> DegreePlacementPass ->
+InstructionGainRoutePass -> DecomposePass``.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-from repro.baselines.base import BaselineResult, lower_app_circuit, swap_gate
+from repro.baselines.base import swap_gate
+from repro.core.decompose import DecomposeCache
+from repro.core.pipeline import (
+    CompilationContext,
+    CompilationResult,
+    DecomposePass,
+    PassPipeline,
+    PipelineCompiler,
+    UnifyPass,
+)
 from repro.core.routing import QubitMap
-from repro.core.unify import unify_circuit_operators
 from repro.devices.topology import Device
 from repro.hamiltonians.trotter import TrotterStep
 from repro.quantum.circuit import Circuit
@@ -101,80 +114,145 @@ def _degree_bfs_placement(step: TrotterStep, device: Device,
     return np.array([placement[q] for q in range(n)])
 
 
+# ----------------------------------------------------------------------
+# Pipeline passes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CommutationGuardPass:
+    """Refuse problems whose two-qubit layers do not all commute."""
+
+    name: str = "validate"
+
+    def run(self, ctx: CompilationContext) -> CompilationContext:
+        working = ctx.require("working")
+        if not _all_commuting(working):
+            raise ValueError(
+                "IC-QAOA handles only mutually commuting two-qubit layers "
+                "(QAOA cost layers / Ising models)"
+            )
+        return ctx
+
+
+@dataclass(frozen=True)
+class DegreePlacementPass:
+    """Greedy degree-BFS placement (the IC-QAOA initial map)."""
+
+    name: str = "mapping"
+
+    def run(self, ctx: CompilationContext) -> CompilationContext:
+        working = ctx.require("working")
+        device = ctx.require("device")
+        ctx.assignment = (np.asarray(ctx.initial) if ctx.initial is not None
+                          else _degree_bfs_placement(working, device,
+                                                     ctx.seed))
+        return ctx
+
+
+@dataclass(frozen=True)
+class InstructionGainRoutePass:
+    """SWAP selection greedily maximising newly-executable gates."""
+
+    name: str = "routing"
+
+    def run(self, ctx: CompilationContext) -> CompilationContext:
+        working = ctx.require("working")
+        device = ctx.require("device")
+        assignment = ctx.require("assignment")
+        qmap = QubitMap.from_assignment(assignment)
+        initial_map = qmap.copy()
+        circuit = Circuit(device.n_qubits)
+        remaining = list(working.two_qubit_ops)
+        dist = device.distance
+        n_swaps = 0
+        guard = 0
+        limit = 200 * (len(remaining) + 1) * (device.diameter + 1)
+
+        def execute_ready() -> None:
+            nonlocal remaining
+            still = []
+            for op in remaining:
+                u, v = op.pair
+                pu, pv = qmap.physical(u), qmap.physical(v)
+                if device.are_neighbors(pu, pv):
+                    matrix = (op.unitary if pu < pv
+                              else _SWAP @ op.unitary @ _SWAP)
+                    circuit.append(Gate("APP2Q", (min(pu, pv), max(pu, pv)),
+                                        matrix=matrix,
+                                        meta={"label": op.label}))
+                else:
+                    still.append(op)
+            remaining = still
+
+        execute_ready()
+        while remaining:
+            guard += 1
+            if guard > limit:
+                raise RuntimeError("IC-QAOA router failed to converge")
+            # candidate swaps: edges incident to any remaining gate's qubits
+            candidates: set[tuple[int, int]] = set()
+            for op in remaining:
+                for logical in op.pair:
+                    physical = qmap.physical(logical)
+                    for neighbour in device.neighbors(physical):
+                        candidates.add((min(physical, neighbour),
+                                        max(physical, neighbour)))
+            best_edge, best_key = None, None
+            for edge in sorted(candidates):
+                trial = qmap.after_swap(edge)
+                gain = 0
+                total = 0.0
+                for op in remaining:
+                    u, v = op.pair
+                    d = dist[trial.physical(u), trial.physical(v)]
+                    total += d
+                    if d == 1.0:
+                        gain += 1
+                key = (-gain, total)
+                if best_key is None or key < best_key:
+                    best_key, best_edge = key, edge
+            circuit.append(swap_gate(*best_edge))
+            qmap = qmap.after_swap(best_edge)
+            n_swaps += 1
+            execute_ready()
+
+        for op in working.one_qubit_ops:
+            circuit.append(Gate("APP1Q", (qmap.physical(op.qubit),),
+                                matrix=op.unitary, meta={"label": op.label}))
+        ctx.app_circuit = circuit
+        ctx.n_swaps = n_swaps
+        ctx.initial_map = initial_map
+        ctx.final_map = qmap
+        return ctx
+
+
+# ----------------------------------------------------------------------
+# Compiler
+# ----------------------------------------------------------------------
+@dataclass
+class ICQAOACompiler(PipelineCompiler):
+    """Instruction-gain routing for commuting (QAOA/Ising) layers."""
+
+    device: Device
+    gateset: GateSet
+    seed: int = 0
+    unify: bool = True
+    solve: bool = False
+    cache: DecomposeCache | None = None
+
+    def build_pipeline(self) -> PassPipeline:
+        return PassPipeline([
+            UnifyPass(enabled=self.unify),
+            CommutationGuardPass(),
+            DegreePlacementPass(),
+            InstructionGainRoutePass(),
+            DecomposePass(solve=self.solve),
+        ])
+
+
 def compile_ic_qaoa(step: TrotterStep, device: Device,
                     gateset: str | GateSet, seed: int = 0, *,
                     unify: bool = True, solve: bool = False,
-                    cache=None) -> BaselineResult:
+                    cache=None) -> CompilationResult:
     """Instruction-gain routing for commuting (QAOA/Ising) layers."""
-    working = unify_circuit_operators(step) if unify else step
-    if not _all_commuting(working):
-        raise ValueError(
-            "IC-QAOA handles only mutually commuting two-qubit layers "
-            "(QAOA cost layers / Ising models)"
-        )
-    rng = np.random.default_rng(seed)
-    qmap = QubitMap.from_assignment(_degree_bfs_placement(working, device,
-                                                          seed))
-    initial_map = qmap.copy()
-    circuit = Circuit(device.n_qubits)
-    remaining = list(working.two_qubit_ops)
-    dist = device.distance
-    n_swaps = 0
-    guard = 0
-    limit = 200 * (len(remaining) + 1) * (device.diameter + 1)
-
-    def execute_ready() -> None:
-        nonlocal remaining
-        still = []
-        for op in remaining:
-            u, v = op.pair
-            pu, pv = qmap.physical(u), qmap.physical(v)
-            if device.are_neighbors(pu, pv):
-                matrix = op.unitary if pu < pv else _SWAP @ op.unitary @ _SWAP
-                circuit.append(Gate("APP2Q", (min(pu, pv), max(pu, pv)),
-                                    matrix=matrix, meta={"label": op.label}))
-            else:
-                still.append(op)
-        remaining = still
-
-    execute_ready()
-    while remaining:
-        guard += 1
-        if guard > limit:
-            raise RuntimeError("IC-QAOA router failed to converge")
-        # candidate swaps: edges incident to any remaining gate's qubits
-        candidates: set[tuple[int, int]] = set()
-        for op in remaining:
-            for logical in op.pair:
-                physical = qmap.physical(logical)
-                for neighbour in device.neighbors(physical):
-                    candidates.add((min(physical, neighbour),
-                                    max(physical, neighbour)))
-        best_edge, best_key = None, None
-        for edge in sorted(candidates):
-            trial = qmap.after_swap(edge)
-            gain = 0
-            total = 0.0
-            for op in remaining:
-                u, v = op.pair
-                d = dist[trial.physical(u), trial.physical(v)]
-                total += d
-                if d == 1.0:
-                    gain += 1
-            key = (-gain, total)
-            if best_key is None or key < best_key:
-                best_key, best_edge = key, edge
-        circuit.append(swap_gate(*best_edge))
-        qmap = qmap.after_swap(best_edge)
-        n_swaps += 1
-        execute_ready()
-
-    for op in working.one_qubit_ops:
-        circuit.append(Gate("APP1Q", (qmap.physical(op.qubit),),
-                            matrix=op.unitary, meta={"label": op.label}))
-    return lower_app_circuit(
-        circuit, gateset, n_swaps=n_swaps,
-        initial_map=initial_map.logical_to_physical,
-        final_map=qmap.logical_to_physical,
-        solve=solve, seed=seed, cache=cache,
-    )
+    return ICQAOACompiler(device=device, gateset=gateset, seed=seed,
+                          unify=unify, solve=solve, cache=cache).compile(step)

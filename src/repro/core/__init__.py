@@ -1,22 +1,44 @@
 """The 2QAN compiler core: the paper's contribution.
 
-Pipeline (Figure 2):
+Pipeline (Figure 2), one :class:`~repro.core.pipeline.Pass` per stage:
 
-1. circuit unitary unifying (:mod:`repro.core.unify`) -- merge same-pair
-   term exponentials into single SU(4) blocks;
-2. qubit mapping (:mod:`repro.mapping`) -- QAP + Tabu search;
-3. permutation-aware routing (:mod:`repro.core.routing`, Algorithm 1) --
-   SWAP insertion exploiting free operator ordering;
-4. SWAP unitary unifying (also :mod:`repro.core.unify`) -- dress SWAPs
-   with same-pair circuit gates;
-5. permutation-aware hybrid scheduling (:mod:`repro.core.scheduling`,
-   Algorithm 2) -- ALAP scheduling with SWAP-only dependencies;
-6. gate decomposition (:mod:`repro.core.decompose`) -- retarget to the
-   hardware basis (CNOT / CZ / SYC / iSWAP).
+1. circuit unitary unifying (:class:`~repro.core.pipeline.UnifyPass`,
+   :mod:`repro.core.unify`) -- merge same-pair term exponentials into
+   single SU(4) blocks;
+2. qubit mapping (:class:`~repro.core.pipeline.MapPass`,
+   :mod:`repro.mapping`) -- QAP + Tabu search;
+3. permutation-aware routing (:class:`~repro.core.pipeline.RoutePass`,
+   :mod:`repro.core.routing`, Algorithm 1) -- SWAP insertion exploiting
+   free operator ordering;
+4. SWAP unitary unifying (part of :class:`~repro.core.pipeline.RoutePass`;
+   :mod:`repro.core.unify`) -- dress SWAPs with same-pair circuit gates;
+5. permutation-aware hybrid scheduling
+   (:class:`~repro.core.pipeline.SchedulePass`,
+   :mod:`repro.core.scheduling`, Algorithm 2) -- ALAP scheduling with
+   SWAP-only dependencies;
+6. gate decomposition (:class:`~repro.core.pipeline.DecomposePass`,
+   :mod:`repro.core.decompose`) -- retarget to the hardware basis
+   (CNOT / CZ / SYC / iSWAP).
+
+Compilers are looked up by name via :mod:`repro.core.registry`.
 """
 
 from repro.core.compiler import CompilationResult, TwoQANCompiler, compile_step
 from repro.core.metrics import CircuitMetrics, OverheadReport
+from repro.core.pipeline import (
+    CompilationContext,
+    DecomposePass,
+    MapPass,
+    Pass,
+    PassPipeline,
+    PipelineCompiler,
+    RoutePass,
+    SchedulePass,
+    UnifyPass,
+    repeat_layers,
+    run_pipeline,
+)
+from repro.core.registry import compiler_names, get_compiler
 from repro.core.routing import RoutedProblem, route
 from repro.core.scheduling import ScheduledCircuit, schedule_alap, schedule_no_device
 from repro.core.unify import DressedSwap, unify_circuit_operators
@@ -25,6 +47,19 @@ __all__ = [
     "TwoQANCompiler",
     "CompilationResult",
     "compile_step",
+    "CompilationContext",
+    "Pass",
+    "PassPipeline",
+    "PipelineCompiler",
+    "UnifyPass",
+    "MapPass",
+    "RoutePass",
+    "SchedulePass",
+    "DecomposePass",
+    "repeat_layers",
+    "run_pipeline",
+    "get_compiler",
+    "compiler_names",
     "CircuitMetrics",
     "OverheadReport",
     "RoutedProblem",

@@ -1,61 +1,42 @@
-"""The 2QAN compiler driver: unify -> map -> route -> schedule -> lower.
+"""The 2QAN compiler driver: a configured pass pipeline.
 
-:class:`TwoQANCompiler` wires the passes together with the paper's
-configuration (best-of-5 Tabu mapping, full SWAP criteria, dressing on,
-hybrid ALAP scheduling, decomposition last) and exposes the knobs the
-ablation benchmarks flip.
+:class:`TwoQANCompiler` assembles the paper's configuration (best-of-5
+Tabu mapping, full SWAP criteria, dressing on, hybrid ALAP scheduling,
+decomposition last) as a
+``PassPipeline([UnifyPass, MapPass, RoutePass, SchedulePass,
+DecomposePass])``; the knobs the ablation benchmarks flip select pass
+parameters.  Swapping whole stages goes through
+:meth:`TwoQANCompiler.build_pipeline` and
+:func:`repro.core.pipeline.run_pipeline`.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-
-import numpy as np
+from dataclasses import dataclass
 
 from repro.core.decompose import DecomposeCache, decompose_circuit
-from repro.core.metrics import CircuitMetrics
-from repro.core.routing import QubitMap, RoutedProblem, route
-from repro.core.scheduling import ScheduledCircuit, schedule_alap
-from repro.core.unify import unify_circuit_operators
+from repro.core.pipeline import (
+    CompilationResult,
+    DecomposePass,
+    MapPass,
+    PassPipeline,
+    PipelineCompiler,
+    RoutePass,
+    SchedulePass,
+    UnifyPass,
+    repeat_layers,
+)
 from repro.devices.topology import Device
 from repro.hamiltonians.trotter import TrotterStep
-from repro.mapping.placement import best_of_k_mapping
-from repro.mapping.qap import qap_from_problem
 from repro.quantum.circuit import Circuit
-from repro.synthesis.gateset import GateSet, get_gateset
+from repro.synthesis.gateset import GateSet
+
+__all__ = ["CompilationResult", "TwoQANCompiler", "compile_step"]
 
 
 @dataclass
-class CompilationResult:
-    """Everything the evaluation needs from one compilation."""
-
-    circuit: Circuit                    # hardware-basis circuit
-    scheduled: ScheduledCircuit         # application-level schedule
-    routed: RoutedProblem
-    metrics: CircuitMetrics
-    qap_cost: float
-    timings: dict[str, float] = field(default_factory=dict)
-
-    @property
-    def n_swaps(self) -> int:
-        return self.routed.n_swaps
-
-    @property
-    def n_dressed(self) -> int:
-        return self.routed.n_dressed
-
-    @property
-    def initial_map(self) -> QubitMap:
-        return self.scheduled.initial_map
-
-    @property
-    def final_map(self) -> QubitMap:
-        return self.scheduled.final_map
-
-
-@dataclass
-class TwoQANCompiler:
+class TwoQANCompiler(PipelineCompiler):
     """The 2QAN compiler with the paper's default configuration."""
 
     device: Device
@@ -69,62 +50,20 @@ class TwoQANCompiler:
     solve_angles: bool = False
     cache: DecomposeCache | None = None
 
-    def __post_init__(self) -> None:
-        if isinstance(self.gateset, str):
-            self.gateset = get_gateset(self.gateset)
-        if self.cache is None:
-            self.cache = DecomposeCache()
+    # gateset/cache normalisation comes from PipelineCompiler.__post_init__
 
     # ------------------------------------------------------------------
-    def compile(self, step: TrotterStep,
-                initial: np.ndarray | None = None) -> CompilationResult:
-        """Compile one Trotter step / QAOA layer."""
-        timings: dict[str, float] = {}
+    def build_pipeline(self) -> PassPipeline:
+        """The paper's Figure 2 stages, parameterised by the knobs."""
+        return PassPipeline([
+            UnifyPass(enabled=self.unify),
+            MapPass(trials=self.mapping_trials),
+            RoutePass(dress=self.dress, criteria=self.swap_criteria),
+            SchedulePass(hybrid=self.hybrid_schedule),
+            DecomposePass(solve=self.solve_angles),
+        ])
 
-        t0 = time.perf_counter()
-        working = unify_circuit_operators(step) if self.unify else step
-        timings["unify"] = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        instance = qap_from_problem(working, self.device)
-        if initial is None:
-            mapping = best_of_k_mapping(
-                instance, k=self.mapping_trials, seed=self.seed
-            )
-            assignment, qap_cost = mapping.assignment, mapping.cost
-        else:
-            assignment = np.asarray(initial)
-            qap_cost = instance.cost(assignment)
-        timings["mapping"] = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        routed = route(working, self.device, assignment, seed=self.seed,
-                       dress=self.dress, criteria=self.swap_criteria)
-        timings["routing"] = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        scheduled = schedule_alap(routed, seed=self.seed,
-                                  hybrid=self.hybrid_schedule)
-        timings["scheduling"] = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        app_circuit = scheduled.to_circuit()
-        circuit = decompose_circuit(app_circuit, self.gateset,
-                                    solve=self.solve_angles, seed=self.seed,
-                                    cache=self.cache)
-        timings["decomposition"] = time.perf_counter() - t0
-
-        metrics = CircuitMetrics.from_circuit(
-            circuit, n_swaps=routed.n_swaps, n_dressed=routed.n_dressed
-        )
-        return CompilationResult(
-            circuit=circuit,
-            scheduled=scheduled,
-            routed=routed,
-            metrics=metrics,
-            qap_cost=float(qap_cost),
-            timings=timings,
-        )
+    # ``compile`` is inherited from PipelineCompiler.
 
     # ------------------------------------------------------------------
     def compile_layers(self, steps: list[TrotterStep]) -> CompilationResult:
@@ -141,27 +80,19 @@ class TwoQANCompiler:
         first = self.compile(steps[0])
         if len(steps) == 1:
             return first
-        combined = Circuit(self.device.n_qubits)
-        scheduled_layers = []
-        for layer_index, step in enumerate(steps):
+        # layer 0 is exactly first.circuit (the re-lowering is
+        # deterministic), so only the reused layers re-lower
+        layers: list[Circuit] = [first.circuit]
+        relower_seconds = 0.0
+        for layer_index, step in enumerate(steps[1:], start=1):
+            start = time.perf_counter()
             layer = self._relower_layer(first, step)
+            relower_seconds += time.perf_counter() - start
             if layer_index % 2 == 1:
                 layer = layer.reversed_two_qubit_order()
-            scheduled_layers.append(layer)
-            combined.extend(layer.gates)
-        metrics = CircuitMetrics.from_circuit(
-            combined,
-            n_swaps=first.n_swaps * len(steps),
-            n_dressed=first.n_dressed * len(steps),
-        )
-        return CompilationResult(
-            circuit=combined,
-            scheduled=first.scheduled,
-            routed=first.routed,
-            metrics=metrics,
-            qap_cost=first.qap_cost,
-            timings=dict(first.timings),
-        )
+            layers.append(layer)
+        return repeat_layers(first, layers, self.device.n_qubits,
+                             relower_seconds=relower_seconds)
 
     def _relower_layer(self, first: CompilationResult,
                        step: TrotterStep) -> Circuit:
@@ -176,7 +107,6 @@ class TwoQANCompiler:
         return decompose_circuit(app_circuit, self.gateset,
                                  solve=self.solve_angles, seed=self.seed,
                                  cache=self.cache)
-
 
     # ------------------------------------------------------------------
     def compile_trotter(self, hamiltonian, n_steps: int,
@@ -194,25 +124,11 @@ class TwoQANCompiler:
         first = self.compile(step)
         if n_steps == 1:
             return first
-        combined = Circuit(self.device.n_qubits)
         forward = first.circuit
         backward = forward.reversed_two_qubit_order()
-        for index in range(n_steps):
-            layer = forward if index % 2 == 0 else backward
-            combined.extend(layer.gates)
-        metrics = CircuitMetrics.from_circuit(
-            combined,
-            n_swaps=first.n_swaps * n_steps,
-            n_dressed=first.n_dressed * n_steps,
-        )
-        return CompilationResult(
-            circuit=combined,
-            scheduled=first.scheduled,
-            routed=first.routed,
-            metrics=metrics,
-            qap_cost=first.qap_cost,
-            timings=dict(first.timings),
-        )
+        layers = [forward if i % 2 == 0 else backward
+                  for i in range(n_steps)]
+        return repeat_layers(first, layers, self.device.n_qubits)
 
 
 def compile_step(step: TrotterStep, device: Device, gateset: str | GateSet,

@@ -1,0 +1,410 @@
+"""The pass-pipeline substrate every compiler in this repo runs on.
+
+The paper presents 2QAN as a six-stage pipeline (Figure 2): circuit
+unitary unifying, qubit mapping, permutation-aware routing, SWAP
+dressing, hybrid scheduling, gate decomposition.  This module makes that
+structure explicit and shared:
+
+* :class:`CompilationContext` -- the IR threaded through a compilation:
+  the problem, the target device/gate set, and every artifact a stage
+  produces (assignment, routed problem, schedule, hardware circuit),
+  plus per-pass wall-time and the decomposition cache handle.
+* :class:`Pass` -- the stage protocol: ``run(ctx) -> ctx``.  A pass
+  reads what earlier passes left on the context and writes its own
+  artifact back.  Passes are tiny, stateless-by-default objects, so an
+  ablation is a pass swap rather than a boolean knob buried in a driver.
+* :class:`PassPipeline` -- an ordered pass list with per-pass timing.
+  ``pipeline.run(ctx)`` executes the passes in order and records one
+  ``ctx.timings[pass.name]`` entry per executed pass.
+* :class:`CompilationResult` -- the single result type shared by 2QAN
+  and every baseline (the former ``BaselineResult`` is a deprecated
+  alias).
+
+The concrete 2QAN passes (:class:`UnifyPass`, :class:`MapPass`,
+:class:`RoutePass`, :class:`SchedulePass`, :class:`DecomposePass`) live
+here; baseline-specific passes live next to their compilers in
+:mod:`repro.baselines`.  Compiler *names* resolve to configured
+pipelines through :mod:`repro.core.registry`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field, replace
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.decompose import DecomposeCache, decompose_circuit
+from repro.core.metrics import CircuitMetrics
+from repro.core.routing import QubitMap, RoutedProblem, route
+from repro.core.scheduling import ScheduledCircuit, schedule_alap
+from repro.core.unify import unify_circuit_operators
+from repro.devices.topology import Device
+from repro.hamiltonians.trotter import TrotterStep
+from repro.mapping.placement import best_of_k_mapping
+from repro.mapping.qap import qap_from_problem
+from repro.quantum.circuit import Circuit
+from repro.synthesis.gateset import GateSet, get_gateset
+
+
+def resolve_gateset(gateset: str | GateSet) -> GateSet:
+    """Accept a gate-set name or object; return the object."""
+    return get_gateset(gateset) if isinstance(gateset, str) else gateset
+
+
+# ----------------------------------------------------------------------
+# The compilation IR
+# ----------------------------------------------------------------------
+@dataclass
+class CompilationContext:
+    """Everything a pass may read or write during one compilation.
+
+    Inputs (set by the driver): ``step``, ``device``, ``gateset``,
+    ``seed``, ``cache`` and optionally ``initial`` (a fixed qubit
+    assignment that mapping passes honour instead of searching).
+
+    Artifacts (set by passes): ``working`` (the possibly-unified
+    problem), ``assignment``/``qap_cost``, ``routed``, ``scheduled``,
+    ``app_circuit`` (application-level, pre-decomposition),
+    ``circuit`` (hardware basis), ``metrics``, the SWAP counters and the
+    logical->physical maps.  ``timings`` collects one wall-time entry
+    per executed pass, keyed by the pass name.
+    """
+
+    step: TrotterStep
+    gateset: GateSet
+    device: Device | None = None
+    seed: int = 0
+    cache: DecomposeCache | None = None
+    initial: np.ndarray | None = None
+
+    working: TrotterStep | None = None
+    assignment: np.ndarray | None = None
+    qap_cost: float = math.nan
+    routed: RoutedProblem | None = None
+    scheduled: ScheduledCircuit | None = None
+    app_circuit: Circuit | None = None
+    circuit: Circuit | None = None
+    metrics: CircuitMetrics | None = None
+    n_swaps: int = 0
+    n_dressed: int = 0
+    initial_map: QubitMap | None = None
+    final_map: QubitMap | None = None
+    timings: dict[str, float] = field(default_factory=dict)
+
+    def require(self, attribute: str) -> object:
+        """Fetch an artifact a pass depends on, or fail loudly."""
+        value = getattr(self, attribute)
+        if value is None:
+            raise ValueError(
+                f"pass requires context.{attribute}; is an earlier pass "
+                f"missing from the pipeline?"
+            )
+        return value
+
+
+@runtime_checkable
+class Pass(Protocol):
+    """One pipeline stage: consume a context, return it enriched."""
+
+    name: str
+
+    def run(self, ctx: CompilationContext) -> CompilationContext: ...
+
+
+@dataclass(frozen=True)
+class PassPipeline:
+    """An ordered list of passes executed with per-pass timing."""
+
+    passes: tuple[Pass, ...]
+
+    def __init__(self, passes) -> None:
+        object.__setattr__(self, "passes", tuple(passes))
+
+    def run(self, ctx: CompilationContext) -> CompilationContext:
+        for stage in self.passes:
+            start = time.perf_counter()
+            result = stage.run(ctx)
+            elapsed = time.perf_counter() - start
+            if result is None:
+                raise TypeError(
+                    f"pass {stage.name!r} returned None; "
+                    f"run(ctx) must return the context"
+                )
+            ctx = result
+            ctx.timings[stage.name] = ctx.timings.get(stage.name, 0.0) + elapsed
+        return ctx
+
+    # -- introspection / surgery (ablations are pass swaps) ------------
+    def names(self) -> tuple[str, ...]:
+        return tuple(stage.name for stage in self.passes)
+
+    def replaced(self, name: str, stage: Pass) -> "PassPipeline":
+        """A new pipeline with the ``name`` stage swapped for ``stage``."""
+        if name not in self.names():
+            raise ValueError(f"no pass named {name!r} in {self.names()}")
+        return PassPipeline(
+            stage if existing.name == name else existing
+            for existing in self.passes
+        )
+
+    def without(self, name: str) -> "PassPipeline":
+        """A new pipeline with the ``name`` stage removed."""
+        if name not in self.names():
+            raise ValueError(f"no pass named {name!r} in {self.names()}")
+        return PassPipeline(s for s in self.passes if s.name != name)
+
+
+# ----------------------------------------------------------------------
+# The unified result type
+# ----------------------------------------------------------------------
+@dataclass
+class CompilationResult:
+    """Everything the evaluation needs from one compilation.
+
+    Shared by 2QAN and every baseline; fields a compiler does not
+    produce stay at their defaults (``routed``/``scheduled`` are
+    ``None`` for baselines, ``qap_cost`` is NaN where no QAP instance
+    was solved).  ``timings`` holds one entry per executed pass.
+    """
+
+    circuit: Circuit                    # hardware-basis circuit
+    metrics: CircuitMetrics
+    qap_cost: float = math.nan
+    timings: dict[str, float] = field(default_factory=dict)
+    scheduled: ScheduledCircuit | None = None
+    routed: RoutedProblem | None = None
+    app_circuit: Circuit | None = None
+    n_swaps: int = 0
+    n_dressed: int = 0
+    initial_map: QubitMap | None = None
+    final_map: QubitMap | None = None
+
+
+def result_from_context(ctx: CompilationContext) -> CompilationResult:
+    """Package a fully-run context into a :class:`CompilationResult`."""
+    if ctx.circuit is None or ctx.metrics is None:
+        raise ValueError("pipeline did not produce a hardware circuit; "
+                         "is a decomposition/scheduling pass missing?")
+    return CompilationResult(
+        circuit=ctx.circuit,
+        metrics=ctx.metrics,
+        qap_cost=ctx.qap_cost,
+        timings=dict(ctx.timings),
+        scheduled=ctx.scheduled,
+        routed=ctx.routed,
+        app_circuit=ctx.app_circuit,
+        n_swaps=ctx.n_swaps,
+        n_dressed=ctx.n_dressed,
+        initial_map=ctx.initial_map,
+        final_map=ctx.final_map,
+    )
+
+
+def run_pipeline(pipeline: PassPipeline, step: TrotterStep, *,
+                 gateset: str | GateSet, device: Device | None = None,
+                 seed: int = 0, cache: DecomposeCache | None = None,
+                 initial: np.ndarray | None = None) -> CompilationResult:
+    """Build a context, run ``pipeline`` over it, package the result."""
+    ctx = CompilationContext(
+        step=step,
+        gateset=resolve_gateset(gateset),
+        device=device,
+        seed=seed,
+        cache=cache if cache is not None else DecomposeCache(),
+        initial=initial,
+    )
+    return result_from_context(pipeline.run(ctx))
+
+
+# ----------------------------------------------------------------------
+# The 2QAN passes (Figure 2 stages 1-6)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class UnifyPass:
+    """Stage 1: merge same-pair term exponentials into SU(4) blocks.
+
+    With ``enabled=False`` the problem passes through untouched (the
+    paper's unify ablation); the pass still runs so the timings record
+    stays shaped the same.
+    """
+
+    enabled: bool = True
+    name: str = "unify"
+
+    def run(self, ctx: CompilationContext) -> CompilationContext:
+        ctx.working = (unify_circuit_operators(ctx.step) if self.enabled
+                       else ctx.step)
+        return ctx
+
+
+@dataclass(frozen=True)
+class MapPass:
+    """Stage 2: QAP-formulated placement via best-of-k Tabu search.
+
+    Honours a fixed ``ctx.initial`` assignment when the driver provides
+    one (scoring it on the QAP instance instead of searching).
+    """
+
+    trials: int = 5
+    name: str = "mapping"
+
+    def run(self, ctx: CompilationContext) -> CompilationContext:
+        working = ctx.require("working")
+        device = ctx.require("device")
+        instance = qap_from_problem(working, device)
+        if ctx.initial is None:
+            mapping = best_of_k_mapping(instance, k=self.trials,
+                                        seed=ctx.seed)
+            ctx.assignment, ctx.qap_cost = mapping.assignment, float(mapping.cost)
+        else:
+            ctx.assignment = np.asarray(ctx.initial)
+            ctx.qap_cost = float(instance.cost(ctx.assignment))
+        return ctx
+
+
+@dataclass(frozen=True)
+class RoutePass:
+    """Stages 3+4: permutation-aware routing with optional SWAP dressing."""
+
+    dress: bool = True
+    criteria: tuple[str, ...] = ("count", "depth", "dress")
+    name: str = "routing"
+
+    def run(self, ctx: CompilationContext) -> CompilationContext:
+        working = ctx.require("working")
+        device = ctx.require("device")
+        assignment = ctx.require("assignment")
+        routed = route(working, device, assignment, seed=ctx.seed,
+                       dress=self.dress, criteria=self.criteria)
+        ctx.routed = routed
+        ctx.n_swaps = routed.n_swaps
+        ctx.n_dressed = routed.n_dressed
+        return ctx
+
+
+@dataclass(frozen=True)
+class SchedulePass:
+    """Stage 5: permutation-aware hybrid ALAP scheduling (Algorithm 2)."""
+
+    hybrid: bool = True
+    name: str = "scheduling"
+
+    def run(self, ctx: CompilationContext) -> CompilationContext:
+        routed = ctx.require("routed")
+        scheduled = schedule_alap(routed, seed=ctx.seed, hybrid=self.hybrid)
+        ctx.scheduled = scheduled
+        ctx.initial_map = scheduled.initial_map
+        ctx.final_map = scheduled.final_map
+        return ctx
+
+
+@dataclass(frozen=True)
+class DecomposePass:
+    """Stage 6: lower to the hardware basis and collect circuit metrics.
+
+    Shared verbatim by 2QAN and the baselines: lowers ``ctx.app_circuit``
+    (materialising it from the schedule when a scheduling pass produced
+    one) through the KAK/Weyl synthesis with the context's cache, then
+    records :class:`CircuitMetrics` including the SWAP counters earlier
+    passes left on the context.
+    """
+
+    solve: bool = False
+    name: str = "decomposition"
+
+    def run(self, ctx: CompilationContext) -> CompilationContext:
+        if ctx.app_circuit is None:
+            scheduled = ctx.require("scheduled")
+            ctx.app_circuit = scheduled.to_circuit()
+        ctx.circuit = decompose_circuit(ctx.app_circuit, ctx.gateset,
+                                        solve=self.solve, seed=ctx.seed,
+                                        cache=ctx.cache)
+        ctx.metrics = CircuitMetrics.from_circuit(
+            ctx.circuit, n_swaps=ctx.n_swaps, n_dressed=ctx.n_dressed
+        )
+        return ctx
+
+
+# ----------------------------------------------------------------------
+# Layer repetition (the paper's odd/even reuse scheme, Section V-C/D)
+# ----------------------------------------------------------------------
+def repeat_layers(first: CompilationResult, layers: list[Circuit],
+                  n_qubits: int, *,
+                  relower_seconds: float = 0.0) -> CompilationResult:
+    """Combine per-layer circuits into one multi-layer result.
+
+    The single place where layer circuits are concatenated and the
+    combined metrics derived -- previously triplicated across
+    ``compile``/``compile_layers``/``compile_trotter``.  ``first`` is the
+    one genuinely-compiled layer whose mapping/routing artifacts the
+    combined result inherits; ``layers`` are the per-layer hardware
+    circuits (already reversed for even layers where applicable).
+
+    ``relower_seconds`` is the total wall time spent re-lowering reused
+    layers; it is *added* to the first layer's decomposition timing so
+    the combined ``timings`` reflect the whole multi-layer compilation
+    rather than just layer one.
+    """
+    if not layers:
+        raise ValueError("need at least one layer")
+    if len(layers) == 1 and relower_seconds == 0.0:
+        return first
+    combined = Circuit(n_qubits)
+    for layer in layers:
+        combined.extend(layer.gates)
+    n = len(layers)
+    metrics = CircuitMetrics.from_circuit(
+        combined,
+        n_swaps=first.n_swaps * n,
+        n_dressed=first.n_dressed * n,
+    )
+    timings = dict(first.timings)
+    if relower_seconds:
+        timings["decomposition"] = (
+            timings.get("decomposition", 0.0) + relower_seconds
+        )
+    return replace(
+        first,
+        circuit=combined,
+        metrics=metrics,
+        timings=timings,
+        n_swaps=metrics.n_swaps,
+        n_dressed=metrics.n_dressed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Compiler base: a configured pipeline plus the context plumbing
+# ----------------------------------------------------------------------
+class PipelineCompiler:
+    """Mixin turning a pass list into a ``compile()`` entry point.
+
+    Concrete compilers (dataclasses holding their knobs) implement
+    :meth:`build_pipeline`; this mixin provides the context construction
+    and result packaging shared by all of them.  Subclasses must expose
+    ``gateset``, ``seed`` and ``cache`` attributes and may expose
+    ``device`` (compilers that target no device simply omit it).  The
+    shared ``__post_init__`` resolves gate-set names and defaults the
+    decomposition cache, so subclasses normally need none of their own.
+    """
+
+    def __post_init__(self) -> None:
+        if getattr(self, "gateset", None) is not None:
+            self.gateset = resolve_gateset(self.gateset)
+        if hasattr(self, "cache") and self.cache is None:
+            self.cache = DecomposeCache()
+
+    def build_pipeline(self) -> PassPipeline:
+        raise NotImplementedError
+
+    def compile(self, step: TrotterStep,
+                initial: np.ndarray | None = None) -> CompilationResult:
+        """Compile one Trotter step / QAOA layer through the pipeline."""
+        return run_pipeline(
+            self.build_pipeline(), step,
+            gateset=self.gateset, device=getattr(self, "device", None),
+            seed=self.seed, cache=self.cache, initial=initial,
+        )

@@ -1,0 +1,191 @@
+"""Compiler registry: one place that maps names to configured pipelines.
+
+Every compiler in the repo -- 2QAN, its ablations, and all four
+baselines -- registers here under a canonical name (plus aliases), so
+the CLI, the sweep harness and the runtime benchmarks construct
+compilers uniformly::
+
+    compiler = get_compiler("2qan", device=montreal(), gateset="CNOT")
+    result = compiler.compile(step)
+
+Factories are resolved lazily to keep :mod:`repro.core` importable
+without dragging in :mod:`repro.baselines` (and vice versa).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.decompose import DecomposeCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.pipeline import PipelineCompiler
+    from repro.devices.topology import Device
+
+
+@dataclass(frozen=True)
+class CompilerSpec:
+    """One registry entry: a name, its aliases, and a compiler factory.
+
+    ``factory(device, gateset, seed, cache, **knobs)`` returns a
+    configured compiler exposing ``compile(step, initial=None)``.
+    ``requires_device``/``uses_gateset`` are metadata for front ends:
+    the NoMap and Paulihedral baselines ignore the device argument, and
+    Paulihedral's idealised CNOT cost model ignores the gate set too.
+    """
+
+    name: str
+    summary: str
+    factory: Callable[..., "PipelineCompiler"]
+    aliases: tuple[str, ...] = ()
+    requires_device: bool = True
+    uses_gateset: bool = True
+
+
+_REGISTRY: dict[str, CompilerSpec] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register_compiler(spec: CompilerSpec) -> CompilerSpec:
+    """Add one spec to the registry (canonical name and aliases)."""
+    for name in (spec.name, *spec.aliases):
+        claimed = _REGISTRY.get(name) or _REGISTRY.get(_ALIASES.get(name, ""))
+        if claimed is not None and claimed.name != spec.name:
+            raise ValueError(f"compiler name {name!r} already registered "
+                             f"by {claimed.name!r}")
+    _REGISTRY[spec.name] = spec
+    for alias in spec.aliases:
+        _ALIASES[alias] = spec.name
+    return spec
+
+
+def compiler_names() -> tuple[str, ...]:
+    """Canonical registered names, registration order."""
+    return tuple(_REGISTRY)
+
+
+def compiler_specs() -> tuple[CompilerSpec, ...]:
+    """All registered specs, registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def resolve_spec(name: str) -> CompilerSpec:
+    """Look one name (or alias) up, raising ``ValueError`` if unknown."""
+    canonical = _ALIASES.get(name, name)
+    try:
+        return _REGISTRY[canonical]
+    except KeyError:
+        known = sorted(set(_REGISTRY) | set(_ALIASES))
+        raise ValueError(
+            f"unknown compiler {name!r} (known: {', '.join(known)})"
+        ) from None
+
+
+def get_compiler(name: str, *, device: "Device | None" = None,
+                 gateset="CNOT", seed: int = 0,
+                 cache: DecomposeCache | None = None,
+                 **knobs) -> "PipelineCompiler":
+    """Instantiate the named compiler with a uniform configuration.
+
+    ``knobs`` are forwarded to the factory (e.g. ``mapping_trials=1``
+    for 2QAN, ``lookahead=10`` for the t|ket>-like router); unknown
+    knobs raise ``TypeError`` from the underlying dataclass.  A ``cache``
+    of ``None`` lets each compiler default its own.
+    """
+    spec = resolve_spec(name)
+    return spec.factory(device=device, gateset=gateset, seed=seed,
+                        cache=cache, **knobs)
+
+
+# ----------------------------------------------------------------------
+# Built-in compilers.  Factories import lazily to avoid import cycles.
+# ----------------------------------------------------------------------
+def _twoqan_factory(device, gateset, seed, cache, **knobs):
+    from repro.core.compiler import TwoQANCompiler
+
+    return TwoQANCompiler(device=device, gateset=gateset, seed=seed,
+                          cache=cache, **knobs)
+
+
+def _twoqan_nodress_factory(device, gateset, seed, cache, **knobs):
+    from repro.core.compiler import TwoQANCompiler
+
+    return TwoQANCompiler(device=device, gateset=gateset, seed=seed,
+                          cache=cache, dress=False, **knobs)
+
+
+def _tket_factory(device, gateset, seed, cache, **knobs):
+    from repro.baselines.order_respecting import TketLikeCompiler
+
+    return TketLikeCompiler(device=device, gateset=gateset, seed=seed,
+                            cache=cache, **knobs)
+
+
+def _qiskit_factory(device, gateset, seed, cache, **knobs):
+    from repro.baselines.order_respecting import QiskitLikeCompiler
+
+    return QiskitLikeCompiler(device=device, gateset=gateset, seed=seed,
+                              cache=cache, **knobs)
+
+
+def _ic_qaoa_factory(device, gateset, seed, cache, **knobs):
+    from repro.baselines.qaoa_ic import ICQAOACompiler
+
+    return ICQAOACompiler(device=device, gateset=gateset, seed=seed,
+                          cache=cache, **knobs)
+
+
+def _nomap_factory(device, gateset, seed, cache, **knobs):
+    from repro.baselines.nomap import NoMapCompiler
+
+    return NoMapCompiler(gateset=gateset, seed=seed, cache=cache, **knobs)
+
+
+def _paulihedral_factory(device, gateset, seed, cache, **knobs):
+    from repro.baselines.paulihedral_like import PaulihedralLikeCompiler
+
+    return PaulihedralLikeCompiler(seed=seed, **knobs)
+
+
+register_compiler(CompilerSpec(
+    name="2qan",
+    summary="the 2QAN compiler, paper defaults (unify, dress, hybrid ALAP)",
+    factory=_twoqan_factory,
+))
+register_compiler(CompilerSpec(
+    name="2qan_nodress",
+    summary="2QAN with SWAP dressing disabled (Table III ablation)",
+    factory=_twoqan_nodress_factory,
+))
+register_compiler(CompilerSpec(
+    name="tket",
+    summary="order-respecting lookahead frontier router (t|ket> stand-in)",
+    factory=_tket_factory,
+    aliases=("order",),
+))
+register_compiler(CompilerSpec(
+    name="qiskit",
+    summary="order-respecting stochastic router (Qiskit-0.26 stand-in)",
+    factory=_qiskit_factory,
+))
+register_compiler(CompilerSpec(
+    name="ic_qaoa",
+    summary="instruction-gain router for commuting layers (IC-QAOA stand-in)",
+    factory=_ic_qaoa_factory,
+    aliases=("qaoa_ic",),
+))
+register_compiler(CompilerSpec(
+    name="nomap",
+    summary="connectivity-free baseline (all-to-all, zero SWAPs)",
+    factory=_nomap_factory,
+    requires_device=False,
+))
+register_compiler(CompilerSpec(
+    name="paulihedral",
+    summary="idealised Paulihedral block scheduler (all-to-all cost model)",
+    factory=_paulihedral_factory,
+    aliases=("paulihedral_like",),
+    requires_device=False,
+    uses_gateset=False,
+))

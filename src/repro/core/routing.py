@@ -48,7 +48,7 @@ class QubitMap:
         return None
 
     def inverse(self) -> dict[int, int]:
-        return {p: l for l, p in self.logical_to_physical.items()}
+        return {p: lq for lq, p in self.logical_to_physical.items()}
 
     def after_swap(self, physical_pair: tuple[int, int]) -> "QubitMap":
         """The map after exchanging two physical qubits' contents."""

@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.quantum.circuit import Circuit
 from repro.quantum.gates import Gate
-from repro.synthesis.weyl import KAKDecomposition, kak_decompose, mirror_x_z
+from repro.synthesis.weyl import kak_decompose, mirror_x_z
 
 _PI4 = math.pi / 4
 _TOL = 1e-8

@@ -34,9 +34,9 @@ def permutation_unitary(mapping: dict[int, int], n_qubits: int) -> np.ndarray:
     matrix = np.zeros((dim, dim))
     for logical_index in range(dim):
         physical_index = 0
-        for l in range(n_qubits):
-            bit = (logical_index >> (n_qubits - 1 - l)) & 1
-            p = mapping[l]
+        for lq in range(n_qubits):
+            bit = (logical_index >> (n_qubits - 1 - lq)) & 1
+            p = mapping[lq]
             physical_index |= bit << (n_qubits - 1 - p)
         matrix[physical_index, logical_index] = 1.0
     return matrix

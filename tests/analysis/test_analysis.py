@@ -21,7 +21,7 @@ from repro.analysis.runtime import (
     measure_runtime_spec,
 )
 from repro.core.decompose import DecomposeCache
-from repro.devices import aspen, grid, line, montreal
+from repro.devices import aspen, montreal
 from repro.hamiltonians.trotter import trotter_step
 from repro.hamiltonians.models import nnn_ising
 

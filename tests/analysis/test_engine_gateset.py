@@ -1,0 +1,58 @@
+"""Gateset labelling for gateset-free compilers in sweep tasks."""
+
+from repro.analysis.harness import SweepConfig
+from repro.analysis.engine import expand_tasks, run_engine
+from repro.devices import aspen
+
+
+class TestGatesetFreeCompilers:
+    def test_paulihedral_tasks_not_labelled_with_basis(self):
+        config = SweepConfig("NNN_Ising", aspen(), "SYC", (6,),
+                             compilers=("2qan", "paulihedral"))
+        tasks = expand_tasks(config)
+        by_compiler = {t.compiler: t for t in tasks}
+        assert by_compiler["2qan"].gateset == "SYC"
+        assert by_compiler["paulihedral"].gateset == "n/a"
+
+    def test_paulihedral_task_key_stable_across_gatesets(self):
+        tasks = {}
+        for gateset in ("CNOT", "SYC"):
+            config = SweepConfig("NNN_Ising", aspen(), gateset, (6,),
+                                 compilers=("paulihedral",))
+            tasks[gateset] = expand_tasks(config)[0].key
+        assert tasks["CNOT"] == tasks["SYC"]
+
+    def test_rows_carry_the_neutral_label(self):
+        config = SweepConfig("NNN_Ising", aspen(), "SYC", (6,),
+                             compilers=("paulihedral",))
+        rows = run_engine(config, jobs=1)
+        assert rows[0].gateset == "n/a"
+
+
+class TestCrossGatesetStoreReuse:
+    def test_config_key_shared_across_gatesets(self):
+        import dataclasses
+
+        from repro.analysis.engine import config_key
+
+        cnot = SweepConfig("NNN_Ising", aspen(), "CNOT", (6,))
+        syc = dataclasses.replace(cnot, gateset="SYC")
+        assert config_key(cnot) == config_key(syc)
+
+    def test_gateset_free_rows_resume_across_gatesets(self, tmp_path):
+        """A paulihedral row computed under one gate set is reused by a
+        sweep with another: same store file, same task key."""
+        from repro.analysis.engine import open_store
+
+        cnot = SweepConfig("NNN_Ising", aspen(), "CNOT", (6,),
+                           compilers=("paulihedral",))
+        run_engine(cnot, jobs=1, store=open_store(tmp_path, cnot))
+        stored = list(tmp_path.glob("sweep-*.jsonl"))
+        assert len(stored) == 1
+        first = stored[0].read_text()
+
+        import dataclasses
+        syc = dataclasses.replace(cnot, gateset="SYC")
+        run_engine(syc, jobs=1, store=open_store(tmp_path, syc))
+        assert list(tmp_path.glob("sweep-*.jsonl")) == stored
+        assert stored[0].read_text() == first  # nothing recomputed

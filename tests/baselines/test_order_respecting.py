@@ -1,6 +1,5 @@
 """Tests for the generic (order-respecting) baseline compilers."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.order_respecting import (
@@ -9,7 +8,7 @@ from repro.baselines.order_respecting import (
     compile_tket_like,
 )
 from repro.core.unify import unify_circuit_operators
-from repro.devices import all_to_all, grid, line, montreal
+from repro.devices import all_to_all
 from repro.hamiltonians.models import nnn_heisenberg, nnn_ising
 from repro.hamiltonians.trotter import trotter_step
 

@@ -1,13 +1,11 @@
 """Tests for the IC-QAOA-like compiler and the NoMap baseline."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.nomap import compile_nomap
 from repro.baselines.qaoa_ic import compile_ic_qaoa
 from repro.core.compiler import TwoQANCompiler
-from repro.core.unify import unify_circuit_operators
-from repro.devices import all_to_all, montreal
+from repro.devices import all_to_all
 from repro.hamiltonians.models import nnn_heisenberg, nnn_ising
 from repro.hamiltonians.qaoa import QAOAProblem, random_regular_graph
 from repro.hamiltonians.trotter import trotter_step

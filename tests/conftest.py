@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 import scipy.linalg as sla
 
-from repro.devices import all_to_all, aspen, grid, line, montreal
+from repro.devices import aspen, grid, line, montreal
 from repro.quantum.gates import standard_gate_unitary
 
 _X = np.array([[0, 1], [1, 0]], dtype=complex)

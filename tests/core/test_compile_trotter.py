@@ -1,10 +1,7 @@
 """Tests for multi-step Trotter compilation (odd/even reversal scheme)."""
 
-import numpy as np
-import pytest
-
 from repro.core.compiler import TwoQANCompiler
-from repro.devices import line, montreal
+from repro.devices import line
 from repro.hamiltonians.models import nnn_heisenberg, nnn_ising
 
 

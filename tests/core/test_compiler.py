@@ -4,8 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.compiler import TwoQANCompiler, compile_step
-from repro.core.unify import unify_circuit_operators
-from repro.devices import all_to_all, grid, line, montreal
+from repro.devices import all_to_all
 from repro.hamiltonians.models import nnn_heisenberg, nnn_ising
 from repro.hamiltonians.qaoa import QAOAProblem, random_regular_graph
 from repro.hamiltonians.trotter import trotter_step

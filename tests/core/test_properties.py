@@ -13,7 +13,6 @@ make a compilation *correct* regardless of quality:
 
 from __future__ import annotations
 
-import networkx as nx
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.routing import QubitMap, route
 from repro.core.unify import unify_circuit_operators
-from repro.devices import all_to_all, grid, line, montreal
+from repro.devices import all_to_all, line, montreal
 from repro.hamiltonians.models import nnn_heisenberg, nnn_ising
 from repro.hamiltonians.trotter import trotter_step
 from repro.mapping.placement import identity_mapping

@@ -1,12 +1,11 @@
 """Tests for hybrid ALAP scheduling (Algorithm 2) and NoMap scheduling."""
 
 import numpy as np
-import pytest
 
 from repro.core.routing import route
 from repro.core.scheduling import schedule_alap, schedule_no_device
 from repro.core.unify import unify_circuit_operators
-from repro.devices import all_to_all, grid, line, montreal
+from repro.devices import line, montreal
 from repro.hamiltonians.models import nnn_heisenberg, nnn_ising, nnn_xy
 from repro.hamiltonians.trotter import trotter_step
 

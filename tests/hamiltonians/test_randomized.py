@@ -1,7 +1,6 @@
 """Tests for randomized product formulas (the paper's future-work item)."""
 
 import numpy as np
-import pytest
 
 from repro.hamiltonians.hamiltonian import TwoLocalHamiltonian
 from repro.hamiltonians.randomized import (

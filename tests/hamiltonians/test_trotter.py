@@ -7,7 +7,6 @@ import scipy.linalg as sla
 from repro.hamiltonians.hamiltonian import TwoLocalHamiltonian
 from repro.hamiltonians.models import nnn_heisenberg, nnn_ising
 from repro.hamiltonians.trotter import (
-    TrotterStep,
     TwoQubitOperator,
     second_order_step,
     trotter_step,

@@ -152,7 +152,7 @@ class TestMitigationEndToEnd:
     def test_mitigation_improves_monte_carlo(self):
         """Readout mitigation recovers most of the readout loss."""
         from repro.hamiltonians.qaoa import (
-            QAOAProblem, cost_diagonal, minimum_cost, random_regular_graph,
+            QAOAProblem, cost_diagonal, random_regular_graph,
         )
         from repro.quantum.statevector import Statevector
 

@@ -96,7 +96,7 @@ class TestMetrics:
         c.add("H", 2)
         c.add("CNOT", 1, 2)
         layers = c.layers()
-        assert sum(len(l) for l in layers) == 3
+        assert sum(len(layer) for layer in layers) == 3
         assert [g.name for g in layers[0]] == ["CNOT", "H"]
 
 

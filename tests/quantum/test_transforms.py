@@ -1,9 +1,6 @@
 """Tests for single-qubit gate fusion."""
 
-import numpy as np
-
 from repro.quantum.circuit import Circuit
-from repro.quantum.gates import Gate
 from repro.quantum.transforms import count_entangling, merge_single_qubit_gates
 from repro.quantum.unitaries import allclose_up_to_global_phase
 

@@ -14,7 +14,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.quantum.gates import standard_gate_unitary
 from repro.quantum.unitaries import random_su2
 from repro.synthesis.cnot_basis import decompose_to_cnots
 from repro.synthesis.gateset import get_gateset

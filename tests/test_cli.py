@@ -4,7 +4,12 @@ import json
 
 import pytest
 
-from repro.__main__ import main, make_parser, make_sweep_parser
+from repro.__main__ import (
+    main,
+    make_compile_parser,
+    make_parser,
+    make_sweep_parser,
+)
 
 
 class TestParser:
@@ -49,6 +54,77 @@ class TestMain:
         assert "error" in capsys.readouterr().err
 
 
+class TestCompileCommand:
+    def test_defaults(self):
+        args = make_compile_parser().parse_args([])
+        assert args.compiler == "2qan"
+
+    def test_unknown_compiler_rejected(self):
+        with pytest.raises(SystemExit):
+            make_compile_parser().parse_args(["--compiler", "bogus"])
+
+    def test_registry_compiler_runs(self, capsys):
+        code = main(["compile", "--compiler", "tket", "--benchmark",
+                     "NNN_Ising", "--qubits", "6", "--device", "aspen"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tket:" in out
+        assert "pass timings:" in out
+
+    def test_alias_accepted(self, capsys):
+        code = main(["compile", "--compiler", "qaoa_ic", "--benchmark",
+                     "NNN_Ising", "--qubits", "6", "--device", "aspen"])
+        assert code == 0
+        assert "qaoa_ic:" in capsys.readouterr().out
+
+    def test_json_output_has_timings(self, capsys):
+        code = main(["compile", "--compiler", "nomap", "--benchmark",
+                     "NNN_Ising", "--qubits", "6", "--device", "aspen",
+                     "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["compiler"] == "nomap"
+        assert set(payload["timings"]) == {
+            "unify", "scheduling", "decomposition"
+        }
+
+    def test_list_compilers(self, capsys):
+        assert main(["compile", "--list-compilers"]) == 0
+        out = capsys.readouterr().out
+        for name in ("2qan", "tket", "qiskit", "ic_qaoa", "nomap",
+                     "paulihedral"):
+            assert name in out
+
+    def test_device_free_compiler_ignores_device_size(self, capsys):
+        """NoMap/Paulihedral compile above the named device's size."""
+        code = main(["compile", "--compiler", "nomap", "--benchmark",
+                     "NNN_Ising", "--qubits", "30", "--device",
+                     "montreal"])
+        assert code == 0
+        assert "all-to-all-30" in capsys.readouterr().out
+
+    def test_gateset_free_compiler_not_mislabelled(self, capsys):
+        """Paulihedral ignores --gateset; output must not claim a basis."""
+        code = main(["compile", "--compiler", "paulihedral", "--benchmark",
+                     "NNN_Ising", "--qubits", "6", "--gateset", "SYC",
+                     "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["gateset"] is None
+
+    def test_incompatible_benchmark_reports_error(self, capsys):
+        code = main(["compile", "--compiler", "ic_qaoa", "--benchmark",
+                     "NNN_Heisenberg", "--qubits", "6", "--device",
+                     "aspen"])
+        assert code == 1
+        assert "commuting" in capsys.readouterr().err
+
+    def test_too_many_qubits(self, capsys):
+        code = main(["compile", "--qubits", "30", "--device", "montreal"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
 class TestSweepParser:
     def test_defaults(self):
         args = make_sweep_parser().parse_args([])
@@ -78,6 +154,24 @@ class TestSweepCommand:
         assert len(rows) == 2
         assert {r["compiler"] for r in rows} == {"2qan", "nomap"}
         assert all(r["benchmark"] == "NNN_Ising" for r in rows)
+        # sweep rows carry per-pass timings for every compiler
+        for row in rows:
+            assert "decomposition" in row["timings"]
+
+    def test_pass_timings_table(self, capsys):
+        assert main(self.ARGS + ["--pass-timings"]) == 0
+        out = capsys.readouterr().out
+        assert "[pass seconds]" in out
+        assert "mapping" in out and "decomposition" in out
+
+    def test_aliases_canonicalized_not_duplicated(self, capsys):
+        """'tket,order' is one compiler, computed and shown once."""
+        args = ["sweep", "--benchmark", "NNN_Ising", "--device", "aspen",
+                "--sizes", "6", "--compilers", "tket,order", "--jobs", "1",
+                "--json"]
+        assert main(args) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [r["compiler"] for r in rows] == ["tket"]
 
     def test_store_resume(self, tmp_path, capsys):
         store_args = self.ARGS + ["--store", str(tmp_path)]
@@ -123,3 +217,21 @@ class TestSweepCommand:
         code = main(["sweep", "--jobs", "0"])
         assert code == 1
         assert "--jobs" in capsys.readouterr().err
+
+
+class TestDeviceFreeSweep:
+    def test_all_device_free_sweep_ignores_device_cap(self, capsys):
+        code = main(["sweep", "--benchmark", "NNN_Ising", "--device",
+                     "montreal", "--sizes", "30", "--compilers",
+                     "nomap,paulihedral", "--jobs", "1", "--json"])
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert {r["compiler"] for r in rows} == {"nomap", "paulihedral"}
+        assert all(r["device"] == "all-to-all-30" for r in rows)
+
+    def test_mixed_sweep_still_capped(self, capsys):
+        code = main(["sweep", "--benchmark", "NNN_Ising", "--device",
+                     "montreal", "--sizes", "30", "--compilers",
+                     "2qan,nomap", "--jobs", "1"])
+        assert code == 1
+        assert "exceed" in capsys.readouterr().err

@@ -5,7 +5,6 @@ examples.  Stdout is captured so the suite stays quiet.
 """
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

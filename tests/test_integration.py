@@ -1,12 +1,10 @@
 """Cross-module integration tests: the full pipelines the paper runs."""
 
-import numpy as np
 import pytest
 
 from repro import TwoQANCompiler, nnn_heisenberg, nnn_ising, trotter_step
 from repro.baselines import (
     compile_ic_qaoa,
-    compile_nomap,
     compile_qiskit_like,
     compile_tket_like,
 )

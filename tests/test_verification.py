@@ -6,7 +6,7 @@ import pytest
 from repro.core.compiler import TwoQANCompiler
 from repro.core.unify import unify_circuit_operators
 from repro.devices import grid, line
-from repro.hamiltonians.models import nnn_heisenberg, nnn_ising, nnn_xy
+from repro.hamiltonians.models import nnn_ising, nnn_xy
 from repro.hamiltonians.qaoa import QAOAProblem, random_regular_graph
 from repro.hamiltonians.trotter import trotter_step
 from repro.verification import (
