@@ -1,0 +1,72 @@
+"""Warm-cache batch serving benchmark (the repro.cache/.service payoff).
+
+Serves the same 20-request batch twice through a disk-backed
+content-addressed cache: the cold run compiles everything, the warm run
+(a fresh service instance over the same cache directory, as a restarted
+server would be) must replay stored artifacts at least 5x faster with
+byte-identical responses.  The measurement is recorded under
+``benchmarks/results/batch_cache.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.service.batch import BatchCompiler, CompileRequest
+
+
+def _request_batch() -> list[CompileRequest]:
+    """20 requests: a 4-compiler x 2-benchmark x 2-size grid + repeats.
+
+    The four duplicates model the repeated traffic a service sees; they
+    exercise dedupe on the cold run and are free either way.
+    """
+    requests = [
+        CompileRequest(compiler=compiler, benchmark=benchmark,
+                       n_qubits=n_qubits, device="montreal",
+                       gateset="CNOT", seed=0)
+        for compiler in ("2qan", "tket", "qiskit", "nomap")
+        for benchmark in ("NNN_Heisenberg", "NNN_Ising")
+        for n_qubits in (8, 12)
+    ]
+    return requests + requests[:4]
+
+
+def test_warm_batch_at_least_5x_faster(results_dir, tmp_path):
+    requests = _request_batch()
+    cache_dir = tmp_path / "cache"
+
+    cold_start = time.perf_counter()
+    cold_responses, cold = BatchCompiler(cache_dir=cache_dir).run(requests)
+    cold_seconds = time.perf_counter() - cold_start
+
+    # a fresh service over the same directory: disk artifacts only
+    warm_start = time.perf_counter()
+    warm_responses, warm = BatchCompiler(cache_dir=cache_dir).run(requests)
+    warm_seconds = time.perf_counter() - warm_start
+
+    speedup = cold_seconds / warm_seconds
+    record = {
+        "n_requests": len(requests),
+        "n_unique": cold.n_unique,
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "speedup": round(speedup, 1),
+        "cold_artifact_misses": cold.artifact_misses,
+        "warm_artifact_hits": warm.artifact_hits,
+        "warm_artifact_misses": warm.artifact_misses,
+    }
+    path = results_dir / "batch_cache.json"
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"\n=== batch_cache ===\n{json.dumps(record, indent=2)}")
+
+    # responses are bit-identical, the warm run is pure cache replay
+    assert [r.to_dict() for r in warm_responses] == \
+        [r.to_dict() for r in cold_responses]
+    assert warm.artifact_misses == 0
+    assert warm.artifact_hits > 0
+    assert speedup >= 5.0, (
+        f"warm batch only {speedup:.1f}x faster "
+        f"({cold_seconds:.2f}s -> {warm_seconds:.2f}s)"
+    )

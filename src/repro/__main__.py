@@ -11,6 +11,8 @@ Examples::
     python -m repro compile --list-compilers
     python -m repro sweep --benchmark NNN_Ising --device aspen \
         --gateset CNOT --sizes 6,8,10 --jobs 4 --store results/store
+    python -m repro batch --requests requests.json --jobs 4 \
+        --cache results/cache --json
 """
 
 from __future__ import annotations
@@ -23,6 +25,7 @@ import sys
 from repro.analysis.harness import (
     SweepConfig,
     build_step,
+    format_cache_stats,
     format_pass_timings,
     format_rows,
 )
@@ -53,7 +56,10 @@ def make_parser() -> argparse.ArgumentParser:
         epilog="subcommands: 'repro compile ...' compiles one benchmark "
                "with any registered compiler; 'repro sweep ...' runs a "
                "parallel, resumable (sizes x instances x compilers) "
-               "sweep; see 'repro compile --help' / 'repro sweep --help'",
+               "sweep; 'repro batch ...' serves a JSON file of compile "
+               "requests through the content-addressed cache; see "
+               "'repro compile --help' / 'repro sweep --help' / "
+               "'repro batch --help'",
     )
     parser.add_argument("--benchmark", default="NNN_Heisenberg",
                         choices=BENCHMARKS,
@@ -69,6 +75,9 @@ def make_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--mapping-trials", type=int, default=5,
                         help="Tabu restarts (paper uses 5)")
+    parser.add_argument("--mapping-jobs", type=int, default=1,
+                        help="processes for the mapping trials "
+                             "(identical result, less wall time)")
     parser.add_argument("--compare", action="store_true",
                         help="also run the baseline compilers")
     return parser
@@ -216,6 +225,9 @@ def make_sweep_parser() -> argparse.ArgumentParser:
                         help="worker processes (default: all cores)")
     parser.add_argument("--store", default=None, metavar="DIR",
                         help="persist/resume rows under this directory")
+    parser.add_argument("--cache", default=None, metavar="DIR",
+                        help="share stage artifacts across tasks via a "
+                             "content-addressed cache in this directory")
     parser.add_argument("--json", action="store_true",
                         help="emit raw rows as JSON instead of tables")
     parser.add_argument("--metrics",
@@ -288,7 +300,10 @@ def sweep_main(argv: list[str]) -> int:
     store = (open_store(args.store, config, salt=source_digest())
              if args.store else None)
     try:
-        rows = run_engine(config, jobs=jobs, store=store)
+        # the engine salts the cache directory with a source digest
+        # itself: artifacts never outlive the code that produced them
+        rows = run_engine(config, jobs=jobs, store=store,
+                          artifact_cache=args.cache or None)
     except ValueError as exc:
         # e.g. ic_qaoa on a benchmark without mutually commuting layers
         print(f"error: {exc}", file=sys.stderr)
@@ -299,13 +314,84 @@ def sweep_main(argv: list[str]) -> int:
         return 0
     print(f"{args.benchmark} on {device.name} ({args.gateset} basis), "
           f"{len(rows)} rows, jobs={jobs}"
-          + (f", store={store.path}" if store else ""))
+          + (f", store={store.path}" if store else "")
+          + (f", cache={args.cache}" if args.cache else ""))
     for metric in metrics:
         print(f"\n[{metric}]")
         print(format_rows(rows, metric, compilers))
     if args.pass_timings:
         print("\n[pass seconds]")
         print(format_pass_timings(rows, compilers))
+        print("\n[cache counters]")
+        print(format_cache_stats(rows, compilers))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# repro batch
+# ----------------------------------------------------------------------
+def make_batch_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro batch",
+        description="Serve a JSON file of compile requests: deduplicate, "
+                    "share one content-addressed artifact cache across "
+                    "the batch, fan independent requests out over "
+                    "processes",
+        epilog="the requests file holds a JSON list of objects with any "
+               "of: compiler, benchmark, n_qubits, device, gateset, "
+               "seed, qaoa_degree (missing fields take the 'repro "
+               "compile' defaults)",
+    )
+    parser.add_argument("--requests", required=True, metavar="FILE",
+                        help="JSON file with the request list")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for unique requests")
+    parser.add_argument("--cache", default=None, metavar="DIR",
+                        help="persist stage artifacts in this directory "
+                             "(shared across runs and processes)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit responses as JSON (deterministic: "
+                             "identical for cold and warm caches)")
+    return parser
+
+
+def batch_main(argv: list[str]) -> int:
+    from repro.service.batch import BatchCompiler, load_requests
+
+    args = make_batch_parser().parse_args(argv)
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 1
+    try:
+        requests = load_requests(args.requests)
+    except (OSError, ValueError, TypeError) as exc:
+        print(f"error: bad --requests file: {exc}", file=sys.stderr)
+        return 1
+    if not requests:
+        print("error: requests file holds no requests", file=sys.stderr)
+        return 1
+    # BatchCompiler salts the directory with a source digest itself
+    service = BatchCompiler(jobs=args.jobs, cache_dir=args.cache or None)
+    try:
+        responses, summary = service.run(requests)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    # the summary carries wall times and cache counters, which differ
+    # between runs; keep stdout deterministic by reporting it on stderr
+    print(summary.line(), file=sys.stderr)
+    if args.json:
+        print(json.dumps([r.to_dict() for r in responses], indent=2))
+        return 0
+    for response in responses:
+        request = response.request
+        note = " (deduplicated)" if response.deduplicated else ""
+        print(f"{request.compiler} {request.benchmark} "
+              f"n={request.n_qubits} seed={request.seed}: "
+              f"swaps={response.n_swaps} "
+              f"2q-gates={response.n_two_qubit_gates} "
+              f"2q-depth={response.two_qubit_depth} "
+              f"depth={response.total_depth}{note}")
     return 0
 
 
@@ -316,6 +402,8 @@ def main(argv: list[str] | None = None) -> int:
         return sweep_main(argv[1:])
     if argv and argv[0] == "compile":
         return compile_main(argv[1:])
+    if argv and argv[0] == "batch":
+        return batch_main(argv[1:])
     args = make_parser().parse_args(argv)
     step = build_step(args.benchmark, args.qubits, args.seed)
     device = _resolve_device(args.device, args.qubits)
@@ -324,7 +412,8 @@ def main(argv: list[str] | None = None) -> int:
 
     compiler = get_compiler("2qan", device=device, gateset=args.gateset,
                             seed=args.seed,
-                            mapping_trials=args.mapping_trials)
+                            mapping_trials=args.mapping_trials,
+                            mapping_jobs=args.mapping_jobs)
     result = compiler.compile(step)
     print(f"{args.benchmark} n={args.qubits} on {device.name} "
           f"({args.gateset} basis)")

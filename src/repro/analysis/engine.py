@@ -18,6 +18,14 @@ With a :class:`~repro.analysis.store.ResultStore` attached, each row is
 persisted the moment its task completes and already-stored tasks are
 never recomputed, so interrupted sweeps resume and grid extensions only
 pay for the new cells.
+
+With an *artifact cache* attached (:class:`repro.cache.ArtifactCache`,
+or a directory for one), every task's pipeline runs cache-aware: tasks
+that share a stage prefix reuse each other's artifacts -- the same
+problem instance compiled by several compilers shares its Unify
+artifact, and the same compiler swept across gate sets shares
+everything up to decomposition.  Metrics are bit-identical with or
+without the cache; only wall time changes.
 """
 
 from __future__ import annotations
@@ -97,16 +105,40 @@ def expand_tasks(config: SweepConfig) -> list[SweepTask]:
 
 
 def execute_task(task: SweepTask, device: Device,
-                 cache: DecomposeCache | None = None) -> BenchmarkRow:
-    """Build and compile one task; the process-pool worker entry point."""
+                 cache: DecomposeCache | None = None,
+                 artifacts=None,
+                 artifact_dir: str | None = None) -> BenchmarkRow:
+    """Build and compile one task; the process-pool worker entry point.
+
+    ``artifacts`` is a live :class:`repro.cache.ArtifactCache` (serial
+    mode); ``artifact_dir`` names a shared cache directory, resolved to
+    this process's cache instance (pool mode -- the cache object itself
+    never crosses the process boundary).
+    """
     step = build_step(task.benchmark, task.n_qubits, task.instance_seed,
                       task.qaoa_degree)
     if cache is None:
         cache = DecomposeCache()
+    if artifacts is None and artifact_dir is not None:
+        from repro.cache.store import process_cache
+
+        artifacts = process_cache(artifact_dir)
+    hits_before, misses_before = cache.hits, cache.misses
     start = time.perf_counter()
     result = compile_with(task.compiler, step, device, task.gateset,
-                          task.compiler_seed, cache)
+                          task.compiler_seed, cache, artifacts=artifacts)
     elapsed = time.perf_counter() - start
+    cache_stats = {
+        "decompose_hits": cache.hits - hits_before,
+        "decompose_misses": cache.misses - misses_before,
+    }
+    if artifacts is not None:
+        from repro.cache.cached import count_cache_hits
+
+        artifact_hits = count_cache_hits(result.cache_events)
+        cache_stats["artifact_hits"] = artifact_hits
+        cache_stats["artifact_misses"] = (len(result.cache_events)
+                                          - artifact_hits)
     metrics = result.metrics
     return BenchmarkRow(
         benchmark=task.benchmark,
@@ -122,6 +154,7 @@ def execute_task(task: SweepTask, device: Device,
         total_depth=metrics.total_depth,
         seconds=elapsed,
         timings=dict(result.timings),
+        cache_stats=cache_stats,
     )
 
 
@@ -167,12 +200,32 @@ def open_store(root: str | Path, config: SweepConfig,
 
 
 def run_engine(config: SweepConfig, jobs: int = 1,
-               store: ResultStore | None = None) -> list[BenchmarkRow]:
+               store: ResultStore | None = None,
+               artifact_cache=None) -> list[BenchmarkRow]:
     """Run a sweep, in parallel when ``jobs > 1``, resuming from ``store``.
 
     Returns rows in the same deterministic (size, instance, compiler)
     order as the serial harness regardless of completion order.
+
+    ``artifact_cache`` enables stage-artifact reuse across tasks: a
+    :class:`repro.cache.ArtifactCache`, or a directory path for a
+    disk-backed one.  A directory is nested under a source digest
+    (:func:`repro.cache.store.salted_directory`) so artifacts never
+    outlive the code that produced them; pass a constructed
+    ``ArtifactCache`` to opt out.  In parallel mode only the disk layer
+    is shared (workers each keep a memory layer over it); an
+    in-memory-only cache therefore only helps serial sweeps.
     """
+    artifacts = None
+    artifact_dir = None
+    if artifact_cache is not None:
+        from repro.cache.store import ArtifactCache, salted_directory
+
+        if not isinstance(artifact_cache, ArtifactCache):
+            artifact_cache = ArtifactCache(salted_directory(artifact_cache))
+        artifacts = artifact_cache
+        if artifact_cache.directory is not None:
+            artifact_dir = str(artifact_cache.directory)
     tasks = expand_tasks(config)
     results: dict[str, BenchmarkRow] = {}
     if store is not None:
@@ -199,7 +252,8 @@ def run_engine(config: SweepConfig, jobs: int = 1,
     if pending and jobs > 1:
         failure: BaseException | None = None
         with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-            futures = {pool.submit(execute_task, task, config.device): task
+            futures = {pool.submit(execute_task, task, config.device,
+                                   artifact_dir=artifact_dir): task
                        for task in pending}
             # drain every future even after a failure so rows that did
             # complete are recorded (and stored) before the error surfaces;
@@ -218,7 +272,8 @@ def run_engine(config: SweepConfig, jobs: int = 1,
         caches: dict[str, DecomposeCache] = {}
         for task in pending:
             cache = caches.setdefault(task.compiler, DecomposeCache())
-            record(task, execute_task(task, config.device, cache))
+            record(task, execute_task(task, config.device, cache,
+                                      artifacts=artifacts))
     return [results[task.key] for task in tasks]
 
 

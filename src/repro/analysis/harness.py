@@ -30,6 +30,9 @@ class BenchmarkRow:
     ``timings`` carries the compiler's per-pass wall times (one entry
     per executed pipeline pass), so sweep reports can show where compile
     time goes; like ``seconds`` it is informational, not deterministic.
+    ``cache_stats`` carries the task's cache counters (decomposition
+    memo hits/misses, and artifact-cache hits/misses when the sweep
+    runs with one) -- informational too.
     """
 
     benchmark: str
@@ -45,6 +48,7 @@ class BenchmarkRow:
     total_depth: int
     seconds: float
     timings: dict[str, float] = field(default_factory=dict, compare=False)
+    cache_stats: dict[str, int] = field(default_factory=dict, compare=False)
 
 
 @dataclass
@@ -78,15 +82,25 @@ def build_step(benchmark: str, n_qubits: int, instance_seed: int,
 
 
 def compile_with(name: str, step: TrotterStep, device: Device,
-                 gateset: str, seed: int, cache: DecomposeCache):
-    """Dispatch one compiler by registry name; returns the result."""
+                 gateset: str, seed: int, cache: DecomposeCache,
+                 artifacts=None):
+    """Dispatch one compiler by registry name; returns the result.
+
+    With ``artifacts`` (a :class:`repro.cache.ArtifactCache`) the
+    pipeline runs cache-aware: stages whose output is already stored are
+    skipped, with identical metrics either way.
+    """
     compiler = get_compiler(name, device=device, gateset=gateset, seed=seed,
                             cache=cache)
+    if artifacts is not None:
+        from repro.cache.cached import compile_cached
+
+        return compile_cached(compiler, step, artifacts)
     return compiler.compile(step)
 
 
-def run_sweep(config: SweepConfig, jobs: int = 1,
-              store=None) -> list[BenchmarkRow]:
+def run_sweep(config: SweepConfig, jobs: int = 1, store=None,
+              artifact_cache=None) -> list[BenchmarkRow]:
     """Run all (size, instance, compiler) combinations of a sweep.
 
     Delegates to :func:`repro.analysis.engine.run_engine`; ``jobs > 1``
@@ -99,7 +113,8 @@ def run_sweep(config: SweepConfig, jobs: int = 1,
     """
     from repro.analysis.engine import run_engine
 
-    return run_engine(config, jobs=jobs, store=store)
+    return run_engine(config, jobs=jobs, store=store,
+                      artifact_cache=artifact_cache)
 
 
 class AmbiguousRowsError(ValueError):
@@ -177,6 +192,40 @@ def format_rows(rows: list[BenchmarkRow], attribute: str,
     return "\n".join(lines)
 
 
+def _format_per_compiler_table(rows: list[BenchmarkRow],
+                               compilers: tuple[str, ...] | None,
+                               record: str, label: str, label_width: int,
+                               reduce_fn, empty: str) -> str:
+    """Shared scaffolding for the per-pass/per-counter report tables.
+
+    ``record`` names the per-row dict attribute (``timings`` or
+    ``cache_stats``); one line per key of that dict (first-seen order),
+    one column per compiler, cells reduced by ``reduce_fn`` over the
+    rows that recorded the key ('-' where none did).
+    """
+    if not rows:
+        return "(no data)"
+    if compilers is None:
+        compilers = tuple(dict.fromkeys(r.compiler for r in rows))
+    names = list(dict.fromkeys(
+        name for r in rows for name in getattr(r, record)
+    ))
+    if not names:
+        return empty
+    header = f"{label:{label_width}s}" + "".join(f"{c:>12s}"
+                                                for c in compilers)
+    lines = [header]
+    for name in names:
+        cells = []
+        for compiler in compilers:
+            values = [getattr(r, record)[name] for r in rows
+                      if r.compiler == compiler
+                      and name in getattr(r, record)]
+            cells.append(reduce_fn(values) if values else f"{'-':>12s}")
+        lines.append(f"{name:{label_width}s}" + "".join(cells))
+    return "\n".join(lines)
+
+
 def format_pass_timings(rows: list[BenchmarkRow],
                         compilers: tuple[str, ...] | None = None) -> str:
     """Where compile time goes: mean per-pass seconds per compiler.
@@ -186,23 +235,24 @@ def format_pass_timings(rows: list[BenchmarkRow],
     are informational (wall time under whatever load the sweep ran
     with), so no mixed-sweep guard applies.
     """
-    if not rows:
-        return "(no data)"
-    if compilers is None:
-        compilers = tuple(dict.fromkeys(r.compiler for r in rows))
-    passes = list(dict.fromkeys(
-        name for r in rows for name in r.timings
-    ))
-    if not passes:
-        return "(no pass timings recorded)"
-    header = f"{'pass':14s}" + "".join(f"{c:>12s}" for c in compilers)
-    lines = [header]
-    for name in passes:
-        cells = []
-        for compiler in compilers:
-            values = [r.timings[name] for r in rows
-                      if r.compiler == compiler and name in r.timings]
-            cells.append(f"{np.mean(values):12.3f}" if values
-                         else f"{'-':>12s}")
-        lines.append(f"{name:14s}" + "".join(cells))
-    return "\n".join(lines)
+    return _format_per_compiler_table(
+        rows, compilers, "timings", "pass", 14,
+        lambda values: f"{np.mean(values):12.3f}",
+        empty="(no pass timings recorded)",
+    )
+
+
+def format_cache_stats(rows: list[BenchmarkRow],
+                       compilers: tuple[str, ...] | None = None) -> str:
+    """Cache effectiveness: per-compiler totals of each cache counter.
+
+    One line per counter (decomposition memo and artifact cache
+    hits/misses, in first-seen order), one column per compiler, summed
+    over the rows that recorded the counter.  Informational, like the
+    pass timings.
+    """
+    return _format_per_compiler_table(
+        rows, compilers, "cache_stats", "counter", 18,
+        lambda values: f"{sum(values):12d}",
+        empty="(no cache counters recorded)",
+    )

@@ -105,11 +105,26 @@ class ResultStore:
         return rows
 
     def put(self, key: str, row: BenchmarkRow) -> None:
-        """Append one completed task; durable immediately."""
+        """Append one completed task; durable immediately.
+
+        If the file ends in a torn line (a previous writer died
+        mid-write), a newline is inserted first so the new record never
+        fuses with the corrupt tail -- otherwise both rows would be
+        lost on the next :meth:`load`.
+        """
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        needs_newline = False
+        try:
+            with self.path.open("rb") as handle:
+                handle.seek(-1, 2)
+                needs_newline = handle.read(1) != b"\n"
+        except (OSError, ValueError):
+            pass                         # missing or empty file
         line = json.dumps({"task": key, "row": row_to_dict(row)},
                           sort_keys=True)
         with self.path.open("a") as handle:
+            if needs_newline:
+                handle.write("\n")
             handle.write(line + "\n")
             handle.flush()
 

@@ -10,6 +10,7 @@ Pipeline: ``UnifyPass -> NoDeviceSchedulePass -> DecomposePass``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import ClassVar
 
 from repro.baselines.base import identity_map
 from repro.core.decompose import DecomposeCache
@@ -31,6 +32,10 @@ class NoDeviceSchedulePass:
     """Colour-schedule the problem assuming all-to-all connectivity."""
 
     name: str = "scheduling"
+
+    reads: ClassVar[tuple[str, ...]] = ("working", "step", "seed")
+    writes: ClassVar[tuple[str, ...]] = ("app_circuit", "initial_map",
+                                         "final_map")
 
     def run(self, ctx: CompilationContext) -> CompilationContext:
         working = ctx.require("working")

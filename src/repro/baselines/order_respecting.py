@@ -25,6 +25,7 @@ FrontierRoutePass -> DecomposePass``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import ClassVar
 
 import numpy as np
 
@@ -189,6 +190,9 @@ class LinePlacementPass:
 
     name: str = "mapping"
 
+    reads: ClassVar[tuple[str, ...]] = ("step", "device", "initial")
+    writes: ClassVar[tuple[str, ...]] = ("assignment",)
+
     def run(self, ctx: CompilationContext) -> CompilationContext:
         device = ctx.require("device")
         ctx.assignment = (np.asarray(ctx.initial) if ctx.initial is not None
@@ -202,6 +206,10 @@ class RandomPlacementPass:
 
     trials: int = 5
     name: str = "mapping"
+
+    reads: ClassVar[tuple[str, ...]] = ("working", "step", "device",
+                                        "seed", "initial")
+    writes: ClassVar[tuple[str, ...]] = ("assignment", "qap_cost")
 
     def run(self, ctx: CompilationContext) -> CompilationContext:
         working = ctx.require("working")
@@ -227,6 +235,11 @@ class FrontierRoutePass:
     lookahead: int = 0
     stochastic: bool = False
     name: str = "routing"
+
+    reads: ClassVar[tuple[str, ...]] = ("working", "device", "assignment",
+                                        "seed")
+    writes: ClassVar[tuple[str, ...]] = ("app_circuit", "n_swaps",
+                                         "initial_map", "final_map")
 
     def run(self, ctx: CompilationContext) -> CompilationContext:
         working = ctx.require("working")

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import groupby
+from typing import ClassVar
 
 from repro.baselines.base import identity_map
 from repro.core.metrics import CircuitMetrics
@@ -47,6 +48,11 @@ class PaulihedralSchedulePass:
     """Block-ordered scheduling under the idealised CNOT cost model."""
 
     name: str = "scheduling"
+
+    reads: ClassVar[tuple[str, ...]] = ("step",)
+    writes: ClassVar[tuple[str, ...]] = ("app_circuit", "circuit",
+                                         "metrics", "initial_map",
+                                         "final_map")
 
     def run(self, ctx: CompilationContext) -> CompilationContext:
         step = ctx.step

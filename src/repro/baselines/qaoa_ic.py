@@ -20,6 +20,7 @@ InstructionGainRoutePass -> DecomposePass``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import ClassVar
 
 import numpy as np
 
@@ -123,6 +124,9 @@ class CommutationGuardPass:
 
     name: str = "validate"
 
+    reads: ClassVar[tuple[str, ...]] = ("working",)
+    writes: ClassVar[tuple[str, ...]] = ()
+
     def run(self, ctx: CompilationContext) -> CompilationContext:
         working = ctx.require("working")
         if not _all_commuting(working):
@@ -139,6 +143,10 @@ class DegreePlacementPass:
 
     name: str = "mapping"
 
+    reads: ClassVar[tuple[str, ...]] = ("working", "device", "seed",
+                                        "initial")
+    writes: ClassVar[tuple[str, ...]] = ("assignment",)
+
     def run(self, ctx: CompilationContext) -> CompilationContext:
         working = ctx.require("working")
         device = ctx.require("device")
@@ -153,6 +161,11 @@ class InstructionGainRoutePass:
     """SWAP selection greedily maximising newly-executable gates."""
 
     name: str = "routing"
+
+    reads: ClassVar[tuple[str, ...]] = ("working", "device", "assignment",
+                                        "seed")
+    writes: ClassVar[tuple[str, ...]] = ("app_circuit", "n_swaps",
+                                         "initial_map", "final_map")
 
     def run(self, ctx: CompilationContext) -> CompilationContext:
         working = ctx.require("working")

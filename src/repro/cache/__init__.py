@@ -1,0 +1,44 @@
+"""Content-addressed compilation cache.
+
+Compilation artifacts -- the values passes leave on a
+:class:`~repro.core.pipeline.CompilationContext` -- become first-class,
+content-addressed objects: every input (problem, device, gate set, pass
+configuration) has a stable fingerprint, and a pass's output is stored
+under ``(pass fingerprint, input fingerprint)`` so repeated and batched
+compilations replay stored artifacts instead of recomputing them.
+
+* :mod:`repro.cache.fingerprint` -- canonical content hashing for every
+  compilation value (steps, devices, gate sets, circuits, passes).
+* :mod:`repro.cache.store` -- the artifact stores: an in-memory LRU
+  layer and an append-only disk layer safe under concurrent processes,
+  combined by :class:`ArtifactCache`.
+* :mod:`repro.cache.cached` -- :class:`CachedPass` /
+  :class:`CachedPipeline`, the wrappers that consult the cache before
+  executing a pass, plus :func:`compile_cached`.
+"""
+
+from repro.cache.cached import CachedPass, CachedPipeline, compile_cached
+from repro.cache.fingerprint import (
+    fingerprint,
+    fingerprint_circuit,
+    fingerprint_device,
+    fingerprint_gateset,
+    fingerprint_pass,
+    fingerprint_step,
+)
+from repro.cache.store import ArtifactCache, DiskArtifactStore, MemoryArtifactStore
+
+__all__ = [
+    "ArtifactCache",
+    "CachedPass",
+    "CachedPipeline",
+    "DiskArtifactStore",
+    "MemoryArtifactStore",
+    "compile_cached",
+    "fingerprint",
+    "fingerprint_circuit",
+    "fingerprint_device",
+    "fingerprint_gateset",
+    "fingerprint_pass",
+    "fingerprint_step",
+]

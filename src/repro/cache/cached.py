@@ -1,0 +1,155 @@
+"""Cache-aware pass execution: skip a pass when its output is stored.
+
+The cache key of one pass execution is
+``(pass fingerprint, input-artifact fingerprint)``:
+
+* the *pass fingerprint* is the pass class plus its configuration
+  (:func:`repro.cache.fingerprint.fingerprint_pass`);
+* the *input fingerprint* covers exactly the context fields the pass
+  reads.  Passes declare them via a ``reads`` class attribute (every
+  built-in pass does); a pass without a declaration is keyed on the full
+  context -- every input and every artifact -- which can only
+  *over*-invalidate, never serve a stale artifact.
+
+On a miss the pass runs and the fields it ``writes`` (same convention;
+default: every artifact field) are snapshotted into the store; writing
+a field outside the declaration raises on the spot.  On a hit the
+snapshot is applied and the pass body never executes.  Either way
+``ctx.timings`` gets its usual per-pass entry (the lookup time, on a
+hit) and ``ctx.cache_events`` records ``"hit"`` or ``"miss"`` per pass.
+
+Contract: passes write artifacts by *assignment* (``ctx.working = ...``)
+and never mutate an upstream artifact in place -- the write guard
+compares object identity, so an in-place mutation of e.g. a predecessor's
+circuit would evade it and make warm runs diverge from cold ones.
+Every built-in pass follows this; custom passes must too to be cached.
+
+Because the snapshot *is* the pass's output, cached and uncached
+compilation produce bit-identical results; the golden-equivalence tests
+pin that property for every registry compiler.
+"""
+
+from __future__ import annotations
+
+from repro.cache.fingerprint import fingerprint, fingerprint_pass
+from repro.cache.store import ArtifactCache
+from repro.core.pipeline import (
+    CompilationContext,
+    CompilationResult,
+    PassPipeline,
+    run_pipeline,
+)
+
+#: Context fields set by the driver (compilation inputs).
+INPUT_FIELDS = ("step", "gateset", "device", "seed", "initial")
+
+#: Context fields set by passes (compilation artifacts), in write order.
+ARTIFACT_FIELDS = (
+    "working", "assignment", "qap_cost", "routed", "scheduled",
+    "app_circuit", "circuit", "metrics", "n_swaps", "n_dressed",
+    "initial_map", "final_map",
+)
+
+
+def count_cache_hits(events: dict[str, str]) -> int:
+    """Hits in a ``cache_events`` record (the single place that knows
+    the event vocabulary)."""
+    return sum(1 for value in events.values() if value == "hit")
+
+
+def context_key(stage, ctx: CompilationContext) -> str:
+    """The content-addressed key of running ``stage`` on ``ctx`` now."""
+    reads = getattr(stage, "reads", None)
+    if reads is None:
+        reads = INPUT_FIELDS + ARTIFACT_FIELDS
+    parts: list[object] = [fingerprint_pass(stage)]
+    for name in reads:
+        parts.append(name)
+        parts.append(getattr(ctx, name))
+    return fingerprint(*parts)
+
+
+class CachedPass:
+    """Wrap one pass with an artifact-store lookup.
+
+    Satisfies the :class:`~repro.core.pipeline.Pass` protocol under the
+    wrapped pass's own name, so pipelines, timing records and surgery
+    helpers (``replaced``/``without``) treat it as the original stage.
+    """
+
+    def __init__(self, inner, cache: ArtifactCache) -> None:
+        self.inner = inner
+        self.cache = cache
+        self.name = inner.name
+
+    def run(self, ctx: CompilationContext) -> CompilationContext:
+        key = context_key(self.inner, ctx)
+        snapshot = self.cache.get(key)
+        if snapshot is not None:
+            for field_name, value in snapshot.items():
+                setattr(ctx, field_name, value)
+            ctx.cache_events[self.name] = "hit"
+            self.cache.record_event(self.name, hit=True)
+            return ctx
+        writes = getattr(self.inner, "writes", None)
+        before = (None if writes is None else
+                  {name: getattr(ctx, name) for name in ARTIFACT_FIELDS
+                   if name not in writes})
+        result = self.inner.run(ctx)
+        if result is None:
+            raise TypeError(
+                f"pass {self.name!r} returned None; run(ctx) must return "
+                f"the context"
+            )
+        ctx = result
+        if writes is None:
+            writes = ARTIFACT_FIELDS
+        else:
+            # a wrong declaration would make warm hits silently diverge
+            # from cold runs; catch it loudly on the miss path instead
+            undeclared = [name for name, value in before.items()
+                          if getattr(ctx, name) is not value]
+            if undeclared:
+                raise ValueError(
+                    f"pass {self.name!r} wrote context field(s) "
+                    f"{undeclared} not declared in its writes={writes}; "
+                    f"fix the declaration or caching will serve partial "
+                    f"snapshots"
+                )
+        self.cache.put(key, {name: getattr(ctx, name) for name in writes})
+        ctx.cache_events[self.name] = "miss"
+        self.cache.record_event(self.name, hit=False)
+        return ctx
+
+
+class CachedPipeline(PassPipeline):
+    """A :class:`PassPipeline` whose every stage consults one cache.
+
+    Drop-in: ``CachedPipeline(pipeline, cache).run(ctx)`` produces the
+    same context as ``pipeline.run(ctx)``, with stored stages skipped.
+    """
+
+    def __init__(self, pipeline: PassPipeline, cache: ArtifactCache) -> None:
+        super().__init__(CachedPass(stage, cache)
+                         for stage in pipeline.passes)
+        object.__setattr__(self, "cache", cache)
+
+
+def compile_cached(compiler, step, cache: ArtifactCache,
+                   initial=None) -> CompilationResult:
+    """Compile one step through ``compiler``'s pipeline with caching.
+
+    ``compiler`` is any :class:`~repro.core.pipeline.PipelineCompiler`
+    (typically from :func:`repro.core.registry.get_compiler`); the
+    context is built by the same :func:`run_pipeline` that
+    ``compiler.compile`` uses, so the result is bit-identical to the
+    uncached call by construction.
+    """
+    return run_pipeline(
+        CachedPipeline(compiler.build_pipeline(), cache), step,
+        gateset=compiler.gateset,
+        device=getattr(compiler, "device", None),
+        seed=compiler.seed,
+        cache=getattr(compiler, "cache", None),
+        initial=initial,
+    )

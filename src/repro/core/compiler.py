@@ -43,6 +43,7 @@ class TwoQANCompiler(PipelineCompiler):
     gateset: GateSet
     seed: int = 0
     mapping_trials: int = 5
+    mapping_jobs: int = 1
     unify: bool = True
     dress: bool = True
     hybrid_schedule: bool = True
@@ -57,7 +58,7 @@ class TwoQANCompiler(PipelineCompiler):
         """The paper's Figure 2 stages, parameterised by the knobs."""
         return PassPipeline([
             UnifyPass(enabled=self.unify),
-            MapPass(trials=self.mapping_trials),
+            MapPass(trials=self.mapping_trials, jobs=self.mapping_jobs),
             RoutePass(dress=self.dress, criteria=self.swap_criteria),
             SchedulePass(hybrid=self.hybrid_schedule),
             DecomposePass(solve=self.solve_angles),

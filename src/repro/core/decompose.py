@@ -9,6 +9,8 @@ fused afterwards.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.quantum.circuit import Circuit
@@ -22,20 +24,46 @@ _CACHE_LIMIT = 4096
 
 
 class DecomposeCache:
-    """Memoises two-qubit decompositions keyed by (gateset, matrix)."""
+    """LRU-bounded memo of two-qubit decompositions.
 
-    def __init__(self) -> None:
-        self._store: dict[tuple[str, bool, bytes], tuple[Circuit, complex]] = {}
+    Keyed by ``(gateset, solve, matrix bytes)``; at most ``maxsize``
+    entries are retained, evicting least-recently-used first (the old
+    behaviour -- silently refusing new entries once full -- pessimised
+    exactly the workloads long enough to fill the cache).  ``hits`` /
+    ``misses`` count lookups; sweep reports surface them next to the
+    pipeline-cache counters.
+    """
+
+    def __init__(self, maxsize: int = _CACHE_LIMIT) -> None:
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._store: OrderedDict[tuple[str, bool, bytes],
+                                 tuple[Circuit, complex]] = OrderedDict()
 
     def get(self, gateset: GateSet, matrix: np.ndarray, solve: bool,
             seed: int) -> tuple[Circuit, complex]:
         key = (gateset.name, solve, np.round(matrix, 12).tobytes())
         hit = self._store.get(key)
-        if hit is None:
-            hit = gateset.decompose(matrix, solve=solve, seed=seed)
-            if len(self._store) < _CACHE_LIMIT:
-                self._store[key] = hit
-        return hit
+        if hit is not None:
+            self.hits += 1
+            self._store.move_to_end(key)
+            return hit
+        self.misses += 1
+        value = gateset.decompose(matrix, solve=solve, seed=seed)
+        if self.maxsize > 0:
+            self._store[key] = value
+            if len(self._store) > self.maxsize:
+                self._store.popitem(last=False)
+        return value
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def stats(self) -> dict[str, int]:
+        """Lookup counters plus current occupancy."""
+        return {"hits": self.hits, "misses": self.misses,
+                "size": len(self._store), "maxsize": self.maxsize}
 
 
 def decompose_circuit(circuit: Circuit, gateset: GateSet, *,

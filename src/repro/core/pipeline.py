@@ -32,7 +32,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field, replace
-from typing import Protocol, runtime_checkable
+from typing import ClassVar, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -93,6 +93,7 @@ class CompilationContext:
     initial_map: QubitMap | None = None
     final_map: QubitMap | None = None
     timings: dict[str, float] = field(default_factory=dict)
+    cache_events: dict[str, str] = field(default_factory=dict)
 
     def require(self, attribute: str) -> object:
         """Fetch an artifact a pass depends on, or fail loudly."""
@@ -107,7 +108,20 @@ class CompilationContext:
 
 @runtime_checkable
 class Pass(Protocol):
-    """One pipeline stage: consume a context, return it enriched."""
+    """One pipeline stage: consume a context, return it enriched.
+
+    Passes may additionally declare three class attributes consumed by
+    the content-addressed cache (:mod:`repro.cache`):
+
+    * ``reads`` -- the context fields the pass consumes (its cache key);
+    * ``writes`` -- the artifact fields it produces (its cache value);
+    * ``fingerprint_ignore`` -- configuration fields that cannot change
+      the output (e.g. worker counts) and must not fragment the cache.
+
+    A pass without declarations is still cacheable: it is keyed on the
+    full context and snapshots every artifact field, which can only
+    over-invalidate, never serve a stale artifact.
+    """
 
     name: str
 
@@ -174,6 +188,7 @@ class CompilationResult:
     metrics: CircuitMetrics
     qap_cost: float = math.nan
     timings: dict[str, float] = field(default_factory=dict)
+    cache_events: dict[str, str] = field(default_factory=dict)
     scheduled: ScheduledCircuit | None = None
     routed: RoutedProblem | None = None
     app_circuit: Circuit | None = None
@@ -193,6 +208,7 @@ def result_from_context(ctx: CompilationContext) -> CompilationResult:
         metrics=ctx.metrics,
         qap_cost=ctx.qap_cost,
         timings=dict(ctx.timings),
+        cache_events=dict(ctx.cache_events),
         scheduled=ctx.scheduled,
         routed=ctx.routed,
         app_circuit=ctx.app_circuit,
@@ -234,6 +250,9 @@ class UnifyPass:
     enabled: bool = True
     name: str = "unify"
 
+    reads: ClassVar[tuple[str, ...]] = ("step",)
+    writes: ClassVar[tuple[str, ...]] = ("working",)
+
     def run(self, ctx: CompilationContext) -> CompilationContext:
         ctx.working = (unify_circuit_operators(ctx.step) if self.enabled
                        else ctx.step)
@@ -246,10 +265,21 @@ class MapPass:
 
     Honours a fixed ``ctx.initial`` assignment when the driver provides
     one (scoring it on the QAP instance instead of searching).
+
+    ``jobs > 1`` fans the Tabu trials out over a process pool; per-trial
+    seeding is identical to the serial loop, so the selected mapping is
+    bit-identical for every worker count (which is why ``jobs`` is
+    excluded from the pass's cache fingerprint).
     """
 
     trials: int = 5
+    jobs: int = 1
     name: str = "mapping"
+
+    reads: ClassVar[tuple[str, ...]] = ("working", "device", "seed",
+                                        "initial")
+    writes: ClassVar[tuple[str, ...]] = ("assignment", "qap_cost")
+    fingerprint_ignore: ClassVar[tuple[str, ...]] = ("jobs",)
 
     def run(self, ctx: CompilationContext) -> CompilationContext:
         working = ctx.require("working")
@@ -257,7 +287,7 @@ class MapPass:
         instance = qap_from_problem(working, device)
         if ctx.initial is None:
             mapping = best_of_k_mapping(instance, k=self.trials,
-                                        seed=ctx.seed)
+                                        seed=ctx.seed, jobs=self.jobs)
             ctx.assignment, ctx.qap_cost = mapping.assignment, float(mapping.cost)
         else:
             ctx.assignment = np.asarray(ctx.initial)
@@ -272,6 +302,10 @@ class RoutePass:
     dress: bool = True
     criteria: tuple[str, ...] = ("count", "depth", "dress")
     name: str = "routing"
+
+    reads: ClassVar[tuple[str, ...]] = ("working", "device", "assignment",
+                                        "seed")
+    writes: ClassVar[tuple[str, ...]] = ("routed", "n_swaps", "n_dressed")
 
     def run(self, ctx: CompilationContext) -> CompilationContext:
         working = ctx.require("working")
@@ -291,6 +325,10 @@ class SchedulePass:
 
     hybrid: bool = True
     name: str = "scheduling"
+
+    reads: ClassVar[tuple[str, ...]] = ("routed", "seed")
+    writes: ClassVar[tuple[str, ...]] = ("scheduled", "initial_map",
+                                         "final_map")
 
     def run(self, ctx: CompilationContext) -> CompilationContext:
         routed = ctx.require("routed")
@@ -314,6 +352,12 @@ class DecomposePass:
 
     solve: bool = False
     name: str = "decomposition"
+
+    reads: ClassVar[tuple[str, ...]] = ("app_circuit", "scheduled",
+                                        "gateset", "seed", "n_swaps",
+                                        "n_dressed")
+    writes: ClassVar[tuple[str, ...]] = ("app_circuit", "circuit",
+                                         "metrics")
 
     def run(self, ctx: CompilationContext) -> CompilationContext:
         if ctx.app_circuit is None:

@@ -70,13 +70,37 @@ def line_placement(n_logical: int, device: Device) -> np.ndarray:
     return np.array(path[:n_logical])
 
 
+def _solve_trial(job: tuple) -> TabuResult:
+    """Process-pool entry point for one mapping trial."""
+    solver, instance, trial_seed, solver_kwargs = job
+    return solver(instance, seed=trial_seed, **solver_kwargs)
+
+
 def best_of_k_mapping(instance: QAPInstance, k: int = 5, seed: int = 0,
                       solver: Callable[..., TabuResult] = tabu_search,
-                      **solver_kwargs) -> TabuResult:
-    """Run the solver ``k`` times with different seeds; keep the best."""
+                      jobs: int = 1, **solver_kwargs) -> TabuResult:
+    """Run the solver ``k`` times with different seeds; keep the best.
+
+    ``jobs > 1`` fans the trials out over a process pool.  Each trial's
+    seed is derived exactly as in the serial loop and the best-result
+    selection scans trials in order with a strict ``<``, so the chosen
+    mapping is bit-identical for every ``jobs`` value -- parallelism
+    changes wall time only.
+    """
+    trial_seeds = [seed + 1000 * trial for trial in range(k)]
+    if jobs > 1 and k > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(jobs, k)) as pool:
+            results = list(pool.map(
+                _solve_trial,
+                [(solver, instance, s, solver_kwargs) for s in trial_seeds],
+            ))
+    else:
+        results = [solver(instance, seed=s, **solver_kwargs)
+                   for s in trial_seeds]
     best: TabuResult | None = None
-    for trial in range(k):
-        result = solver(instance, seed=seed + 1000 * trial, **solver_kwargs)
+    for result in results:
         if best is None or result.cost < best.cost:
             best = result
     assert best is not None

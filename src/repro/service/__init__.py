@@ -1,0 +1,29 @@
+"""Batch compilation service: the request-serving front end.
+
+:mod:`repro.service.batch` turns the compiler registry plus the
+content-addressed cache (:mod:`repro.cache`) into something that serves
+repeated compilation traffic: callers describe work as
+:class:`CompileRequest` values, and a :class:`BatchCompiler`
+deduplicates identical requests, shares one artifact cache across the
+batch, and fans independent requests out over worker processes.
+
+CLI: ``python -m repro batch --requests FILE.json --jobs N --cache DIR``.
+"""
+
+from repro.service.batch import (
+    BatchCompiler,
+    BatchSummary,
+    CompileRequest,
+    CompileResponse,
+    execute_request,
+    request_from_dict,
+)
+
+__all__ = [
+    "BatchCompiler",
+    "BatchSummary",
+    "CompileRequest",
+    "CompileResponse",
+    "execute_request",
+    "request_from_dict",
+]

@@ -1,0 +1,345 @@
+"""The batch compilation front end.
+
+A :class:`CompileRequest` is a plain-values description of one
+compilation (benchmark, size, compiler, device, gate set, seed), a
+:class:`CompileResponse` the metrics it produced.  The
+:class:`BatchCompiler` serves a list of requests the way a compilation
+service would:
+
+* *deduplication* -- identical requests (after canonicalising compiler
+  aliases and dropping device/gate-set fields the compiler ignores) are
+  compiled once;
+* *shared cache* -- one :class:`~repro.cache.ArtifactCache` spans the
+  batch, so requests that share a pipeline prefix (same problem for
+  several compilers, same compiler for several gate sets) reuse each
+  other's stage artifacts, and a ``cache_dir`` persists artifacts
+  across batches and processes;
+* *fan-out* -- with ``jobs > 1`` unique requests spread over a
+  ``ProcessPoolExecutor`` whose workers share the disk cache layer.
+
+Responses come back in request order, duplicates marked
+``deduplicated=True``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.cache.store import ArtifactCache
+
+_REQUEST_DEFAULTS = {
+    "compiler": "2qan",
+    "benchmark": "NNN_Heisenberg",
+    "n_qubits": 8,
+    "device": "montreal",
+    "gateset": "CNOT",
+    "seed": 0,
+    "qaoa_degree": 3,
+}
+
+
+@dataclass(frozen=True)
+class CompileRequest:
+    """One compilation, described entirely by plain values."""
+
+    compiler: str = _REQUEST_DEFAULTS["compiler"]
+    benchmark: str = _REQUEST_DEFAULTS["benchmark"]
+    n_qubits: int = _REQUEST_DEFAULTS["n_qubits"]
+    device: str = _REQUEST_DEFAULTS["device"]
+    gateset: str = _REQUEST_DEFAULTS["gateset"]
+    seed: int = _REQUEST_DEFAULTS["seed"]
+    qaoa_degree: int = _REQUEST_DEFAULTS["qaoa_degree"]
+
+    def key(self) -> str:
+        """Dedupe key: the request after canonicalisation.
+
+        Everything the execution path normalises is normalised here
+        too, so semantically identical requests are one compile:
+        compiler aliases resolve to their canonical name, the device /
+        gate set collapse for compilers that ignore them (and device
+        names are case-folded as ``by_name`` folds them), and
+        ``qaoa_degree`` collapses for non-QAOA benchmarks (only
+        ``QAOA-REG*`` problems consume it).
+        """
+        from repro.analysis.store import config_fingerprint
+        from repro.core.registry import resolve_spec
+
+        spec = resolve_spec(self.compiler)
+        return config_fingerprint({
+            "compiler": spec.name,
+            "benchmark": self.benchmark,
+            "n_qubits": self.n_qubits,
+            "device": (self.device.lower() if spec.requires_device
+                       else None),
+            "gateset": (self.gateset.upper() if spec.uses_gateset
+                        else None),
+            "seed": self.seed,
+            "qaoa_degree": (self.qaoa_degree
+                            if self.benchmark.startswith("QAOA-REG")
+                            else None),
+        })
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def request_from_dict(payload: dict) -> CompileRequest:
+    """Build a request from a JSON object.
+
+    Unknown keys and wrong-typed values are rejected here, so a bad
+    requests file fails with one clear message before any compilation
+    starts (rather than a traceback from deep inside a worker).
+    """
+    unknown = sorted(set(payload) - set(_REQUEST_DEFAULTS))
+    if unknown:
+        raise ValueError(
+            f"unknown request field(s) {unknown}; expected a subset of "
+            f"{sorted(_REQUEST_DEFAULTS)}"
+        )
+    for key, value in payload.items():
+        want = type(_REQUEST_DEFAULTS[key])
+        if not isinstance(value, want) or isinstance(value, bool):
+            raise ValueError(
+                f"request field {key!r} must be {want.__name__}, "
+                f"got {type(value).__name__} {value!r}"
+            )
+    return CompileRequest(**payload)
+
+
+def load_requests(path: str | Path) -> list[CompileRequest]:
+    """Read a JSON file holding a list of request objects."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, list):
+        raise ValueError("requests file must hold a JSON list of objects")
+    requests = []
+    for index, item in enumerate(payload):
+        if not isinstance(item, dict):
+            raise ValueError(
+                f"request #{index} must be a JSON object, "
+                f"got {type(item).__name__} {item!r}"
+            )
+        requests.append(request_from_dict(item))
+    return requests
+
+
+@dataclass(frozen=True)
+class CompileResponse:
+    """Metrics of one served request.
+
+    The metric fields are deterministic (stable across runs, cache
+    states and worker counts); ``seconds``/``timings``/``cache_events``
+    are informational.  :meth:`to_dict` returns only the deterministic
+    part, so serialised batch output is byte-identical between a cold
+    and a warm run -- the cache-smoke CI job asserts exactly that.
+    """
+
+    request: CompileRequest
+    n_swaps: int
+    n_dressed: int
+    n_two_qubit_gates: int
+    two_qubit_depth: int
+    total_depth: int
+    qap_cost: float | None
+    seconds: float
+    timings: dict[str, float] = field(default_factory=dict)
+    cache_events: dict[str, str] = field(default_factory=dict)
+    deduplicated: bool = False
+
+    @property
+    def cache_hits(self) -> int:
+        from repro.cache.cached import count_cache_hits
+
+        return count_cache_hits(self.cache_events)
+
+    def to_dict(self) -> dict:
+        """Deterministic JSON form (request + metrics, no wall times)."""
+        return {
+            **self.request.to_dict(),
+            "n_swaps": self.n_swaps,
+            "n_dressed": self.n_dressed,
+            "n_two_qubit_gates": self.n_two_qubit_gates,
+            "two_qubit_depth": self.two_qubit_depth,
+            "total_depth": self.total_depth,
+            "qap_cost": self.qap_cost,
+        }
+
+
+def execute_request(request: CompileRequest,
+                    cache: ArtifactCache | None = None) -> CompileResponse:
+    """Serve one request: resolve, build, compile (through the cache)."""
+    from repro.analysis.harness import build_step
+    from repro.cache.cached import compile_cached
+    from repro.core.registry import get_compiler, resolve_spec
+    from repro.devices.library import all_to_all, by_name
+
+    spec = resolve_spec(request.compiler)
+    if spec.requires_device and request.device.lower() != "all-to-all":
+        device = by_name(request.device)
+        if request.n_qubits > device.n_qubits:
+            raise ValueError(
+                f"{request.n_qubits} qubits exceed {device.name}"
+            )
+    else:
+        # all-to-all is sized to the problem, exactly as 'repro compile'
+        # resolves it; device-free compilers get it regardless of name
+        device = all_to_all(request.n_qubits)
+    step = build_step(request.benchmark, request.n_qubits, request.seed,
+                      request.qaoa_degree)
+    compiler = get_compiler(spec.name, device=device,
+                            gateset=request.gateset, seed=request.seed)
+    start = time.perf_counter()
+    if cache is not None:
+        result = compile_cached(compiler, step, cache)
+    else:
+        result = compiler.compile(step)
+    elapsed = time.perf_counter() - start
+    metrics = result.metrics
+    return CompileResponse(
+        request=request,
+        n_swaps=metrics.n_swaps,
+        n_dressed=metrics.n_dressed,
+        n_two_qubit_gates=metrics.n_two_qubit_gates,
+        two_qubit_depth=metrics.two_qubit_depth,
+        total_depth=metrics.total_depth,
+        qap_cost=(None if math.isnan(result.qap_cost)
+                  else float(result.qap_cost)),
+        seconds=elapsed,
+        timings=dict(result.timings),
+        cache_events=dict(result.cache_events),
+    )
+
+
+_WORKER_MEMORY_CACHE: ArtifactCache | None = None
+
+
+def _execute_in_worker(job: tuple[CompileRequest, str | None, int],
+                       ) -> CompileResponse:
+    """Pool entry point: workers share one per-process cache per dir.
+
+    Without a directory each worker process still keeps a private
+    in-memory cache, so requests served by the same worker reuse each
+    other's artifacts across the whole pool lifetime.
+    """
+    global _WORKER_MEMORY_CACHE
+    from repro.cache.store import process_cache
+
+    request, cache_dir, memory_limit = job
+    cache = process_cache(cache_dir, memory_limit=memory_limit)
+    if cache is None:
+        if _WORKER_MEMORY_CACHE is None:
+            _WORKER_MEMORY_CACHE = ArtifactCache(
+                memory_limit=memory_limit)
+        cache = _WORKER_MEMORY_CACHE
+    return execute_request(request, cache)
+
+
+@dataclass(frozen=True)
+class BatchSummary:
+    """What one batch run did, for reports and the CLI summary line."""
+
+    n_requests: int
+    n_unique: int
+    artifact_hits: int
+    artifact_misses: int
+    seconds: float
+
+    def line(self) -> str:
+        return (f"batch: {self.n_requests} requests "
+                f"({self.n_unique} unique), "
+                f"artifact hits: {self.artifact_hits}, "
+                f"misses: {self.artifact_misses}, "
+                f"{self.seconds:.2f}s")
+
+
+@dataclass
+class BatchCompiler:
+    """Serve batches of compile requests with dedupe, cache and fan-out.
+
+    ``cache_dir=None`` with serial serving (``jobs=1``) caches in
+    memory within and across batches served by this instance; a
+    directory makes artifacts persistent and shareable across
+    processes.  Persistent directories are nested under a source digest
+    (:func:`repro.cache.store.salted_directory`) at construction,
+    enforcing the documented invalidation rule: a source change starts
+    a fresh cache instead of replaying artifacts the old code produced.
+    With ``jobs > 1`` the pool lives only for one ``run()``: workers
+    share the disk layer when a ``cache_dir`` is set, and without one
+    each worker keeps a private memory cache (intra-batch reuse and
+    dedupe still apply, but cross-batch reuse needs a ``cache_dir``).
+    """
+
+    jobs: int = 1
+    cache_dir: str | Path | None = None
+    memory_limit: int = 1024
+    _cache: ArtifactCache | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.cache_dir is not None:
+            from repro.cache.store import salted_directory
+
+            self.cache_dir = salted_directory(self.cache_dir)
+        if self._cache is None:
+            self._cache = ArtifactCache(self.cache_dir,
+                                        memory_limit=self.memory_limit)
+
+    @property
+    def cache(self) -> ArtifactCache:
+        return self._cache
+
+    def run(self, requests: list[CompileRequest],
+            ) -> tuple[list[CompileResponse], BatchSummary]:
+        """Serve one batch; responses come back in request order."""
+        start = time.perf_counter()
+        hits_before = self._cache.hits
+        misses_before = self._cache.misses
+        keys = [request.key() for request in requests]
+        order: dict[str, int] = {}        # key -> index into unique list
+        unique: list[CompileRequest] = []
+        for request, key in zip(requests, keys):
+            if key not in order:
+                order[key] = len(unique)
+                unique.append(request)
+
+        if self.jobs > 1 and len(unique) > 1:
+            cache_dir = (str(self.cache_dir)
+                         if self.cache_dir is not None else None)
+            with ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(unique))) as pool:
+                computed = list(pool.map(
+                    _execute_in_worker,
+                    [(request, cache_dir, self.memory_limit)
+                     for request in unique],
+                ))
+            # worker counters stay in the workers; report what is
+            # visible batch-wide instead: per-response events
+            hits = sum(r.cache_hits for r in computed)
+            misses = sum(len(r.cache_events) for r in computed) - hits
+        else:
+            computed = [execute_request(request, self._cache)
+                        for request in unique]
+            hits = self._cache.hits - hits_before
+            misses = self._cache.misses - misses_before
+
+        responses: list[CompileResponse] = []
+        served: set[str] = set()
+        for request, key in zip(requests, keys):
+            response = computed[order[key]]
+            if key in served:
+                response = dataclasses.replace(response, request=request,
+                                               deduplicated=True)
+            served.add(key)
+            responses.append(response)
+        summary = BatchSummary(
+            n_requests=len(requests),
+            n_unique=len(unique),
+            artifact_hits=hits,
+            artifact_misses=misses,
+            seconds=time.perf_counter() - start,
+        )
+        return responses, summary

@@ -96,9 +96,9 @@ class TestStoreIntegration:
         executed = []
         real = engine_module.execute_task
 
-        def counting(task, device, cache=None):
+        def counting(task, device, cache=None, **kwargs):
             executed.append(task.key)
-            return real(task, device, cache)
+            return real(task, device, cache, **kwargs)
 
         monkeypatch.setattr(engine_module, "execute_task", counting)
         rows = run_engine(CONFIG, jobs=1, store=store)
@@ -113,9 +113,9 @@ class TestStoreIntegration:
         executed = []
         real = engine_module.execute_task
 
-        def counting(task, device, cache=None):
+        def counting(task, device, cache=None, **kwargs):
             executed.append(task.n_qubits)
-            return real(task, device, cache)
+            return real(task, device, cache, **kwargs)
 
         monkeypatch.setattr(engine_module, "execute_task", counting)
         big = dataclasses.replace(CONFIG, sizes=(6, 8))
@@ -147,9 +147,9 @@ class TestStoreIntegration:
         executed = []
         real = engine_module.execute_task
 
-        def counting(task, device, cache=None):
+        def counting(task, device, cache=None, **kwargs):
             executed.append(task.key)
-            return real(task, device, cache)
+            return real(task, device, cache, **kwargs)
 
         monkeypatch.setattr(engine_module, "execute_task", counting)
         store = open_store(tmp_path, config)
@@ -180,9 +180,9 @@ class TestCacheFairness:
         seen = {}
         real = engine_module.execute_task
 
-        def capture(task, device, cache=None):
+        def capture(task, device, cache=None, **kwargs):
             seen.setdefault(task.compiler, set()).add(id(cache))
-            return real(task, device, cache)
+            return real(task, device, cache, **kwargs)
 
         monkeypatch.setattr(engine_module, "execute_task", capture)
         run_engine(CONFIG, jobs=1)

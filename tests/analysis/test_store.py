@@ -90,3 +90,67 @@ class TestResultStore:
         ResultStore(path).put("k", make_row())
         assert json.loads(path.read_text().splitlines()[0])["task"] == "k"
         assert ResultStore(path).load()["k"] == make_row()
+
+
+class TestCrashRecovery:
+    """A writer killed mid-append must cost at most its own row."""
+
+    def test_corrupt_final_row_payload_skipped(self, tmp_path):
+        """Valid JSON whose row is the wrong shape is dropped, not fatal."""
+        store = ResultStore(tmp_path / "s.jsonl")
+        store.put("good", make_row())
+        with store.path.open("a") as handle:
+            handle.write('{"task": "bad", "row": [1, 2, 3]}\n')
+        assert set(store.load()) == {"good"}
+
+    def test_row_missing_required_field_skipped(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        store.put("good", make_row())
+        with store.path.open("a") as handle:
+            handle.write('{"task": "bad", "row": {"benchmark": "x"}}\n')
+        assert set(store.load()) == {"good"}
+
+    def test_put_after_torn_line_preserves_both_rows(self, tmp_path):
+        """Appending after a crash must not fuse with the torn tail."""
+        store = ResultStore(tmp_path / "s.jsonl")
+        store.put("first", make_row())
+        with store.path.open("a") as handle:
+            handle.write('{"task": "torn", "row": {"benchm')   # no newline
+        store.put("second", make_row(compiler="tket"))
+        loaded = store.load()
+        assert set(loaded) == {"first", "second"}
+        assert loaded["second"].compiler == "tket"
+
+    def test_put_on_pristine_file_adds_no_blank_lines(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        store.put("a", make_row())
+        store.put("b", make_row())
+        lines = store.path.read_text().splitlines()
+        assert len(lines) == 2 and all(lines)
+
+
+class TestPreTimingsRows:
+    """Rows stored before newer fields existed must still load."""
+
+    def test_round_trip_without_timings(self):
+        payload = row_to_dict(make_row())
+        del payload["timings"]
+        row = row_from_dict(payload)
+        assert row.timings == {}
+        assert row == make_row()
+
+    def test_round_trip_without_cache_stats(self):
+        payload = row_to_dict(make_row())
+        del payload["cache_stats"]
+        assert row_from_dict(payload).cache_stats == {}
+
+    def test_old_row_loads_from_store_file(self, tmp_path):
+        """A literal pre-timings store line (as PR 1 wrote them)."""
+        path = tmp_path / "s.jsonl"
+        payload = row_to_dict(make_row())
+        del payload["timings"]
+        del payload["cache_stats"]
+        path.write_text(json.dumps({"task": "old", "row": payload}) + "\n")
+        loaded = ResultStore(path).load()
+        assert loaded["old"] == make_row()
+        assert loaded["old"].timings == {}

@@ -1,0 +1,121 @@
+"""Tests for canonical compilation-value fingerprints."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.harness import build_step
+from repro.cache.fingerprint import (
+    fingerprint,
+    fingerprint_circuit,
+    fingerprint_device,
+    fingerprint_gateset,
+    fingerprint_pass,
+    fingerprint_step,
+)
+from repro.core.pipeline import MapPass, RoutePass, UnifyPass
+from repro.devices.library import aspen, montreal
+from repro.quantum.circuit import Circuit
+from repro.quantum.gates import Gate
+from repro.synthesis.gateset import get_gateset
+
+
+class TestScalars:
+    def test_stable(self):
+        assert fingerprint(1, "a", 2.5) == fingerprint(1, "a", 2.5)
+
+    def test_type_distinguished(self):
+        assert fingerprint(1) != fingerprint("1")
+        assert fingerprint(True) != fingerprint(1)
+        assert fingerprint(None) != fingerprint(0)
+
+    def test_float_rounding(self):
+        assert fingerprint(0.1 + 0.2) == fingerprint(0.3)
+
+    def test_dict_order_independent(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_unknown_type_fails_loudly(self):
+        class Mystery:
+            pass
+
+        with pytest.raises(TypeError, match="Mystery"):
+            fingerprint(Mystery())
+
+
+class TestArrays:
+    def test_content_addressed(self):
+        a = np.arange(6.0).reshape(2, 3)
+        assert fingerprint(a) == fingerprint(a.copy())
+
+    def test_shape_matters(self):
+        a = np.arange(6.0)
+        assert fingerprint(a) != fingerprint(a.reshape(2, 3))
+
+    def test_numerical_noise_ignored(self):
+        a = np.array([1.0, 2.0])
+        assert fingerprint(a) == fingerprint(a + 1e-14)
+
+    def test_real_difference_detected(self):
+        assert fingerprint(np.array([1.0])) != fingerprint(np.array([1.1]))
+
+
+class TestCompilationValues:
+    def test_step_deterministic_across_builds(self):
+        a = build_step("NNN_Ising", 6, 3)
+        b = build_step("NNN_Ising", 6, 3)
+        assert fingerprint_step(a) == fingerprint_step(b)
+
+    def test_step_distinguishes_seed(self):
+        assert fingerprint_step(build_step("NNN_Ising", 6, 3)) != \
+            fingerprint_step(build_step("NNN_Ising", 6, 4))
+
+    def test_device(self):
+        assert fingerprint_device(montreal()) == fingerprint_device(montreal())
+        assert fingerprint_device(montreal()) != fingerprint_device(aspen())
+
+    def test_device_skips_derived_caches(self):
+        warmed = montreal()
+        warmed.distance                  # populate the Floyd-Warshall cache
+        assert fingerprint_device(warmed) == fingerprint_device(montreal())
+
+    def test_gateset(self):
+        assert fingerprint_gateset(get_gateset("CNOT")) == \
+            fingerprint_gateset(get_gateset("CNOT"))
+        assert fingerprint_gateset(get_gateset("CNOT")) != \
+            fingerprint_gateset(get_gateset("CZ"))
+
+    def test_circuit_gate_order_matters(self):
+        a = Circuit(2, [Gate("H", (0,)), Gate("CNOT", (0, 1))])
+        b = Circuit(2, [Gate("CNOT", (0, 1)), Gate("H", (0,))])
+        assert fingerprint_circuit(a) != fingerprint_circuit(b)
+
+    def test_circuit_meta_ignored(self):
+        a = Circuit(1, [Gate("H", (0,))])
+        b = Circuit(1, [Gate("H", (0,), meta={"label": "x"})])
+        assert fingerprint_circuit(a) == fingerprint_circuit(b)
+
+
+class TestPassFingerprints:
+    def test_configuration_matters(self):
+        assert fingerprint_pass(UnifyPass()) != \
+            fingerprint_pass(UnifyPass(enabled=False))
+        assert fingerprint_pass(MapPass(trials=5)) != \
+            fingerprint_pass(MapPass(trials=1))
+
+    def test_class_matters(self):
+        assert fingerprint_pass(UnifyPass()) != fingerprint_pass(RoutePass())
+
+    def test_execution_knobs_excluded(self):
+        """jobs cannot change MapPass output, so it must not fragment
+        the cache."""
+        assert fingerprint_pass(MapPass(jobs=1)) == \
+            fingerprint_pass(MapPass(jobs=8))
+
+    def test_non_dataclass_pass(self):
+        class Custom:
+            name = "custom"
+
+            def run(self, ctx):
+                return ctx
+
+        assert fingerprint_pass(Custom()) == fingerprint_pass(Custom())

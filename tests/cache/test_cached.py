@@ -1,0 +1,229 @@
+"""Tests for CachedPass / CachedPipeline: skip-on-hit, bit-identical."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.harness import build_step
+from repro.cache.cached import CachedPipeline, compile_cached, context_key
+from repro.cache.store import ArtifactCache
+from repro.core.pipeline import (
+    CompilationContext,
+    MapPass,
+    UnifyPass,
+    run_pipeline,
+)
+from repro.core.registry import get_compiler
+from repro.devices.library import aspen, montreal
+from repro.synthesis.gateset import get_gateset
+
+
+@pytest.fixture()
+def step():
+    return build_step("NNN_Ising", 6, 3)
+
+
+@pytest.fixture()
+def device():
+    return aspen()
+
+
+def _context(step, device, gateset="CNOT", seed=1):
+    return CompilationContext(step=step, gateset=get_gateset(gateset),
+                              device=device, seed=seed)
+
+
+class TestContextKey:
+    def test_deterministic(self, step, device):
+        a = context_key(UnifyPass(), _context(step, device))
+        b = context_key(UnifyPass(), _context(step, device))
+        assert a == b
+
+    def test_input_sensitivity(self, step, device):
+        other = build_step("NNN_Ising", 6, 4)
+        assert context_key(UnifyPass(), _context(step, device)) != \
+            context_key(UnifyPass(), _context(other, device))
+
+    def test_reads_scoping_shares_across_gatesets(self, step, device):
+        """Passes that never look at the gate set share artifacts
+        across bases -- the cross-gateset prefix-sharing property."""
+        cnot = _context(step, device, gateset="CNOT")
+        cz = _context(step, device, gateset="CZ")
+        assert context_key(UnifyPass(), cnot) == context_key(UnifyPass(), cz)
+
+    def test_undeclared_pass_keys_on_everything(self, step, device):
+        class Opaque:
+            name = "opaque"
+
+            def run(self, ctx):
+                return ctx
+
+        cnot = _context(step, device, gateset="CNOT")
+        cz = _context(step, device, gateset="CZ")
+        assert context_key(Opaque(), cnot) != context_key(Opaque(), cz)
+
+    def test_mapping_jobs_do_not_change_key(self, step, device):
+        ctx = _context(step, device)
+        ctx.working = ctx.step
+        assert context_key(MapPass(jobs=1), ctx) == \
+            context_key(MapPass(jobs=4), ctx)
+
+
+class TestCachedPipeline:
+    def test_cold_then_warm_bit_identical(self, step, device):
+        cache = ArtifactCache()
+        compiler = get_compiler("2qan", device=device, gateset="CNOT",
+                                seed=1)
+        plain = compiler.compile(step)
+        cold = compile_cached(compiler, step, cache)
+        warm = compile_cached(compiler, step, cache)
+        assert set(cold.cache_events.values()) == {"miss"}
+        assert set(warm.cache_events.values()) == {"hit"}
+        for result in (cold, warm):
+            assert result.metrics == plain.metrics
+            assert result.qap_cost == plain.qap_cost
+            assert result.n_swaps == plain.n_swaps
+            assert np.array_equal(
+                result.final_map.logical_to_physical,
+                plain.final_map.logical_to_physical,
+            )
+
+    def test_one_timing_entry_per_pass_even_on_hits(self, step, device):
+        cache = ArtifactCache()
+        compiler = get_compiler("2qan", device=device, gateset="CNOT",
+                                seed=1)
+        compile_cached(compiler, step, cache)
+        warm = compile_cached(compiler, step, cache)
+        assert set(warm.timings) == set(compiler.build_pipeline().names())
+
+    def test_prefix_shared_across_compilers(self, step, device):
+        """2qan and tket share the Unify artifact of the same problem."""
+        cache = ArtifactCache()
+        twoqan = get_compiler("2qan", device=device, gateset="CNOT", seed=1)
+        tket = get_compiler("tket", device=device, gateset="CNOT", seed=1)
+        compile_cached(twoqan, step, cache)
+        second = compile_cached(tket, step, cache)
+        assert second.cache_events["unify"] == "hit"
+        assert second.cache_events["routing"] == "miss"
+
+    def test_prefix_shared_across_gatesets(self, step, device):
+        """Same compiler, different basis: everything up to decomposition
+        replays from the cache."""
+        cache = ArtifactCache()
+        cnot = get_compiler("2qan", device=device, gateset="CNOT", seed=1)
+        cz = get_compiler("2qan", device=device, gateset="CZ", seed=1)
+        compile_cached(cnot, step, cache)
+        second = compile_cached(cz, step, cache)
+        assert second.cache_events == {
+            "unify": "hit", "mapping": "hit", "routing": "hit",
+            "scheduling": "hit", "decomposition": "miss",
+        }
+
+    def test_config_change_invalidates(self, step, device):
+        cache = ArtifactCache()
+        default = get_compiler("2qan", device=device, gateset="CNOT", seed=1)
+        one_trial = get_compiler("2qan", device=device, gateset="CNOT",
+                                 seed=1, mapping_trials=1)
+        compile_cached(default, step, cache)
+        second = compile_cached(one_trial, step, cache)
+        assert second.cache_events["unify"] == "hit"
+        assert second.cache_events["mapping"] == "miss"
+
+    def test_seed_change_invalidates(self, step, device):
+        cache = ArtifactCache()
+        compile_cached(get_compiler("2qan", device=device, gateset="CNOT",
+                                    seed=1), step, cache)
+        second = compile_cached(
+            get_compiler("2qan", device=device, gateset="CNOT", seed=2),
+            step, cache)
+        assert second.cache_events["unify"] == "hit"   # unify ignores seed
+        assert second.cache_events["mapping"] == "miss"
+
+    def test_disk_cache_shared_across_instances(self, step, device,
+                                                tmp_path):
+        compiler = get_compiler("2qan", device=device, gateset="CNOT",
+                                seed=1)
+        cold = compile_cached(compiler, step, ArtifactCache(tmp_path))
+        warm = compile_cached(compiler, step, ArtifactCache(tmp_path))
+        assert set(warm.cache_events.values()) == {"hit"}
+        assert warm.metrics == cold.metrics
+
+    def test_hit_result_is_isolated_from_later_mutation(self, step, device):
+        """Mutating a served circuit must not corrupt the cache."""
+        cache = ArtifactCache()
+        compiler = get_compiler("2qan", device=device, gateset="CNOT",
+                                seed=1)
+        cold = compile_cached(compiler, step, cache)
+        served = compile_cached(compiler, step, cache)
+        served.circuit.gates.clear()
+        again = compile_cached(compiler, step, cache)
+        assert len(again.circuit.gates) == len(cold.circuit.gates)
+
+    def test_works_as_plain_pipeline(self, step, device):
+        """CachedPipeline is a PassPipeline: run_pipeline accepts it."""
+        cache = ArtifactCache()
+        compiler = get_compiler("2qan", device=device, gateset="CNOT",
+                                seed=1)
+        pipeline = CachedPipeline(compiler.build_pipeline(), cache)
+        result = run_pipeline(pipeline, step, gateset="CNOT",
+                              device=device, seed=1)
+        assert result.metrics == compiler.compile(step).metrics
+
+    def test_undeclared_write_fails_loudly(self, step, device):
+        """A wrong writes declaration would make warm hits serve
+        partial snapshots; the miss path must reject it instead."""
+        import numpy as np
+
+        from repro.core.pipeline import PassPipeline
+
+        class Sneaky:
+            name = "sneaky"
+            writes = ("working",)        # lies: also writes assignment
+
+            def run(self, ctx):
+                ctx.working = ctx.step
+                ctx.assignment = np.arange(ctx.step.n_qubits)
+                return ctx
+
+        pipeline = CachedPipeline(PassPipeline([Sneaky()]), ArtifactCache())
+        with pytest.raises(ValueError, match="assignment"):
+            pipeline.run(_context(step, device))
+
+    def test_unwritable_cache_directory_degrades_gracefully(self, step,
+                                                            device,
+                                                            tmp_path):
+        """The cache is an optimization: a broken disk layer must not
+        abort compilations that succeed."""
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("file where the cache dir should go")
+        cache = ArtifactCache(blocker / "cache")
+        compiler = get_compiler("2qan", device=device, gateset="CNOT",
+                                seed=1)
+        result = compile_cached(compiler, step, cache)
+        warm = compile_cached(compiler, step, cache)   # memory layer
+        assert warm.metrics == result.metrics
+        assert set(warm.cache_events.values()) == {"hit"}
+
+    def test_custom_pass_returning_none_fails_loudly(self, step, device):
+        class Broken:
+            name = "broken"
+
+            def run(self, ctx):
+                return None
+
+        from repro.core.pipeline import PassPipeline
+
+        pipeline = CachedPipeline(PassPipeline([Broken()]), ArtifactCache())
+        with pytest.raises(TypeError, match="broken"):
+            pipeline.run(_context(step, device))
+
+
+class TestCachedMultiDevice:
+    def test_device_change_invalidates_mapping(self, step):
+        cache = ArtifactCache()
+        compile_cached(get_compiler("2qan", device=aspen(), gateset="CNOT",
+                                    seed=1), step, cache)
+        second = compile_cached(
+            get_compiler("2qan", device=montreal(), gateset="CNOT", seed=1),
+            step, cache)
+        assert second.cache_events["unify"] == "hit"
+        assert second.cache_events["mapping"] == "miss"

@@ -1,0 +1,78 @@
+"""Tests for the LRU-bounded decomposition cache."""
+
+import numpy as np
+
+from repro.core.decompose import DecomposeCache
+from repro.quantum.gates import standard_gate_unitary
+from repro.synthesis.gateset import get_gateset
+
+
+def _rz_pair(theta: float) -> np.ndarray:
+    """A distinct two-qubit unitary per angle (for filling the cache)."""
+    return np.diag(np.exp(1j * theta * np.array([0.0, 1.0, 2.0, 3.0])))
+
+
+class TestDecomposeCacheLRU:
+    def test_hit_and_miss_counters(self):
+        cache = DecomposeCache()
+        gateset = get_gateset("CNOT")
+        swap = standard_gate_unitary("SWAP")
+        cache.get(gateset, swap, False, 0)
+        cache.get(gateset, swap, False, 0)
+        assert cache.misses == 1
+        assert cache.hits == 1
+        assert cache.stats() == {"hits": 1, "misses": 1, "size": 1,
+                                 "maxsize": cache.maxsize}
+
+    def test_bounded_at_maxsize(self):
+        cache = DecomposeCache(maxsize=4)
+        gateset = get_gateset("CNOT")
+        for k in range(10):
+            cache.get(gateset, _rz_pair(0.1 * (k + 1)), False, 0)
+        assert len(cache) == 4
+
+    def test_eviction_is_least_recently_used(self):
+        cache = DecomposeCache(maxsize=2)
+        gateset = get_gateset("CNOT")
+        a, b, c = _rz_pair(0.1), _rz_pair(0.2), _rz_pair(0.3)
+        cache.get(gateset, a, False, 0)
+        cache.get(gateset, b, False, 0)
+        cache.get(gateset, a, False, 0)      # refresh a
+        cache.get(gateset, c, False, 0)      # evicts b
+        hits_before = cache.hits
+        cache.get(gateset, a, False, 0)
+        assert cache.hits == hits_before + 1  # a survived
+        misses_before = cache.misses
+        cache.get(gateset, b, False, 0)
+        assert cache.misses == misses_before + 1  # b was evicted
+
+    def test_new_entries_still_cached_when_full(self):
+        """The pre-LRU cache refused new entries once full; the LRU
+        cache keeps serving the hot set."""
+        cache = DecomposeCache(maxsize=2)
+        gateset = get_gateset("CNOT")
+        for k in range(5):
+            cache.get(gateset, _rz_pair(0.1 * (k + 1)), False, 0)
+        latest = _rz_pair(0.5)
+        hits_before = cache.hits
+        cache.get(gateset, latest, False, 0)
+        assert cache.hits == hits_before + 1
+
+    def test_zero_maxsize_disables_storage(self):
+        cache = DecomposeCache(maxsize=0)
+        gateset = get_gateset("CNOT")
+        swap = standard_gate_unitary("SWAP")
+        cache.get(gateset, swap, False, 0)
+        cache.get(gateset, swap, False, 0)
+        assert len(cache) == 0
+        assert cache.misses == 2
+
+    def test_results_identical_across_cache_states(self):
+        gateset = get_gateset("CNOT")
+        swap = standard_gate_unitary("SWAP")
+        bounded = DecomposeCache(maxsize=1)
+        unbounded = DecomposeCache()
+        circuit_a, phase_a = bounded.get(gateset, swap, True, 0)
+        circuit_b, phase_b = unbounded.get(gateset, swap, True, 0)
+        assert phase_a == phase_b
+        assert [str(g) for g in circuit_a] == [str(g) for g in circuit_b]

@@ -1,0 +1,48 @@
+"""Parallel best-of-k mapping must be bit-identical to the serial path."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.harness import build_step
+from repro.core.registry import get_compiler
+from repro.core.unify import unify_circuit_operators
+from repro.devices.library import montreal
+from repro.mapping.placement import best_of_k_mapping
+from repro.mapping.qap import qap_from_problem
+
+
+@pytest.fixture(scope="module")
+def instance():
+    step = unify_circuit_operators(build_step("NNN_Heisenberg", 10, 2))
+    return qap_from_problem(step, montreal())
+
+
+class TestParallelTrials:
+    def test_bit_identical_to_serial(self, instance):
+        serial = best_of_k_mapping(instance, k=5, seed=3)
+        parallel = best_of_k_mapping(instance, k=5, seed=3, jobs=2)
+        assert serial.cost == parallel.cost
+        assert np.array_equal(serial.assignment, parallel.assignment)
+
+    def test_jobs_exceeding_trials(self, instance):
+        serial = best_of_k_mapping(instance, k=2, seed=0)
+        parallel = best_of_k_mapping(instance, k=2, seed=0, jobs=8)
+        assert serial.cost == parallel.cost
+        assert np.array_equal(serial.assignment, parallel.assignment)
+
+    def test_single_trial_stays_serial(self, instance):
+        # k=1 must not pay pool startup; result identical either way
+        serial = best_of_k_mapping(instance, k=1, seed=7)
+        parallel = best_of_k_mapping(instance, k=1, seed=7, jobs=4)
+        assert np.array_equal(serial.assignment, parallel.assignment)
+
+
+class TestMappingJobsKnob:
+    def test_compiler_metrics_unchanged_by_jobs(self):
+        step = build_step("NNN_Ising", 8, 1)
+        serial = get_compiler("2qan", device=montreal(), gateset="CNOT",
+                              seed=1).compile(step)
+        fanned = get_compiler("2qan", device=montreal(), gateset="CNOT",
+                              seed=1, mapping_jobs=2).compile(step)
+        assert fanned.metrics == serial.metrics
+        assert fanned.qap_cost == serial.qap_cost

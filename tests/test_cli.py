@@ -6,6 +6,7 @@ import pytest
 
 from repro.__main__ import (
     main,
+    make_batch_parser,
     make_compile_parser,
     make_parser,
     make_sweep_parser,
@@ -216,6 +217,104 @@ class TestSweepCommand:
     def test_zero_jobs_rejected(self, capsys):
         code = main(["sweep", "--jobs", "0"])
         assert code == 1
+        assert "--jobs" in capsys.readouterr().err
+
+
+class TestSweepCache:
+    ARGS = ["sweep", "--benchmark", "NNN_Ising", "--device", "aspen",
+            "--sizes", "6", "--compilers", "2qan,tket", "--jobs", "1"]
+
+    def test_cache_counters_in_pass_timings(self, tmp_path, capsys):
+        args = self.ARGS + ["--cache", str(tmp_path), "--pass-timings"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "[cache counters]" in out
+        assert "artifact_hits" in out
+        assert "decompose_misses" in out
+
+    def test_second_run_hits_cache(self, tmp_path, capsys):
+        args = self.ARGS + ["--cache", str(tmp_path), "--json"]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        # metrics identical; warm rows report only artifact hits
+        for cold, warm in zip(first, second):
+            assert cold["n_two_qubit_gates"] == warm["n_two_qubit_gates"]
+            assert warm["cache_stats"]["artifact_misses"] == 0
+            assert warm["cache_stats"]["artifact_hits"] > 0
+
+    def test_no_cache_flag_records_no_artifact_counters(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        for row in rows:
+            assert "artifact_hits" not in row["cache_stats"]
+            assert "decompose_misses" in row["cache_stats"]
+
+
+class TestBatchCommand:
+    def _write_requests(self, tmp_path, payload):
+        path = tmp_path / "requests.json"
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    REQUESTS = [
+        {"compiler": "2qan", "benchmark": "NNN_Ising", "n_qubits": 6,
+         "device": "aspen", "gateset": "CNOT", "seed": 0},
+        {"compiler": "tket", "benchmark": "NNN_Ising", "n_qubits": 6,
+         "device": "aspen", "gateset": "CNOT", "seed": 0},
+        {"compiler": "order", "benchmark": "NNN_Ising", "n_qubits": 6,
+         "device": "aspen", "gateset": "CNOT", "seed": 0},
+    ]
+
+    def test_parser_requires_requests(self):
+        with pytest.raises(SystemExit):
+            make_batch_parser().parse_args([])
+
+    def test_text_output_marks_duplicates(self, tmp_path, capsys):
+        path = self._write_requests(tmp_path, self.REQUESTS)
+        assert main(["batch", "--requests", path]) == 0
+        captured = capsys.readouterr()
+        assert "(deduplicated)" in captured.out
+        assert "3 requests (2 unique)" in captured.err
+
+    def test_json_deterministic_across_cache_states(self, tmp_path, capsys):
+        path = self._write_requests(tmp_path, self.REQUESTS)
+        cache = str(tmp_path / "cache")
+        assert main(["batch", "--requests", path, "--cache", cache,
+                     "--json"]) == 0
+        cold = capsys.readouterr()
+        assert main(["batch", "--requests", path, "--cache", cache,
+                     "--json"]) == 0
+        warm = capsys.readouterr()
+        assert cold.out == warm.out          # byte-identical responses
+        assert json.loads(cold.out)[0]["n_swaps"] >= 0
+        assert "artifact hits: 0" not in warm.err
+
+    def test_missing_file_reports_error(self, capsys):
+        assert main(["batch", "--requests", "/nonexistent.json"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_field_reports_error(self, tmp_path, capsys):
+        path = self._write_requests(tmp_path, [{"qubits": 6}])
+        assert main(["batch", "--requests", path]) == 1
+        assert "qubits" in capsys.readouterr().err
+
+    def test_empty_list_reports_error(self, tmp_path, capsys):
+        path = self._write_requests(tmp_path, [])
+        assert main(["batch", "--requests", path]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_oversized_request_reports_error(self, tmp_path, capsys):
+        path = self._write_requests(
+            tmp_path, [{"compiler": "2qan", "n_qubits": 99,
+                        "device": "aspen"}])
+        assert main(["batch", "--requests", path]) == 1
+        assert "exceed" in capsys.readouterr().err
+
+    def test_zero_jobs_rejected(self, tmp_path, capsys):
+        path = self._write_requests(tmp_path, self.REQUESTS[:1])
+        assert main(["batch", "--requests", path, "--jobs", "0"]) == 1
         assert "--jobs" in capsys.readouterr().err
 
 
