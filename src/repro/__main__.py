@@ -370,29 +370,38 @@ def batch_main(argv: list[str]) -> int:
     if not requests:
         print("error: requests file holds no requests", file=sys.stderr)
         return 1
+    def label(request) -> str:
+        return (f"{request.compiler} {request.benchmark} "
+                f"n={request.n_qubits} seed={request.seed}")
+
     # BatchCompiler salts the directory with a source digest itself
     service = BatchCompiler(jobs=args.jobs, cache_dir=args.cache or None)
-    try:
-        responses, summary = service.run(requests)
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+    responses, summary = service.run(requests)
     # the summary carries wall times and cache counters, which differ
-    # between runs; keep stdout deterministic by reporting it on stderr
+    # between runs; keep stdout deterministic by reporting it on stderr.
+    # per-request failures are isolated into error-carrying responses;
+    # report them on stderr too and signal with the exit code.
     print(summary.line(), file=sys.stderr)
+    for response in responses:
+        if response.failed and not response.deduplicated:
+            print(f"error: {label(response.request)}: {response.error}",
+                  file=sys.stderr)
+    exit_code = 1 if summary.n_failed else 0
     if args.json:
         print(json.dumps([r.to_dict() for r in responses], indent=2))
-        return 0
+        return exit_code
     for response in responses:
-        request = response.request
         note = " (deduplicated)" if response.deduplicated else ""
-        print(f"{request.compiler} {request.benchmark} "
-              f"n={request.n_qubits} seed={request.seed}: "
+        if response.failed:
+            print(f"{label(response.request)}: "
+                  f"FAILED ({response.error}){note}")
+            continue
+        print(f"{label(response.request)}: "
               f"swaps={response.n_swaps} "
               f"2q-gates={response.n_two_qubit_gates} "
               f"2q-depth={response.two_qubit_depth} "
               f"depth={response.total_depth}{note}")
-    return 0
+    return exit_code
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -90,6 +90,29 @@ def measure_runtime_spec(spec: RuntimeSpec) -> RuntimeRecord:
                            compiler=spec.compiler, **knobs)
 
 
+def runtime_records_payload(records: list[RuntimeRecord]) -> list[dict]:
+    """Machine-readable form of a runtime table.
+
+    One JSON object per record with per-pass seconds rounded to
+    milliseconds, so ``benchmarks/results/runtime_scaling.json`` diffs
+    meaningfully across PRs (the perf trajectory) without churning on
+    sub-millisecond noise.
+    """
+    payload = []
+    for r in records:
+        payload.append({
+            "benchmark": r.label,
+            "n_qubits": r.n_qubits,
+            "n_operators": r.n_operators,
+            "mapping_s": round(r.mapping_s, 3),
+            "routing_s": round(r.routing_s, 3),
+            "scheduling_s": round(r.scheduling_s, 3),
+            "decomposition_s": round(r.decomposition_s, 3),
+            "total_s": round(r.total_s, 3),
+        })
+    return payload
+
+
 def format_runtime_table(records: list[RuntimeRecord]) -> str:
     header = (
         f"{'benchmark':24s} {'n':>4s} {'ops':>5s} {'map(s)':>8s} "

@@ -209,20 +209,30 @@ class InstructionGainRoutePass:
                     for neighbour in device.neighbors(physical):
                         candidates.add((min(physical, neighbour),
                                         max(physical, neighbour)))
-            best_edge, best_key = None, None
-            for edge in sorted(candidates):
-                trial = qmap.after_swap(edge)
-                gain = 0
-                total = 0.0
-                for op in remaining:
-                    u, v = op.pair
-                    d = dist[trial.physical(u), trial.physical(v)]
-                    total += d
-                    if d == 1.0:
-                        gain += 1
-                key = (-gain, total)
-                if best_key is None or key < best_key:
-                    best_key, best_edge = key, edge
+            # score every candidate against every remaining gate at once:
+            # a trial swap (a, b) moves the qubit sitting on a to b and
+            # vice versa, so the post-swap positions are a pair of
+            # np.where relabellings and the (gates x candidates) distance
+            # block one fancy index.  Distances are integer hop counts,
+            # so the vectorized sums are exact and the selected edge is
+            # identical to the old per-candidate scalar probes.
+            edges = sorted(candidates)
+            phys = np.array([[qmap.physical(op.pair[0]),
+                              qmap.physical(op.pair[1])]
+                             for op in remaining])
+            edge_a = np.array([a for a, _ in edges])[None, :]
+            edge_b = np.array([b for _, b in edges])[None, :]
+            pu, pv = phys[:, :1], phys[:, 1:]
+            pu_trial = np.where(pu == edge_a, edge_b,
+                                np.where(pu == edge_b, edge_a, pu))
+            pv_trial = np.where(pv == edge_a, edge_b,
+                                np.where(pv == edge_b, edge_a, pv))
+            trial_dist = dist[pu_trial, pv_trial]
+            gain = (trial_dist == 1.0).sum(axis=0)
+            total = trial_dist.sum(axis=0)
+            # first strict minimum of (-gain, total) in sorted edge order
+            best_idx = np.lexsort((np.arange(len(edges)), total, -gain))[0]
+            best_edge = edges[int(best_idx)]
             circuit.append(swap_gate(*best_edge))
             qmap = qmap.after_swap(best_edge)
             n_swaps += 1

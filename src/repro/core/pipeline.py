@@ -266,6 +266,13 @@ class MapPass:
     Honours a fixed ``ctx.initial`` assignment when the driver provides
     one (scoring it on the QAP instance instead of searching).
 
+    The Tabu search runs on the vectorized delta-table kernel
+    (:meth:`repro.mapping.qap.QAPInstance.swap_delta_matrix` plus the
+    Taillard-style O(n^2) incremental updates); interaction-count flows
+    and hop-count distances are integer-valued, so the kernel is exact
+    and the selected mapping is bit-identical to the old scalar scan --
+    see "Mapping performance" in ``docs/architecture.md``.
+
     ``jobs > 1`` fans the Tabu trials out over a process pool; per-trial
     seeding is identical to the serial loop, so the selected mapping is
     bit-identical for every worker count (which is why ``jobs`` is

@@ -1,5 +1,12 @@
 """Simulated annealing for the QAP (the paper's suggested alternative,
-reference [54]).  Used in the mapping ablation benchmark."""
+reference [54]).  Used in the mapping ablation benchmark.
+
+Each candidate move is scored with the vectorized
+:meth:`QAPInstance.swap_delta` probe (an O(n) numpy expression rather
+than a Python loop); annealing probes one random move per iteration, so
+the single-move kernel is the right granularity here -- the full delta
+table the Tabu search maintains would cost O(n^2) per accepted move for
+no benefit."""
 
 from __future__ import annotations
 

@@ -67,18 +67,33 @@ def _greedy_randomized_construction(instance: QAPInstance,
 
 def _local_search(instance: QAPInstance,
                   assignment: np.ndarray) -> tuple[np.ndarray, float]:
+    """First-improvement 2-swap descent on the vectorized delta table.
+
+    Replays the old scalar scan exactly: probe pairs in ``(i, j)``
+    lexicographic order, apply the first improving swap immediately,
+    resume scanning from the next pair, and stop after a full pass with
+    no improvement.  The delta table replaces the O(n) scalar probe per
+    pair and is refreshed in O(n^2) after each applied swap, so for
+    integer-valued instances the descent path is bit-identical.
+    """
     n = instance.n_logical
     cost = instance.cost(assignment)
+    deltas = instance.swap_delta_matrix(assignment)
+    improving = np.triu(deltas < -1e-12, k=1)
     improved = True
     while improved:
         improved = False
-        for i in range(n):
-            for j in range(i + 1, n):
-                delta = instance.swap_delta(assignment, i, j)
-                if delta < -1e-12:
-                    assignment[i], assignment[j] = (
-                        assignment[j], assignment[i]
-                    )
-                    cost += delta
-                    improved = True
+        scan_from = 0
+        while True:
+            rest = improving.flat[scan_from:]
+            if not rest.any():
+                break
+            flat = scan_from + int(np.argmax(rest))
+            i, j = flat // n, flat % n
+            assignment[i], assignment[j] = assignment[j], assignment[i]
+            cost += float(deltas[i, j])
+            instance.update_deltas_after_swap(deltas, assignment, i, j)
+            improving = np.triu(deltas < -1e-12, k=1)
+            improved = True
+            scan_from = flat + 1
     return assignment, float(cost)

@@ -1,0 +1,87 @@
+"""Mapping perf smoke: vectorized kernel vs the scalar reference.
+
+Run as ``python -m repro.mapping.perf_smoke``.  Builds a fixed n = 16
+Heisenberg instance on sycamore, evaluates the full swap neighbourhood
+both ways -- one :meth:`QAPInstance.swap_delta_matrix` call against
+O(n^2) scalar :meth:`QAPInstance.swap_delta_reference` probes -- and
+asserts the vectorized path is at least ``MIN_RATIO`` times faster.
+The check is *relative* (both sides run in the same process on the same
+machine), so it is robust to slow CI runners; it also re-asserts
+bit-identical deltas, because a fast wrong kernel is worse than a slow
+right one.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+MIN_RATIO = 3.0
+N_QUBITS = 16
+ROUNDS = 5
+
+
+def build_instance():
+    """The fixed smoke instance: unified n=16 Heisenberg on sycamore."""
+    from repro.core.unify import unify_circuit_operators
+    from repro.devices import sycamore
+    from repro.hamiltonians.models import nnn_heisenberg
+    from repro.hamiltonians.trotter import trotter_step
+    from repro.mapping.qap import qap_from_problem
+
+    step = unify_circuit_operators(
+        trotter_step(nnn_heisenberg(N_QUBITS, seed=0)))
+    return qap_from_problem(step, sycamore())
+
+
+def measure(rounds: int = ROUNDS) -> tuple[float, float, bool]:
+    """(vectorized seconds, scalar seconds, deltas identical) for one
+    full swap-neighbourhood evaluation, best of ``rounds``."""
+    instance = build_instance()
+    n = instance.n_logical
+    rng = np.random.default_rng(0)
+    assignment = np.array(rng.permutation(instance.n_physical)[:n])
+
+    def scalar_matrix() -> np.ndarray:
+        deltas = np.zeros((n, n))
+        for i in range(n):
+            for j in range(i + 1, n):
+                deltas[i, j] = instance.swap_delta_reference(assignment, i, j)
+        return deltas
+
+    vectorized_s = min(_timed(instance.swap_delta_matrix, assignment)
+                       for _ in range(rounds))
+    scalar_s = min(_timed(scalar_matrix) for _ in range(rounds))
+    fast = instance.swap_delta_matrix(assignment)
+    slow = scalar_matrix()
+    identical = bool(np.array_equal(np.triu(fast, k=1), slow))
+    return vectorized_s, scalar_s, identical
+
+
+def _timed(fn, *args) -> float:
+    start = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - start
+
+
+def main() -> int:
+    vectorized_s, scalar_s, identical = measure()
+    ratio = scalar_s / vectorized_s if vectorized_s > 0 else float("inf")
+    print(f"mapping perf smoke (n={N_QUBITS}): "
+          f"vectorized {vectorized_s * 1e6:.0f}us, "
+          f"scalar reference {scalar_s * 1e6:.0f}us, "
+          f"ratio {ratio:.1f}x (need >= {MIN_RATIO}x), "
+          f"bit-identical: {identical}")
+    if not identical:
+        print("FAIL: vectorized deltas differ from the scalar reference")
+        return 1
+    if ratio < MIN_RATIO:
+        print(f"FAIL: vectorized kernel only {ratio:.1f}x faster")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

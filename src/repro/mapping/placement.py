@@ -4,6 +4,13 @@ The paper runs randomized mapping five times and keeps the best result
 (Section IV, "Quantum compilers"); :func:`best_of_k_mapping` implements
 that protocol around any QAP solver.  ``line_placement`` mirrors t|ket>'s
 LinePlacement fallback used for large circuits.
+
+All bundled solvers (:func:`~repro.mapping.tabu.tabu_search`,
+:func:`~repro.mapping.annealing.simulated_annealing`,
+:func:`~repro.mapping.grasp.grasp_search`) probe moves through the
+vectorized :class:`~repro.mapping.qap.QAPInstance` delta kernels, so a
+best-of-k wrapper around any of them inherits the vectorized speed with
+bit-identical trial outcomes.
 """
 
 from __future__ import annotations

@@ -9,11 +9,20 @@ Standard recency-based Tabu search over the swap neighbourhood:
   ``tenure`` iterations;
 * the aspiration criterion admits tabu moves that beat the incumbent.
 
-Costs are updated incrementally via :meth:`QAPInstance.swap_delta`.
+The neighbourhood is evaluated on the vectorized delta table
+(:meth:`QAPInstance.swap_delta_matrix`), refreshed in O(n^2) per
+iteration via the Taillard-style incremental updates instead of O(n^2)
+scalar probes of O(n) each.  Tabu/aspiration filtering is a boolean
+mask and best-move selection a masked argmin that scans the strict
+upper triangle in the same ``(i, j)`` lexicographic order as the old
+scalar loops, so for integer-valued instances (interaction-count flows,
+hop-count distances) the search trajectory -- and therefore the
+returned assignment and cost -- is bit-identical, only faster.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass
 
 import numpy as np
@@ -23,7 +32,12 @@ from repro.mapping.qap import QAPInstance
 
 @dataclass
 class TabuResult:
-    """Best assignment found and its objective value."""
+    """Best assignment found and its objective value.
+
+    ``iterations`` counts the search iterations actually performed --
+    fewer than ``max_iterations`` when the neighbourhood is exhausted
+    (every move tabu with no aspiration) and the search stops early.
+    """
 
     assignment: np.ndarray
     cost: float
@@ -59,70 +73,76 @@ def tabu_search(instance: QAPInstance, seed: int = 0,
 
     free = sorted(set(range(m)) - set(current.tolist()))
 
+    deltas = instance.swap_delta_matrix(current)
+    logical = np.arange(n)
+    upper = np.triu(np.ones((n, n), dtype=bool), k=1)
+
+    performed = max_iterations
     for iteration in range(max_iterations):
+        # swap moves between logical qubits: mask out the lower triangle
+        # plus tabu moves that fail aspiration, then take the first
+        # strict minimum in (i, j) lexicographic order (np.argmin
+        # returns the first occurrence, matching the old scalar scan)
+        tabu_hit = tabu[logical[:, None], current[None, :]] > iteration
+        blocked = (tabu_hit | tabu_hit.T) & (cost + deltas >= best_cost)
+        candidates = np.where(upper & ~blocked, deltas, np.inf)
+        flat = int(np.argmin(candidates))
+        best_delta = candidates.flat[flat]
         best_move = None
-        best_delta = np.inf
-        # swap moves between logical qubits
-        for i in range(n):
-            for j in range(i + 1, n):
-                delta = instance.swap_delta(current, i, j)
-                is_tabu = (
-                    tabu[i, current[j]] > iteration
-                    or tabu[j, current[i]] > iteration
-                )
-                if is_tabu and cost + delta >= best_cost:
-                    continue
-                if delta < best_delta:
-                    best_delta = delta
-                    best_move = ("swap", i, j)
+        if best_delta < np.inf:
+            best_move = ("swap", flat // n, flat % n)
         # relocation moves to free physical qubits (devices larger than
-        # the problem)
+        # the problem); a relocation wins only on a strictly smaller
+        # delta, as in the scalar scan order (swaps probed first)
         if free:
-            for i in range(n):
-                for loc_idx, loc in enumerate(free):
-                    delta = _relocate_delta(instance, current, i, loc)
-                    is_tabu = tabu[i, loc] > iteration
-                    if is_tabu and cost + delta >= best_cost:
-                        continue
-                    if delta < best_delta:
-                        best_delta = delta
-                        best_move = ("move", i, loc_idx)
+            free_arr = np.array(free)
+            relocations = instance.relocate_delta_matrix(current, free_arr)
+            reloc_tabu = tabu[logical[:, None], free_arr[None, :]] > iteration
+            reloc_blocked = reloc_tabu & (cost + relocations >= best_cost)
+            reloc_candidates = np.where(reloc_blocked, np.inf, relocations)
+            reloc_flat = int(np.argmin(reloc_candidates))
+            reloc_delta = reloc_candidates.flat[reloc_flat]
+            if reloc_delta < best_delta:
+                best_delta = reloc_delta
+                best_move = ("move", reloc_flat // len(free),
+                             reloc_flat % len(free))
         if best_move is None:
+            performed = iteration + 1
             break
         if best_move[0] == "swap":
             _, i, j = best_move
             tabu[i, current[i]] = iteration + tenure
             tabu[j, current[j]] = iteration + tenure
             current[i], current[j] = current[j], current[i]
+            instance.update_deltas_after_swap(deltas, current, i, j)
         else:
             _, i, loc_idx = best_move
             tabu[i, current[i]] = iteration + tenure
             old = int(current[i])
             current[i] = free[loc_idx]
-            free[loc_idx] = old
-            free.sort()
-        cost += best_delta
+            # order-preserving insert instead of re-sorting the whole list
+            del free[loc_idx]
+            insort(free, old)
+            instance.update_deltas_after_relocate(deltas, current, i, old)
+        cost += float(best_delta)
         if cost < best_cost - 1e-12:
             best_cost = cost
             best = current.copy()
         # occasional diversification when stuck at zero-delta plateaus
         if best_delta >= 0 and iteration % (4 * tenure) == 4 * tenure - 1:
             i, j = rng.choice(n, size=2, replace=False)
-            cost += instance.swap_delta(current, int(i), int(j))
-            current[int(i)], current[int(j)] = current[int(j)], current[int(i)]
-    return TabuResult(best, float(best_cost), max_iterations)
+            i, j = int(i), int(j)
+            cost += float(deltas[i, j])
+            current[i], current[j] = current[j], current[i]
+            instance.update_deltas_after_swap(deltas, current, i, j)
+    return TabuResult(best, float(best_cost), performed)
 
 
 def _relocate_delta(instance: QAPInstance, assignment: np.ndarray,
                     i: int, new_loc: int) -> float:
-    """Cost change from moving logical ``i`` to the free ``new_loc``."""
-    old = assignment[i]
-    delta = 0.0
-    for k in range(instance.n_logical):
-        if k == i:
-            continue
-        c = assignment[k]
-        delta += 2 * instance.flow[i, k] * (
-            instance.distance[new_loc, c] - instance.distance[old, c]
-        )
-    return float(delta)
+    """Cost change from moving logical ``i`` to the free ``new_loc``.
+
+    Deprecated alias for :meth:`QAPInstance.relocate_delta_reference`,
+    kept for callers of the old module-level helper.
+    """
+    return instance.relocate_delta_reference(assignment, i, new_loc)

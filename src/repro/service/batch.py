@@ -18,7 +18,10 @@ service would:
   ``ProcessPoolExecutor`` whose workers share the disk cache layer.
 
 Responses come back in request order, duplicates marked
-``deduplicated=True``.
+``deduplicated=True``.  Failures are isolated per request: a compilation
+that raises becomes an error-carrying response (``error`` set, metrics
+zeroed) while the rest of the batch is served normally -- completed work
+is drained, never discarded, mirroring ``run_engine``.
 """
 
 from __future__ import annotations
@@ -27,7 +30,7 @@ import dataclasses
 import json
 import math
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -137,6 +140,11 @@ class CompileResponse:
     are informational.  :meth:`to_dict` returns only the deterministic
     part, so serialised batch output is byte-identical between a cold
     and a warm run -- the cache-smoke CI job asserts exactly that.
+
+    A request whose compilation failed is served as an error-carrying
+    response: ``error`` holds the exception text, ``failed`` is true and
+    every metric field sits at its zero/None placeholder.  Successful
+    responses keep ``error = None`` and an unchanged ``to_dict`` shape.
     """
 
     request: CompileRequest
@@ -150,6 +158,11 @@ class CompileResponse:
     timings: dict[str, float] = field(default_factory=dict)
     cache_events: dict[str, str] = field(default_factory=dict)
     deduplicated: bool = False
+    error: str | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
     @property
     def cache_hits(self) -> int:
@@ -158,8 +171,12 @@ class CompileResponse:
         return count_cache_hits(self.cache_events)
 
     def to_dict(self) -> dict:
-        """Deterministic JSON form (request + metrics, no wall times)."""
-        return {
+        """Deterministic JSON form (request + metrics, no wall times).
+
+        Error responses additionally carry the ``error`` message (which
+        is deterministic: the same bad request fails the same way).
+        """
+        payload = {
             **self.request.to_dict(),
             "n_swaps": self.n_swaps,
             "n_dressed": self.n_dressed,
@@ -168,6 +185,25 @@ class CompileResponse:
             "total_depth": self.total_depth,
             "qap_cost": self.qap_cost,
         }
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+def error_response(request: CompileRequest,
+                   exc: BaseException) -> CompileResponse:
+    """An error-carrying response for a request that failed to compile."""
+    return CompileResponse(
+        request=request,
+        n_swaps=0,
+        n_dressed=0,
+        n_two_qubit_gates=0,
+        two_qubit_depth=0,
+        total_depth=0,
+        qap_cost=None,
+        seconds=0.0,
+        error=f"{type(exc).__name__}: {exc}",
+    )
 
 
 def execute_request(request: CompileRequest,
@@ -248,13 +284,15 @@ class BatchSummary:
     artifact_hits: int
     artifact_misses: int
     seconds: float
+    n_failed: int = 0
 
     def line(self) -> str:
+        failed = f", {self.n_failed} failed" if self.n_failed else ""
         return (f"batch: {self.n_requests} requests "
                 f"({self.n_unique} unique), "
                 f"artifact hits: {self.artifact_hits}, "
                 f"misses: {self.artifact_misses}, "
-                f"{self.seconds:.2f}s")
+                f"{self.seconds:.2f}s{failed}")
 
 
 @dataclass
@@ -294,41 +332,76 @@ class BatchCompiler:
 
     def run(self, requests: list[CompileRequest],
             ) -> tuple[list[CompileResponse], BatchSummary]:
-        """Serve one batch; responses come back in request order."""
+        """Serve one batch; responses come back in request order.
+
+        Failures are isolated per request: a compilation that raises
+        yields an error-carrying :class:`CompileResponse` (see
+        :func:`error_response`) while every other request is still
+        served.  In parallel mode all futures are drained the way
+        :func:`repro.analysis.engine.run_engine` drains its pool, so
+        completed work is never discarded because a sibling failed.
+        """
         start = time.perf_counter()
         hits_before = self._cache.hits
         misses_before = self._cache.misses
-        keys = [request.key() for request in requests]
+        # a request whose dedupe key cannot even be computed (e.g. an
+        # unknown compiler name) is already a per-request failure: serve
+        # it as an error response instead of aborting the batch
+        keys: list[str | None] = []
+        pre_failed: dict[int, CompileResponse] = {}
+        for index, request in enumerate(requests):
+            try:
+                keys.append(request.key())
+            except Exception as exc:
+                keys.append(None)
+                pre_failed[index] = error_response(request, exc)
         order: dict[str, int] = {}        # key -> index into unique list
         unique: list[CompileRequest] = []
         for request, key in zip(requests, keys):
-            if key not in order:
+            if key is not None and key not in order:
                 order[key] = len(unique)
                 unique.append(request)
 
         if self.jobs > 1 and len(unique) > 1:
             cache_dir = (str(self.cache_dir)
                          if self.cache_dir is not None else None)
+            computed = [None] * len(unique)
             with ProcessPoolExecutor(
                     max_workers=min(self.jobs, len(unique))) as pool:
-                computed = list(pool.map(
-                    _execute_in_worker,
-                    [(request, cache_dir, self.memory_limit)
-                     for request in unique],
-                ))
+                futures = {
+                    pool.submit(_execute_in_worker,
+                                (request, cache_dir, self.memory_limit)):
+                    index
+                    for index, request in enumerate(unique)
+                }
+                # drain every future even after a failure, so responses
+                # that did complete are served alongside the error ones
+                for future in as_completed(futures):
+                    index = futures[future]
+                    try:
+                        computed[index] = future.result()
+                    except Exception as exc:
+                        computed[index] = error_response(unique[index], exc)
             # worker counters stay in the workers; report what is
             # visible batch-wide instead: per-response events
             hits = sum(r.cache_hits for r in computed)
             misses = sum(len(r.cache_events) for r in computed) - hits
         else:
-            computed = [execute_request(request, self._cache)
-                        for request in unique]
+            computed = []
+            for request in unique:
+                try:
+                    computed.append(execute_request(request, self._cache))
+                except Exception as exc:
+                    computed.append(error_response(request, exc))
             hits = self._cache.hits - hits_before
             misses = self._cache.misses - misses_before
 
         responses: list[CompileResponse] = []
         served: set[str] = set()
-        for request, key in zip(requests, keys):
+        for index, (request, key) in enumerate(zip(requests, keys)):
+            if key is None:
+                responses.append(pre_failed[index])
+                continue
             response = computed[order[key]]
             if key in served:
                 response = dataclasses.replace(response, request=request,
@@ -341,5 +414,6 @@ class BatchCompiler:
             artifact_hits=hits,
             artifact_misses=misses,
             seconds=time.perf_counter() - start,
+            n_failed=sum(1 for response in responses if response.failed),
         )
         return responses, summary

@@ -1,0 +1,25 @@
+"""The CI mapping perf smoke stays runnable and honest.
+
+The strict >= 3x timing assertion lives in the dedicated CI job
+(`python -m repro.mapping.perf_smoke`); here we only pin what must
+never flake: the smoke runs, the two paths agree bit-for-bit, and both
+timings are real measurements.
+"""
+
+from repro.mapping import perf_smoke
+
+
+def test_measure_paths_agree_bit_for_bit():
+    vectorized_s, scalar_s, identical = perf_smoke.measure(rounds=1)
+    assert identical
+    assert vectorized_s > 0
+    assert scalar_s > 0
+
+
+def test_main_runs_end_to_end(capsys, monkeypatch):
+    """main() exercised with the timing bar lowered to zero: the strict
+    >= 3x assertion belongs to the dedicated CI job, not to tier-1,
+    where a contended runner could flake it."""
+    monkeypatch.setattr(perf_smoke, "MIN_RATIO", 0.0)
+    assert perf_smoke.main() == 0
+    assert "ratio" in capsys.readouterr().out

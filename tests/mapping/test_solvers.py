@@ -76,6 +76,23 @@ class TestTabu:
         b = tabu_search(montreal_instance, seed=9)
         assert np.array_equal(a.assignment, b.assignment)
 
+    def test_full_run_reports_max_iterations(self, montreal_instance):
+        result = tabu_search(montreal_instance, seed=0, max_iterations=37)
+        assert result.iterations == 37
+
+    def test_early_break_reports_actual_iterations(self):
+        """Regression: an exhausted neighbourhood (every move tabu, no
+        aspiration) used to report ``max_iterations`` even though the
+        search stopped after a couple of iterations."""
+        from repro.mapping.qap import QAPInstance
+
+        instance = QAPInstance(np.zeros((2, 2)),
+                               np.array([[0.0, 1.0], [1.0, 0.0]]))
+        result = tabu_search(instance, seed=0, max_iterations=500)
+        # one zero-delta swap, then the only move is tabu and cannot
+        # aspire: the search stops on the second iteration
+        assert result.iterations == 2
+
 
 class TestAnnealing:
     def test_beats_random(self, montreal_instance):

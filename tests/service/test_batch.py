@@ -227,7 +227,56 @@ class TestBatchCompiler:
         responses, _ = BatchCompiler(jobs=2).run(REQS)
         assert all(r.cache_events for r in responses)
 
-    def test_bad_request_surfaces_error(self):
-        with pytest.raises(ValueError):
-            BatchCompiler().run([CompileRequest(n_qubits=99,
-                                                device="aspen")])
+class TestFailureIsolation:
+    BAD = CompileRequest(n_qubits=99, device="aspen")
+
+    def test_bad_request_yields_error_response(self):
+        responses, summary = BatchCompiler().run([self.BAD])
+        assert responses[0].failed
+        assert "exceed" in responses[0].error
+        assert summary.n_failed == 1
+        assert "1 failed" in summary.line()
+
+    def test_failure_does_not_abort_the_batch(self):
+        """Completed responses are drained around the failing one."""
+        responses, summary = BatchCompiler().run(
+            [REQS[0], self.BAD, REQS[1]])
+        assert [r.failed for r in responses] == [False, True, False]
+        assert responses[0].n_two_qubit_gates > 0
+        assert responses[2].n_two_qubit_gates > 0
+        assert summary.n_failed == 1
+
+    def test_parallel_failure_isolated(self, tmp_path):
+        serial, _ = BatchCompiler().run([REQS[0], self.BAD, REQS[1]])
+        parallel, summary = BatchCompiler(jobs=2, cache_dir=tmp_path).run(
+            [REQS[0], self.BAD, REQS[1]])
+        assert [r.to_dict() for r in serial] == \
+            [r.to_dict() for r in parallel]
+        assert summary.n_failed == 1
+
+    def test_failed_duplicates_share_the_error(self):
+        responses, summary = BatchCompiler().run([self.BAD, self.BAD])
+        assert responses[1].deduplicated
+        assert responses[1].failed
+        assert summary.n_failed == 2
+        assert summary.n_unique == 1
+
+    def test_unknown_compiler_isolated_not_traceback(self):
+        """A request whose dedupe key cannot even be computed (unknown
+        compiler name) is a per-request failure, not a batch abort."""
+        responses, summary = BatchCompiler().run(
+            [REQS[0], CompileRequest(compiler="bogus")])
+        assert not responses[0].failed
+        assert responses[1].failed
+        assert "bogus" in responses[1].error
+        assert summary.n_failed == 1
+        assert summary.n_unique == 1     # the bogus request never dedupes
+
+    def test_error_in_to_dict_only_when_failed(self):
+        responses, _ = BatchCompiler().run([REQS[0], self.BAD])
+        assert "error" not in responses[0].to_dict()
+        assert "exceed" in responses[1].to_dict()["error"]
+
+    def test_success_summary_line_unchanged(self):
+        _, summary = BatchCompiler().run(REQS[:1])
+        assert "failed" not in summary.line()

@@ -312,6 +312,20 @@ class TestBatchCommand:
         assert main(["batch", "--requests", path]) == 1
         assert "exceed" in capsys.readouterr().err
 
+    def test_failing_request_does_not_abort_batch(self, tmp_path, capsys):
+        """One bad request: the good one is still served, the failure
+        lands on stderr (and as a FAILED row) and the exit code is 1."""
+        path = self._write_requests(tmp_path, [
+            self.REQUESTS[0],
+            {"compiler": "bogus", "benchmark": "NNN_Ising", "n_qubits": 6},
+        ])
+        assert main(["batch", "--requests", path]) == 1
+        captured = capsys.readouterr()
+        assert "swaps=" in captured.out        # the good row was served
+        assert "FAILED" in captured.out
+        assert "bogus" in captured.err
+        assert "1 failed" in captured.err
+
     def test_zero_jobs_rejected(self, tmp_path, capsys):
         path = self._write_requests(tmp_path, self.REQUESTS[:1])
         assert main(["batch", "--requests", path, "--jobs", "0"]) == 1
