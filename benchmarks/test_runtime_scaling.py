@@ -23,6 +23,7 @@ from repro.analysis.runtime import (
     RuntimeSpec,
     format_runtime_table,
     measure_runtime_spec,
+    runtime_records_from_payload,
     runtime_records_payload,
 )
 from repro.devices import montreal, sycamore
@@ -55,6 +56,10 @@ def test_runtime_scaling(benchmark, results_dir):
     payload = runtime_records_payload(records)
     (results_dir / "runtime_scaling.json").write_text(
         json.dumps(payload, indent=2) + "\n")
+    # every row carries the unify column (total_s includes it) and
+    # round-trips through the tolerant reader
+    assert all("unify_s" in row for row in payload)
+    assert len(runtime_records_from_payload(payload)) == len(records)
     model_records = records[:-1]
     # mapping dominates at the largest size (paper's observation)
     largest = model_records[-1]

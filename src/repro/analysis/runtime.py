@@ -14,7 +14,10 @@ class RuntimeRecord:
     """Pass-by-pass wall times for one compilation.
 
     Passes a compiler's pipeline does not run (e.g. baselines without a
-    mapping search) report 0.0.
+    mapping search) report 0.0.  ``unify_s`` (stage 1, circuit unitary
+    unifying) defaults to 0.0 so records built before the field existed
+    keep loading; ``total_s`` includes it -- it used to be silently
+    dropped, under-reporting every total.
     """
 
     label: str
@@ -24,11 +27,12 @@ class RuntimeRecord:
     routing_s: float
     scheduling_s: float
     decomposition_s: float
+    unify_s: float = 0.0
 
     @property
     def total_s(self) -> float:
-        return (self.mapping_s + self.routing_s + self.scheduling_s
-                + self.decomposition_s)
+        return (self.unify_s + self.mapping_s + self.routing_s
+                + self.scheduling_s + self.decomposition_s)
 
 
 def measure_runtime(label: str, step: TrotterStep, device: Device,
@@ -43,6 +47,7 @@ def measure_runtime(label: str, step: TrotterStep, device: Device,
         label=label,
         n_qubits=step.n_qubits,
         n_operators=len(step.two_qubit_ops),
+        unify_s=timings.get("unify", 0.0),
         mapping_s=timings.get("mapping", 0.0),
         routing_s=timings.get("routing", 0.0),
         scheduling_s=timings.get("scheduling", 0.0),
@@ -104,6 +109,7 @@ def runtime_records_payload(records: list[RuntimeRecord]) -> list[dict]:
             "benchmark": r.label,
             "n_qubits": r.n_qubits,
             "n_operators": r.n_operators,
+            "unify_s": round(r.unify_s, 3),
             "mapping_s": round(r.mapping_s, 3),
             "routing_s": round(r.routing_s, 3),
             "scheduling_s": round(r.scheduling_s, 3),
@@ -113,16 +119,41 @@ def runtime_records_payload(records: list[RuntimeRecord]) -> list[dict]:
     return payload
 
 
+def runtime_records_from_payload(payload: list[dict]) -> list[RuntimeRecord]:
+    """Rebuild records from a ``runtime_scaling.json`` payload.
+
+    Tolerates rows written before the ``unify_s`` column existed (it
+    defaults to 0.0).  The stored ``total_s`` is derived and rounded, so
+    it is not read back; ``total_s`` of the rebuilt record is recomputed
+    from the (rounded) per-pass columns.
+    """
+    return [
+        RuntimeRecord(
+            label=row["benchmark"],
+            n_qubits=int(row["n_qubits"]),
+            n_operators=int(row["n_operators"]),
+            unify_s=float(row.get("unify_s", 0.0)),
+            mapping_s=float(row["mapping_s"]),
+            routing_s=float(row["routing_s"]),
+            scheduling_s=float(row["scheduling_s"]),
+            decomposition_s=float(row["decomposition_s"]),
+        )
+        for row in payload
+    ]
+
+
 def format_runtime_table(records: list[RuntimeRecord]) -> str:
     header = (
-        f"{'benchmark':24s} {'n':>4s} {'ops':>5s} {'map(s)':>8s} "
-        f"{'route(s)':>9s} {'sched(s)':>9s} {'decomp(s)':>10s} {'total':>8s}"
+        f"{'benchmark':24s} {'n':>4s} {'ops':>5s} {'unify(s)':>9s} "
+        f"{'map(s)':>8s} {'route(s)':>9s} {'sched(s)':>9s} "
+        f"{'decomp(s)':>10s} {'total':>8s}"
     )
     lines = [header]
     for r in records:
         lines.append(
             f"{r.label:24s} {r.n_qubits:4d} {r.n_operators:5d} "
-            f"{r.mapping_s:8.2f} {r.routing_s:9.2f} {r.scheduling_s:9.2f} "
-            f"{r.decomposition_s:10.2f} {r.total_s:8.2f}"
+            f"{r.unify_s:9.2f} {r.mapping_s:8.2f} {r.routing_s:9.2f} "
+            f"{r.scheduling_s:9.2f} {r.decomposition_s:10.2f} "
+            f"{r.total_s:8.2f}"
         )
     return "\n".join(lines)

@@ -99,21 +99,27 @@ def _update(h, obj: object) -> None:  # noqa: PLR0912 - one dispatch table
 # non-semantic fields the generic dataclass walk would include).
 # ----------------------------------------------------------------------
 def _is_known_class(obj: object) -> bool:
+    from repro.core.routing import QubitMap
     from repro.devices.topology import Device
     from repro.quantum.circuit import Circuit
     from repro.quantum.gates import Gate
     from repro.synthesis.gateset import GateSet
 
-    return isinstance(obj, (Device, Circuit, Gate, GateSet))
+    return isinstance(obj, (Device, Circuit, Gate, GateSet, QubitMap))
 
 
 def _update_known(h, obj: object) -> None:
+    from repro.core.routing import QubitMap
     from repro.devices.topology import Device
     from repro.quantum.circuit import Circuit
     from repro.quantum.gates import Gate
     from repro.synthesis.gateset import GateSet
 
-    if isinstance(obj, Device):
+    if isinstance(obj, QubitMap):
+        # array-backed, not a dataclass: hash the canonical dict view
+        _tag(h, "QubitMap")
+        _update(h, obj.logical_to_physical)
+    elif isinstance(obj, Device):
         # skip the derived _distance/_adjacency caches
         _tag(h, "Device")
         _update(h, obj.name)

@@ -16,10 +16,31 @@ procedure:
 Dressing (Section III-C): each committed SWAP tries to absorb a routed
 operator whose logical pair sits exactly on the SWAP's physical edge;
 the fused gate costs no more hardware gates than the bare operator.
+
+Candidate scoring runs on one of two engines (see :func:`route`):
+
+* ``"incremental"`` -- the default on hop-count devices.  A per-logical
+  index of the still-unrouted operators (:class:`_CostIndex`) turns the
+  Equation-7 rescan into an O(deg) delta per candidate SWAP: only the
+  operators touching the two moved logicals can change distance, so the
+  candidate's remaining cost is the retained running total plus their
+  distance deltas.  Hop counts are integers, exactly representable in
+  float64, so the delta-updated total is *bit-identical* to the scalar
+  rescan -- same scan order, same tie-breaks, same RNG draws.  Dressing
+  lookups use a pair-keyed FIFO (:class:`_DressIndex`) instead of a
+  linear scan over the routed gates.
+* ``"reference"`` -- the retained scalar implementation
+  (:func:`_remaining_cost` rescans, :func:`_find_dressable` list
+  scans), kept both as the property-test oracle
+  (``tests/core/test_router_delta.py``) and as the engine of record for
+  devices with ``edge_weights``-weighted (non-integer) distances, where
+  a delta-updated float total could differ from the rescan by an ulp
+  and an ulp is enough to flip a tie-break.
 """
 
 from __future__ import annotations
 
+from collections import defaultdict, deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -28,42 +49,104 @@ from repro.devices.topology import Device
 from repro.hamiltonians.trotter import TrotterStep, TwoQubitOperator
 
 
-@dataclass
 class QubitMap:
-    """Bidirectional logical <-> physical qubit assignment."""
+    """Bidirectional logical <-> physical qubit assignment.
 
-    logical_to_physical: dict[int, int]
+    Array-backed: ``_l2p[l]`` is the physical qubit holding logical
+    ``l`` and ``_p2l[p]`` the logical occupying physical ``p`` (``-1``
+    when empty/unmapped), so :meth:`physical` / :meth:`logical` are O(1)
+    array reads and :meth:`after_swap` copies two flat integer arrays
+    and touches two entries -- no dict rebuild, no inverse scan.  The
+    dict view :attr:`logical_to_physical` is built on demand for
+    compatibility (verification, fingerprinting, tests).
+    """
+
+    __slots__ = ("_l2p", "_p2l")
+
+    def __init__(self, logical_to_physical: dict[int, int] | None = None):
+        mapping = logical_to_physical if logical_to_physical else {}
+        l2p = np.full(max(mapping, default=-1) + 1, -1, dtype=np.intp)
+        p2l = np.full(max(mapping.values(), default=-1) + 1, -1,
+                      dtype=np.intp)
+        for lq, pq in mapping.items():
+            l2p[lq] = pq
+            p2l[pq] = lq
+        self._l2p = l2p
+        self._p2l = p2l
 
     @classmethod
-    def from_assignment(cls, assignment: np.ndarray) -> "QubitMap":
-        return cls({i: int(p) for i, p in enumerate(assignment)})
+    def _from_arrays(cls, l2p: np.ndarray, p2l: np.ndarray) -> "QubitMap":
+        obj = cls.__new__(cls)
+        obj._l2p = l2p
+        obj._p2l = p2l
+        return obj
+
+    @classmethod
+    def from_assignment(cls, assignment: np.ndarray,
+                        n_physical: int | None = None) -> "QubitMap":
+        """Map logical ``i`` to ``assignment[i]``.
+
+        ``n_physical`` sizes the physical->logical array up front (the
+        router passes the device size so spare-qubit SWAPs never need to
+        grow it); it defaults to the largest assigned index + 1.
+        """
+        l2p = np.array(assignment, dtype=np.intp)
+        size = int(l2p.max()) + 1 if l2p.size else 0
+        if n_physical is not None:
+            size = max(size, n_physical)
+        p2l = np.full(size, -1, dtype=np.intp)
+        p2l[l2p] = np.arange(len(l2p), dtype=np.intp)
+        return cls._from_arrays(l2p, p2l)
+
+    @property
+    def logical_to_physical(self) -> dict[int, int]:
+        return {i: int(p) for i, p in enumerate(self._l2p) if p >= 0}
 
     def physical(self, logical: int) -> int:
-        return self.logical_to_physical[logical]
+        l2p = self._l2p
+        if not 0 <= logical < len(l2p) or l2p[logical] < 0:
+            raise KeyError(logical)
+        return int(l2p[logical])
 
     def logical(self, physical: int) -> int | None:
-        for lq, pq in self.logical_to_physical.items():
-            if pq == physical:
-                return lq
-        return None
+        p2l = self._p2l
+        if not 0 <= physical < len(p2l):
+            return None
+        lq = p2l[physical]
+        return int(lq) if lq >= 0 else None
 
     def inverse(self) -> dict[int, int]:
-        return {p: lq for lq, p in self.logical_to_physical.items()}
+        return {int(p): i for i, p in enumerate(self._l2p) if p >= 0}
 
     def after_swap(self, physical_pair: tuple[int, int]) -> "QubitMap":
         """The map after exchanging two physical qubits' contents."""
         p, q = physical_pair
-        updated = dict(self.logical_to_physical)
-        inverse = self.inverse()
-        lp, lq = inverse.get(p), inverse.get(q)
-        if lp is not None:
-            updated[lp] = q
-        if lq is not None:
-            updated[lq] = p
-        return QubitMap(updated)
+        p2l = self._p2l
+        if max(p, q) >= len(p2l):
+            grown = np.full(max(p, q) + 1, -1, dtype=np.intp)
+            grown[: len(p2l)] = p2l
+            p2l = grown
+        else:
+            p2l = p2l.copy()
+        l2p = self._l2p.copy()
+        lp, lq = p2l[p], p2l[q]
+        p2l[p], p2l[q] = lq, lp
+        if lp >= 0:
+            l2p[lp] = q
+        if lq >= 0:
+            l2p[lq] = p
+        return QubitMap._from_arrays(l2p, p2l)
 
     def copy(self) -> "QubitMap":
-        return QubitMap(dict(self.logical_to_physical))
+        return QubitMap._from_arrays(self._l2p.copy(), self._p2l.copy())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QubitMap):
+            return NotImplemented
+        return self.logical_to_physical == other.logical_to_physical
+
+    def __repr__(self) -> str:
+        return f"QubitMap({self.logical_to_physical!r})"
 
 
 @dataclass
@@ -121,7 +204,12 @@ def _distance(device: Device, qmap: QubitMap, op: TwoQubitOperator) -> float:
 
 def _remaining_cost(device: Device, qmap: QubitMap,
                     unrouted: list[TwoQubitOperator]) -> float:
-    """Criterion 1: Equation-7 cost of the still-unrouted operators."""
+    """Criterion 1: Equation-7 cost of the still-unrouted operators.
+
+    Retained scalar reference: the incremental engine's
+    :meth:`_CostIndex.candidate_cost` is property-pinned ``==`` against
+    this full rescan (``tests/core/test_router_delta.py``).
+    """
     dist = device.distance
     total = 0.0
     for op in unrouted:
@@ -130,10 +218,164 @@ def _remaining_cost(device: Device, qmap: QubitMap,
     return total
 
 
+class _MapMirror:
+    """Plain-Python-list mirror of the current qubit map.
+
+    The scoring loops run per candidate per swap; Python-list reads are
+    several times cheaper than numpy scalar indexing at that grain, so
+    the incremental indices keep list mirrors of ``l2p``/``p2l`` and
+    :func:`route` advances them alongside the authoritative
+    :class:`QubitMap` (one :meth:`apply_swap` per committed SWAP).
+    """
+
+    __slots__ = ("l2p", "p2l")
+
+    def __init__(self, qmap: QubitMap):
+        self.l2p: list[int] = qmap._l2p.tolist()
+        self.p2l: list[int] = qmap._p2l.tolist()
+
+    def apply_swap(self, edge: tuple[int, int]) -> None:
+        a, b = edge
+        p2l = self.p2l
+        la, lb = p2l[a], p2l[b]
+        p2l[a], p2l[b] = lb, la
+        if la >= 0:
+            self.l2p[la] = b
+        if lb >= 0:
+            self.l2p[lb] = a
+
+
+class _CostIndex:
+    """Per-logical index of unrouted operators + retained Equation-7 total.
+
+    ``candidate_cost(edge)`` returns exactly what
+    ``_remaining_cost(device, qmap.after_swap(edge), unrouted)`` would:
+    a candidate SWAP moves two logicals, so only the operators incident
+    to them change distance -- an O(deg) delta on the running total
+    instead of an O(|unrouted|) rescan.  With integer (hop-count)
+    distances every term is an integer exactly representable in
+    float64, so the delta-updated total carries the same bits as the
+    rescan and cannot flip a tie-break.  (``tolist()`` conversions keep
+    the exact IEEE values; Python and numpy float64 arithmetic agree
+    bit-for-bit.)
+    """
+
+    def __init__(self, device: Device, qmap: QubitMap,
+                 unrouted: list[TwoQubitOperator], mirror: _MapMirror):
+        self.mirror = mirror
+        self.rows: list[list[float]] = device.distance.tolist()
+        # per-logical multiset of opposite endpoints of unrouted operators
+        self._others: dict[int, list[int]] = defaultdict(list)
+        for op in unrouted:
+            u, v = op.qubits
+            self._others[u].append(v)
+            self._others[v].append(u)
+        self.total = _remaining_cost(device, qmap, unrouted)
+
+    def candidate_cost(self, edge: tuple[int, int]) -> float:
+        """Remaining cost if the contents of ``edge`` were exchanged."""
+        a, b = edge
+        l2p = self.mirror.l2p
+        p2l = self.mirror.p2l
+        la = p2l[a]
+        lb = p2l[b]
+        dist_a = self.rows[a]
+        dist_b = self.rows[b]
+        others = self._others
+        delta = 0.0
+        if la >= 0:
+            for other in others.get(la, ()):
+                if other == lb:        # both endpoints move: distance is
+                    continue           # symmetric, the term is unchanged
+                po = l2p[other]
+                delta += dist_b[po] - dist_a[po]
+        if lb >= 0:
+            for other in others.get(lb, ()):
+                if other == la:
+                    continue
+                po = l2p[other]
+                delta += dist_a[po] - dist_b[po]
+        return self.total + delta
+
+    def commit(self, edge: tuple[int, int]) -> None:
+        """Fold a committed SWAP into the running total (pre-swap map)."""
+        self.total = self.candidate_cost(edge)
+
+    def discard(self, op: TwoQubitOperator, pu: int, pv: int) -> None:
+        """Drop a now-routed operator (at physicals ``pu``/``pv``)."""
+        u, v = op.qubits
+        self._others[u].remove(v)      # entries are plain endpoints, so
+        self._others[v].remove(u)      # any equal occurrence is the op's
+        self.total -= self.rows[pu][pv]
+
+
+class _DressIndex:
+    """Pair-keyed FIFO of routed, not-yet-absorbed gates.
+
+    Replaces the linear :func:`_find_dressable` scan over every routed
+    gate: gates are appended in routing order, so the head of a pair's
+    queue is exactly the first list-order match the scan would return.
+    """
+
+    def __init__(self, mirror: _MapMirror) -> None:
+        self._mirror = mirror
+        self._by_pair: dict[tuple[int, int], deque[RoutedGate]] = {}
+
+    def add(self, gate: RoutedGate) -> None:
+        self._by_pair.setdefault(gate.operator.pair, deque()).append(gate)
+
+    def peek(self, edge: tuple[int, int]) -> RoutedGate | None:
+        """The gate a SWAP on ``edge`` could absorb in the current map."""
+        p2l = self._mirror.p2l
+        lp = p2l[edge[0]]
+        lq = p2l[edge[1]]
+        if lp < 0 or lq < 0:
+            return None
+        queue = self._by_pair.get((lp, lq) if lp < lq else (lq, lp))
+        return queue[0] if queue else None
+
+    def absorb(self, gate: RoutedGate) -> None:
+        queue = self._by_pair[gate.operator.pair]
+        assert queue[0] is gate
+        queue.popleft()
+
+
+_KNOWN_CRITERIA = ("count", "depth", "dress", "error")
+
+
+def _validate_criteria(criteria: tuple[str, ...], device: Device) -> None:
+    for criterion in criteria:
+        if criterion not in _KNOWN_CRITERIA:
+            raise ValueError(f"unknown criterion {criterion!r}")
+    if "error" in criteria and not device.edge_errors:
+        raise ValueError(
+            f"criteria include 'error' but device {device.name!r} carries "
+            f"no edge-error data: Device.edge_error would score every edge "
+            f"0.0 and the criterion would silently be a no-op.  Attach "
+            f"edge_errors (e.g. repro.noise.device_noise."
+            f"with_random_edge_errors) or drop the criterion."
+        )
+
+
+def _resolve_engine(engine: str, device: Device) -> bool:
+    """True when the incremental engine should run."""
+    if engine == "auto":
+        # Weighted (non-integer) distances: a delta-updated float total
+        # can differ from the scalar rescan by an ulp, enough to flip a
+        # tie-break -- keep the reference engine's exact trajectories.
+        return device.integer_distances
+    if engine == "incremental":
+        return True
+    if engine == "reference":
+        return False
+    raise ValueError(f"unknown routing engine {engine!r}; "
+                     f"expected 'auto', 'incremental' or 'reference'")
+
+
 def route(step: TrotterStep, device: Device, initial: np.ndarray,
           seed: int = 0, *, dress: bool = True,
           criteria: tuple[str, ...] = ("count", "depth", "dress"),
-          ) -> RoutedProblem:
+          engine: str = "auto") -> RoutedProblem:
     """Permutation-aware routing (Algorithm 1).
 
     Parameters
@@ -148,38 +390,74 @@ def route(step: TrotterStep, device: Device, initial: np.ndarray,
         Enable SWAP unitary unifying (disable for the ablation study).
     criteria:
         Priority order of the SWAP-selection criteria; the paper's
-        configuration is ``("count", "depth", "dress")``.
+        configuration is ``("count", "depth", "dress")``.  ``"error"``
+        requires the device to carry ``edge_errors`` (it is a silent
+        no-op otherwise, so that configuration is rejected).
+    engine:
+        ``"auto"`` (default) scores candidates incrementally on devices
+        with integer hop-count distances and falls back to the scalar
+        rescan on weighted devices; ``"incremental"`` / ``"reference"``
+        force one path (the perf smoke and the property tests pin the
+        two bit-identical).
     """
+    _validate_criteria(criteria, device)
+    incremental = _resolve_engine(engine, device)
     rng = np.random.default_rng(seed)
-    qmap = QubitMap.from_assignment(initial)
-    maps = [qmap.copy()]
+    qmap = QubitMap.from_assignment(initial, n_physical=device.n_qubits)
+    maps = [qmap]
     gates: list[RoutedGate] = []
     swaps: list[RoutedSwap] = []
 
     unrouted = list(step.two_qubit_ops)
+    # Logical pairs of the unrouted operators, kept parallel to
+    # ``unrouted`` so NN absorption and target selection are one
+    # fancy-indexed numpy read per sweep instead of per-operator Python.
+    pairs = np.array([op.pair for op in unrouted],
+                     dtype=np.intp).reshape(-1, 2)
+    adjacency = device.adjacency_matrix
+    distmat = device.distance
     # Track per-physical-qubit load for the depth criterion: number of
     # operations already routed onto that qubit (a cheap proxy for the
     # earliest cycle at which a new gate on it could start).
-    busy = np.zeros(device.n_qubits)
+    busy = [0.0] * device.n_qubits
+
+    cost_index: _CostIndex | None = None
+    mirror = _MapMirror(qmap) if incremental else None
+    dress_index = _DressIndex(mirror) if incremental else None
+    # Reference engine: ids of absorbed operators (skipped by the list
+    # scan).  Incremental engine: ids of absorbed *gates*, filtered out
+    # of ``gates`` once at the end instead of O(n) list removals.
+    dressed_ops: set[int] = set()
+    absorbed_gate_ids: set[int] = set()
 
     def absorb_nn(map_index: int) -> None:
-        still: list[TwoQubitOperator] = []
-        for op in unrouted:
-            u, v = op.pair
-            pu, pv = qmap.physical(u), qmap.physical(v)
-            if device.are_neighbors(pu, pv):
-                gates.append(RoutedGate(op, map_index, (pu, pv)))
-                start = max(busy[pu], busy[pv]) + 1
-                busy[pu] = busy[pv] = start
-            else:
-                still.append(op)
-        unrouted[:] = still
+        nonlocal unrouted, pairs
+        if not unrouted:
+            return
+        l2p = qmap._l2p
+        pu = l2p[pairs[:, 0]]
+        pv = l2p[pairs[:, 1]]
+        nn = adjacency[pu, pv]
+        if not nn.any():
+            return
+        for idx in np.flatnonzero(nn):
+            op = unrouted[idx]
+            a, b = int(pu[idx]), int(pv[idx])
+            gate = RoutedGate(op, map_index, (a, b))
+            gates.append(gate)
+            if dress_index is not None:
+                dress_index.add(gate)
+            if cost_index is not None:
+                cost_index.discard(op, a, b)
+            start = max(busy[a], busy[b]) + 1
+            busy[a] = busy[b] = start
+        keep = ~nn
+        unrouted = [op for op, kept in zip(unrouted, keep) if kept]
+        pairs = pairs[keep]
 
     absorb_nn(0)
-
-    # Operators whose logical pair may still absorb a SWAP (dressing):
-    # every routed gate is a candidate until used.
-    dressed_ops: set[int] = set()       # ids of absorbed operators
+    if incremental:
+        cost_index = _CostIndex(device, qmap, unrouted, mirror)
 
     max_swaps = 20 * (device.diameter + 1) * max(1, len(unrouted) + 1)
     stall = 0
@@ -188,8 +466,15 @@ def route(step: TrotterStep, device: Device, initial: np.ndarray,
         if len(swaps) > max_swaps:
             raise RuntimeError("router failed to converge (cycling?)")
         before = len(unrouted)
-        target = min(unrouted, key=lambda op: (_distance(device, qmap, op),
-                                               op.pair))
+        # Smallest current hardware distance, ties by logical pair --
+        # the same (distance, pair) minimum the old per-operator
+        # ``min(unrouted, key=...)`` scan produced.
+        l2p = qmap._l2p
+        dists = distmat[l2p[pairs[:, 0]], l2p[pairs[:, 1]]]
+        ties = np.flatnonzero(dists == dists.min())
+        if len(ties) > 1:
+            ties = ties[np.lexsort((pairs[ties, 1], pairs[ties, 0]))]
+        target = unrouted[int(ties[0])]
         if stall > stall_limit:
             # The heuristic is thrashing on cost-flat moves; escape by
             # walking the target's endpoints together along a shortest
@@ -200,23 +485,37 @@ def route(step: TrotterStep, device: Device, initial: np.ndarray,
             best = _select_swap(
                 candidates, device, qmap, target, unrouted, busy, gates,
                 dressed_ops, criteria, rng, dress,
+                cost_index=cost_index, dress_index=dress_index,
             )
         map_index = len(maps) - 1
         swap = RoutedSwap(best, map_index)
+        if cost_index is not None:
+            cost_index.commit(best)
         if dress:
-            absorbed = _find_dressable(best, qmap, gates, dressed_ops)
-            if absorbed is not None:
-                swap.dressed_with = absorbed.operator
-                dressed_ops.add(id(absorbed.operator))
-                gates.remove(absorbed)
+            if dress_index is not None:
+                absorbed = dress_index.peek(best)
+                if absorbed is not None:
+                    swap.dressed_with = absorbed.operator
+                    dress_index.absorb(absorbed)
+                    absorbed_gate_ids.add(id(absorbed))
+            else:
+                absorbed = _find_dressable(best, qmap, gates, dressed_ops)
+                if absorbed is not None:
+                    swap.dressed_with = absorbed.operator
+                    dressed_ops.add(id(absorbed.operator))
+                    gates.remove(absorbed)
         swaps.append(swap)
         start = max(busy[best[0]], busy[best[1]]) + 1
         busy[best[0]] = busy[best[1]] = start
         qmap = qmap.after_swap(best)
-        maps.append(qmap.copy())
+        if mirror is not None:
+            mirror.apply_swap(best)
+        maps.append(qmap)
         absorb_nn(len(maps) - 1)
         stall = stall + 1 if len(unrouted) == before else 0
 
+    if absorbed_gate_ids:
+        gates = [g for g in gates if id(g) not in absorbed_gate_ids]
     return RoutedProblem(device, maps, gates, swaps, step)
 
 
@@ -249,25 +548,35 @@ def _candidate_swaps(device: Device, qmap: QubitMap,
 
 
 def _select_swap(candidates, device, qmap, target, unrouted, busy, gates,
-                 dressed_ops, criteria, rng, dress_enabled):
+                 dressed_ops, criteria, rng, dress_enabled, *,
+                 cost_index=None, dress_index=None):
     """Prioritised lexicographic scoring of candidate SWAPs.
 
     After the configured criteria, the new distance of the target gate is
     used as a progress bias (prevents plateau cycling), then remaining
-    ties break randomly as in the paper.
+    ties break randomly as in the paper.  With ``cost_index`` /
+    ``dress_index`` the "count" and "dress" criteria are answered from
+    the incremental indices; otherwise each candidate materialises a
+    trial map and rescans (the retained reference path).
     """
     scored = []
     for edge in candidates:
-        trial_map = qmap.after_swap(edge)
+        trial_map = qmap.after_swap(edge) if cost_index is None else None
         scores = []
         for criterion in criteria:
             if criterion == "count":
-                scores.append(_remaining_cost(device, trial_map, unrouted))
+                if cost_index is not None:
+                    scores.append(cost_index.candidate_cost(edge))
+                else:
+                    scores.append(_remaining_cost(device, trial_map, unrouted))
             elif criterion == "depth":
                 scores.append(float(max(busy[edge[0]], busy[edge[1]])))
             elif criterion == "dress":
                 if not dress_enabled:
                     scores.append(0.0)
+                elif dress_index is not None:
+                    dressable = dress_index.peek(edge)
+                    scores.append(0.0 if dressable is not None else 1.0)
                 else:
                     dressable = _find_dressable(edge, qmap, gates, dressed_ops)
                     scores.append(0.0 if dressable is not None else 1.0)
@@ -277,7 +586,25 @@ def _select_swap(candidates, device, qmap, target, unrouted, busy, gates,
                 scores.append(device.edge_error(*edge))
             else:
                 raise ValueError(f"unknown criterion {criterion!r}")
-        scores.append(_distance(device, trial_map, target))
+        if trial_map is not None:
+            scores.append(_distance(device, trial_map, target))
+        else:
+            # the target's distance after the candidate swap, read off
+            # the mirror: same matrix entry _distance would read on the
+            # trial map, no arithmetic, so exact on any device
+            l2p = cost_index.mirror.l2p
+            u, v = target.qubits
+            pu, pv = l2p[u], l2p[v]
+            a, b = edge
+            if pu == a:
+                pu = b
+            elif pu == b:
+                pu = a
+            if pv == a:
+                pv = b
+            elif pv == b:
+                pv = a
+            scores.append(cost_index.rows[pu][pv])
         scored.append((tuple(scores), edge))
     best_score = min(s for s, _ in scored)
     ties = [edge for s, edge in scored if s == best_score]
@@ -290,9 +617,13 @@ def _find_dressable(edge: tuple[int, int], qmap: QubitMap,
                     gates: list[RoutedGate], dressed_ops: set[int],
                     ) -> RoutedGate | None:
     """A routed, not-yet-absorbed operator whose logical pair currently
-    sits exactly on this physical edge."""
-    inverse = qmap.inverse()
-    lp, lq = inverse.get(edge[0]), inverse.get(edge[1])
+    sits exactly on this physical edge.
+
+    Retained linear-scan reference for :class:`_DressIndex` (the
+    reference engine runs on it; the property tests pin the engines'
+    routed problems identical).
+    """
+    lp, lq = qmap.logical(edge[0]), qmap.logical(edge[1])
     if lp is None or lq is None:
         return None
     pair = (min(lp, lq), max(lp, lq))

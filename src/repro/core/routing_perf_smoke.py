@@ -1,0 +1,104 @@
+"""Routing perf smoke: incremental engine vs the scalar-rescan reference.
+
+Run as ``python -m repro.core.routing_perf_smoke``.  Builds a fixed
+n = 34 Heisenberg instance on sycamore with a seeded random placement
+(deliberately bad, so the router has real work), routes it with both
+candidate-scoring engines -- the incremental per-logical delta indices
+against the retained O(|unrouted|)-per-candidate scalar rescan -- and
+asserts the incremental engine is at least ``MIN_RATIO`` times faster.
+The check is *relative* (both sides run in the same process on the same
+machine), so it is robust to slow CI runners; it also re-asserts the
+two routed problems are identical swap-for-swap, because a fast wrong
+router is worse than a slow right one.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+MIN_RATIO = 3.0
+N_QUBITS = 34
+ROUNDS = 5
+
+
+def build_instance():
+    """The fixed smoke instance: unified n=34 Heisenberg on sycamore,
+    with a seeded random initial placement."""
+    from repro.core.unify import unify_circuit_operators
+    from repro.devices import sycamore
+    from repro.hamiltonians.models import nnn_heisenberg
+    from repro.hamiltonians.trotter import trotter_step
+
+    step = unify_circuit_operators(
+        trotter_step(nnn_heisenberg(N_QUBITS, seed=0)))
+    device = sycamore()
+    rng = np.random.default_rng(0)
+    initial = np.array(rng.permutation(device.n_qubits)[:N_QUBITS])
+    return step, device, initial
+
+
+def routed_equal(a, b) -> bool:
+    """Bit-for-bit equality of two :class:`RoutedProblem` trajectories:
+    same SWAPs (edges, map indices, dressed operators), same routed
+    gates (operators, map indices, physical pairs), same map sequence."""
+    if len(a.swaps) != len(b.swaps) or len(a.gates) != len(b.gates) \
+            or len(a.maps) != len(b.maps):
+        return False
+    for sa, sb in zip(a.swaps, b.swaps):
+        da = sa.dressed_with.label if sa.is_dressed else None
+        db = sb.dressed_with.label if sb.is_dressed else None
+        if (sa.physical_pair, sa.map_index, da) != \
+                (sb.physical_pair, sb.map_index, db):
+            return False
+    for ga, gb in zip(a.gates, b.gates):
+        if (ga.operator.label, ga.map_index, tuple(ga.physical_pair)) != \
+                (gb.operator.label, gb.map_index, tuple(gb.physical_pair)):
+            return False
+    return all(ma.logical_to_physical == mb.logical_to_physical
+               for ma, mb in zip(a.maps, b.maps))
+
+
+def measure(rounds: int = ROUNDS) -> tuple[float, float, bool]:
+    """(incremental seconds, reference seconds, routed identical) for one
+    full routing run, best of ``rounds``."""
+    from repro.core.routing import route
+
+    step, device, initial = build_instance()
+
+    def run(engine: str):
+        return route(step, device, initial, seed=0, engine=engine)
+
+    incremental_s = min(_timed(run, "incremental") for _ in range(rounds))
+    reference_s = min(_timed(run, "reference") for _ in range(rounds))
+    identical = routed_equal(run("incremental"), run("reference"))
+    return incremental_s, reference_s, identical
+
+
+def _timed(fn, *args) -> float:
+    start = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - start
+
+
+def main() -> int:
+    incremental_s, reference_s, identical = measure()
+    ratio = reference_s / incremental_s if incremental_s > 0 else float("inf")
+    print(f"routing perf smoke (n={N_QUBITS}): "
+          f"incremental {incremental_s * 1e3:.2f}ms, "
+          f"scalar reference {reference_s * 1e3:.2f}ms, "
+          f"ratio {ratio:.1f}x (need >= {MIN_RATIO}x), "
+          f"identical: {identical}")
+    if not identical:
+        print("FAIL: incremental routing differs from the scalar reference")
+        return 1
+    if ratio < MIN_RATIO:
+        print(f"FAIL: incremental engine only {ratio:.1f}x faster")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -65,40 +65,37 @@ class ScheduledCircuit:
         unitaries; dressed SWAPs carry ``SWAP @ U``; bare SWAPs are SWAP
         gates.  Single-qubit exponentials are appended at the end, on
         the *final* physical position of their logical qubit.
+
+        The qubit map each item executes under is threaded through the
+        single forward walk (a dressed item orients by the map *before*
+        its own SWAP applies), so emitting the circuit is O(items)
+        instead of replaying every earlier SWAP per item.
         """
         circuit = Circuit(self.n_physical)
+        current = self.initial_map
         for item in sorted(self.items, key=lambda i: (i.cycle, i.physical_pair)):
             p, q = item.physical_pair
             if item.kind == "op":
                 matrix = _oriented(item.operator.unitary, item.operator, p, q,
-                                   self._map_before(item))
+                                   current)
                 circuit.append(Gate("APP2Q", (p, q), matrix=matrix,
                                     meta={"label": item.operator.label}))
             elif item.kind == "dressed":
                 inner = item.swap.dressed_with
-                matrix = _oriented(inner.unitary, inner, p, q,
-                                   self._map_before(item))
+                matrix = _oriented(inner.unitary, inner, p, q, current)
                 circuit.append(Gate("DRESSED_SWAP", (p, q),
                                     matrix=_SWAP_MATRIX @ matrix,
                                     meta={"label": f"swap*{inner.label}"}))
+                current = current.after_swap(item.physical_pair)
             else:
                 circuit.append(Gate("SWAP", (p, q)))
+                current = current.after_swap(item.physical_pair)
         final = self.final_map
         for op in self.one_qubit_ops:
             circuit.append(Gate("APP1Q", (final.physical(op.qubit),),
                                 matrix=op.unitary,
                                 meta={"label": op.label}))
         return circuit
-
-    def _map_before(self, item: ScheduledItem) -> QubitMap:
-        """Qubit map in effect when ``item`` executes."""
-        current = self.initial_map
-        for other in sorted(self.items, key=lambda i: (i.cycle, i.physical_pair)):
-            if other is item:
-                return current
-            if other.kind in ("swap", "dressed"):
-                current = current.after_swap(other.physical_pair)
-        return current
 
 
 def _oriented(matrix: np.ndarray, operator: TwoQubitOperator, p: int, q: int,
@@ -138,6 +135,16 @@ def schedule_alap(routed: RoutedProblem, seed: int = 0,
     current = routed.final_map
     cycle = 0
     guard = 0
+    # Number of unscheduled gates assigned to maps *later* than the next
+    # SWAP to emit (``pending_swaps[-1]``): the swap may only execute
+    # once this hits zero.  Maintained incrementally -- decremented when
+    # such a gate is scheduled, re-derived over the skipped index range
+    # when a swap pops -- instead of re-summing ``gates_by_map`` per
+    # check.  ``pending_swaps`` indices are ascending and consumed from
+    # the end, so "a later swap remains" is one comparison on the tail.
+    blocking = 0
+    if pending_swaps:
+        blocking = int(gates_by_map[pending_swaps[-1][0] + 1 :].sum())
     while unscheduled_gates or pending_swaps:
         guard += 1
         if guard > 100 * (len(routed.gates) + len(routed.swaps) + 2):
@@ -145,7 +152,8 @@ def schedule_alap(routed: RoutedProblem, seed: int = 0,
         occupied: set[int] = set()
         emitted = False
         # 1. circuit operators NN in the current map with free qubits
-        for gate in list(unscheduled_gates):
+        still: list = []
+        for gate in unscheduled_gates:
             u, v = gate.operator.pair
             pu, pv = current.physical(u), current.physical(v)
             if hybrid:
@@ -153,23 +161,26 @@ def schedule_alap(routed: RoutedProblem, seed: int = 0,
             else:
                 # generic scheduler: only in its assigned map's region of
                 # the reverse pass (i.e. once all later swaps are done)
-                later_swaps = [i for i, _ in pending_swaps
-                               if i >= gate.map_index]
                 feasible = (
-                    device.are_neighbors(pu, pv) and not later_swaps
+                    device.are_neighbors(pu, pv)
+                    and not (pending_swaps
+                             and pending_swaps[-1][0] >= gate.map_index)
                 )
             if not feasible or pu in occupied or pv in occupied:
+                still.append(gate)
                 continue
             pair = (min(pu, pv), max(pu, pv))
             items.append(ScheduledItem("op", pair, cycle, operator=gate.operator))
             occupied.update(pair)
-            unscheduled_gates.remove(gate)
             gates_by_map[gate.map_index] -= 1
+            if pending_swaps and gate.map_index > pending_swaps[-1][0]:
+                blocking -= 1
             emitted = True
+        unscheduled_gates = still
         # 2. SWAPs, in reverse routing order, when nothing later blocks
         while pending_swaps:
             index, swap = pending_swaps[-1]
-            if gates_by_map[index + 1 :].sum() > 0:
+            if blocking > 0:
                 break
             p, q = swap.physical_pair
             if p in occupied or q in occupied:
@@ -182,14 +193,27 @@ def schedule_alap(routed: RoutedProblem, seed: int = 0,
             occupied.update((p, q))
             current = current.after_swap(swap.physical_pair)
             pending_swaps.pop()
+            if pending_swaps:
+                # everything later than ``index`` is scheduled (blocking
+                # was 0); add the maps between the new top and ``index``
+                new_top = pending_swaps[-1][0]
+                blocking = int(gates_by_map[new_top + 1 : index + 1].sum())
             emitted = True
         if not emitted and (unscheduled_gates or pending_swaps):
-            # no progress this cycle: advance time (frees qubits)
-            if not occupied:
-                raise RuntimeError(
-                    "scheduler deadlock: nothing schedulable and no "
-                    "occupied qubits to wait on"
-                )
+            # Nothing emitted means nothing was blocked by this cycle's
+            # occupancy either (``occupied`` only fills when something
+            # emits), so the state cannot change on a later cycle:
+            # waiting would loop forever.  This is a genuine deadlock --
+            # the routed data is inconsistent with the scheduling mode.
+            raise RuntimeError(
+                f"scheduler deadlock at reverse cycle {cycle}: "
+                f"{len(unscheduled_gates)} operator(s) and "
+                f"{len(pending_swaps)} SWAP(s) remain, but no operator is "
+                f"nearest-neighbour{' in its assigned map' if not hybrid else ''} "
+                f"in the current map and the next SWAP is blocked; the "
+                f"schedule state no longer changes between cycles, so "
+                f"advancing time cannot free it (inconsistent routing data?)"
+            )
         cycle += 1
 
     # reverse cycles: ALAP

@@ -28,6 +28,8 @@ class Device:
     edge_weights: dict[tuple[int, int], float] | None = None
     _distance: np.ndarray | None = field(default=None, repr=False)
     _adjacency: list[set[int]] | None = field(default=None, repr=False)
+    _integer_distances: bool | None = field(default=None, repr=False)
+    _adjacency_matrix: np.ndarray | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         seen = set()
@@ -75,6 +77,20 @@ class Device:
         return b in self.adjacency[a]
 
     @property
+    def adjacency_matrix(self) -> np.ndarray:
+        """Boolean coupling matrix: ``A[p, q]`` iff ``p``-``q`` is an edge.
+
+        Lets hot loops (the router's NN-absorption sweep) test whole
+        batches of pairs with one fancy-indexed read.
+        """
+        if self._adjacency_matrix is None:
+            mat = np.zeros((self.n_qubits, self.n_qubits), dtype=bool)
+            for a, b in self.edges:
+                mat[a, b] = mat[b, a] = True
+            self._adjacency_matrix = mat
+        return self._adjacency_matrix
+
+    @property
     def distance(self) -> np.ndarray:
         """All-pairs shortest-path distances (Floyd--Warshall).
 
@@ -98,6 +114,20 @@ class Device:
                 raise ValueError(f"device {self.name} is disconnected")
             self._distance = dist
         return self._distance
+
+    @property
+    def integer_distances(self) -> bool:
+        """True when every pairwise distance is integer-valued.
+
+        Hop-count distances (no ``edge_weights``) always are; the
+        incremental routing engine relies on this to keep float64 delta
+        updates exact (and therefore bit-identical to a full rescan).
+        """
+        if self._integer_distances is None:
+            dist = self.distance
+            self._integer_distances = bool(
+                np.array_equal(dist, np.rint(dist)))
+        return self._integer_distances
 
     @property
     def max_degree(self) -> int:

@@ -15,10 +15,13 @@ from repro.analysis.harness import (
 )
 from repro.analysis.overhead import reduction_table, summarize_reductions
 from repro.analysis.runtime import (
+    RuntimeRecord,
     RuntimeSpec,
     format_runtime_table,
     measure_runtime,
     measure_runtime_spec,
+    runtime_records_from_payload,
+    runtime_records_payload,
 )
 from repro.core.decompose import DecomposeCache
 from repro.devices import aspen, montreal
@@ -135,6 +138,43 @@ class TestRuntime:
         assert record.label == "ising8"
         assert record.n_qubits == 8
         assert record.total_s > 0
+
+    def test_unify_time_counts_toward_total(self):
+        """Regression: total_s used to silently drop the unify pass."""
+        record = RuntimeRecord("r", 4, 3, mapping_s=1.0, routing_s=2.0,
+                               scheduling_s=4.0, decomposition_s=8.0,
+                               unify_s=16.0)
+        assert record.total_s == 31.0
+
+    def test_measured_record_carries_unify(self):
+        step = trotter_step(nnn_ising(8, seed=0))
+        record = measure_runtime("ising8", step, montreal(),
+                                 mapping_trials=1)
+        # the pass always runs for 2QAN, so a real (possibly tiny but
+        # non-negative) measurement must land in the field
+        assert record.unify_s >= 0.0
+        assert "unify" in format_runtime_table([record])
+
+
+class TestRuntimePayload:
+    RECORD = RuntimeRecord("heis-10", 10, 51, mapping_s=0.02,
+                           routing_s=0.004, scheduling_s=0.001,
+                           decomposition_s=0.007, unify_s=0.003)
+
+    def test_payload_round_trip(self):
+        payload = runtime_records_payload([self.RECORD])
+        assert payload[0]["unify_s"] == 0.003
+        assert payload[0]["total_s"] == round(self.RECORD.total_s, 3)
+        (rebuilt,) = runtime_records_from_payload(payload)
+        assert rebuilt == self.RECORD
+
+    def test_reader_tolerates_rows_without_unify(self):
+        """Rows persisted before the unify_s column existed still load."""
+        payload = runtime_records_payload([self.RECORD])
+        old_row = {k: v for k, v in payload[0].items() if k != "unify_s"}
+        (rebuilt,) = runtime_records_from_payload([old_row])
+        assert rebuilt.unify_s == 0.0
+        assert rebuilt.mapping_s == 0.02
 
 
 class TestFormatting:

@@ -40,6 +40,28 @@ class TestQubitMap:
         assert m.after_swap((0, 3)).after_swap((0, 3)).logical_to_physical \
             == m.logical_to_physical
 
+    def test_unmapped_logical_raises(self):
+        m = QubitMap({0: 2, 1: 0})
+        with pytest.raises(KeyError):
+            m.physical(5)
+
+    def test_from_assignment_with_spare_physicals(self):
+        m = QubitMap.from_assignment(np.array([1, 0]), n_physical=4)
+        assert m.logical(3) is None
+        swapped = m.after_swap((1, 3))          # move into a spare slot
+        assert swapped.physical(0) == 3
+        assert swapped.logical(1) is None
+
+    def test_equality_and_repr(self):
+        a = QubitMap({0: 1, 1: 0})
+        b = QubitMap.from_assignment(np.array([1, 0]), n_physical=5)
+        assert a == b                            # p2l padding is not content
+        assert "QubitMap" in repr(a)
+
+    def test_inverse(self):
+        m = QubitMap.from_assignment(np.array([2, 0, 1]))
+        assert m.inverse() == {2: 0, 0: 1, 1: 2}
+
 
 class TestRouting:
     def test_all_to_all_needs_no_swaps(self):
@@ -95,6 +117,33 @@ class TestRouting:
         assert a.n_swaps == b.n_swaps
         assert [s.physical_pair for s in a.swaps] == \
             [s.physical_pair for s in b.swaps]
+
+    def test_physical_pairs_are_plain_ints(self):
+        """Routing artifacts must not leak numpy integer scalars."""
+        step = unified(nnn_ising(8, seed=0))
+        routed = route(step, line(8), np.arange(8))
+        for gate in routed.gates:
+            assert all(type(q) is int for q in gate.physical_pair)
+        for swap in routed.swaps:
+            assert all(type(q) is int for q in swap.physical_pair)
+
+    def test_weighted_device_uses_reference_engine(self):
+        """Non-integer (noise-weighted) distances must route exactly as
+        the scalar reference: the auto engine falls back to it."""
+        from repro.core.routing_perf_smoke import routed_equal
+        from repro.noise.device_noise import (
+            with_noise_weighted_distance,
+            with_random_edge_errors,
+        )
+
+        device = with_noise_weighted_distance(
+            with_random_edge_errors(montreal(), seed=3))
+        assert not device.integer_distances
+        step = unified(nnn_heisenberg(8, seed=0))
+        auto = route(step, device, np.arange(8), seed=2)
+        reference = route(step, device, np.arange(8), seed=2,
+                          engine="reference")
+        assert routed_equal(auto, reference)
 
 
 class TestDressing:

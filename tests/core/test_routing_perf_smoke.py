@@ -1,0 +1,25 @@
+"""The CI routing perf smoke stays runnable and honest.
+
+The strict >= 3x timing assertion lives in the dedicated CI job
+(`python -m repro.core.routing_perf_smoke`); here we only pin what must
+never flake: the smoke runs, the two engines agree swap-for-swap, and
+both timings are real measurements.
+"""
+
+from repro.core import routing_perf_smoke
+
+
+def test_measure_engines_agree_bit_for_bit():
+    incremental_s, reference_s, identical = routing_perf_smoke.measure(rounds=1)
+    assert identical
+    assert incremental_s > 0
+    assert reference_s > 0
+
+
+def test_main_runs_end_to_end(capsys, monkeypatch):
+    """main() exercised with the timing bar lowered to zero: the strict
+    >= 3x assertion belongs to the dedicated CI job, not to tier-1,
+    where a contended runner could flake it."""
+    monkeypatch.setattr(routing_perf_smoke, "MIN_RATIO", 0.0)
+    assert routing_perf_smoke.main() == 0
+    assert "ratio" in capsys.readouterr().out

@@ -73,6 +73,57 @@ class TestAlapBasics:
             scheduled.final_map.logical_to_physical
 
 
+class TestDeadlockDetection:
+    """The no-progress branch raises an honest deadlock immediately.
+
+    ``occupied`` only fills when something is emitted, so a cycle that
+    emits nothing cannot be waiting on busy qubits -- the old "advance
+    time (frees qubits)" branch was unreachable and the scheduler must
+    (and now does, with a precise message) fail fast instead of looping.
+    """
+
+    def _stalling_routed(self):
+        """Routed data whose only gate is never NN in its own map: the
+        generic (hybrid=False) scheduler stalls after undoing the SWAP."""
+        import numpy as np
+
+        from repro.core.routing import RoutedGate, RoutedProblem, RoutedSwap
+        from repro.core.routing import QubitMap
+        from repro.hamiltonians.trotter import TrotterStep, TwoQubitOperator
+
+        device = line(3)
+        op = TwoQubitOperator((0, 2), np.eye(4), label="stall")
+        step = TrotterStep(3, [op], [])
+        initial = QubitMap.from_assignment(np.arange(3))
+        # the gate claims map 0, where logicals (0, 2) sit at distance 2
+        gate = RoutedGate(op, map_index=0, physical_pair=(0, 2))
+        swap = RoutedSwap((0, 1), map_index=0)
+        maps = [initial, initial.after_swap((0, 1))]
+        return RoutedProblem(device, maps, [gate], [swap], step)
+
+    def test_generic_stall_raises_precise_deadlock(self):
+        import pytest
+
+        routed = self._stalling_routed()
+        with pytest.raises(RuntimeError, match="deadlock"):
+            schedule_alap(routed, hybrid=False)
+
+    def test_deadlock_message_names_remaining_work(self):
+        import pytest
+
+        routed = self._stalling_routed()
+        with pytest.raises(RuntimeError,
+                           match=r"1 operator\(s\) and 0 SWAP\(s\)"):
+            schedule_alap(routed, hybrid=False)
+
+    def test_hybrid_schedules_the_same_data(self):
+        """The stall is a hybrid=False artifact: the permutation-aware
+        scheduler executes the gate in the map where it *is* NN."""
+        routed = self._stalling_routed()
+        scheduled = schedule_alap(routed, hybrid=True)
+        assert sum(1 for i in scheduled.items if i.kind == "op") == 1
+
+
 class TestHybridVsGeneric:
     def test_hybrid_no_deeper_than_generic(self):
         routed, _ = routed_problem(10, seed=1)

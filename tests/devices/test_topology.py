@@ -78,3 +78,30 @@ class TestDistances:
     def test_str(self):
         text = str(path3())
         assert "3 qubits" in text and "2 edges" in text
+
+
+class TestIntegerDistances:
+    def test_hop_count_devices_are_integer(self):
+        assert path3().integer_distances
+
+    def test_weighted_devices_are_not(self):
+        d = Device("w", 3, ((0, 1), (1, 2)),
+                   edge_weights={(0, 1): 1.5, (1, 2): 1.0})
+        assert not d.integer_distances
+
+    def test_cached(self):
+        d = path3()
+        assert d.integer_distances is d.integer_distances
+
+
+class TestAdjacencyMatrix:
+    def test_matches_are_neighbors(self):
+        d = path3()
+        mat = d.adjacency_matrix
+        for a in range(3):
+            for b in range(3):
+                assert mat[a, b] == d.are_neighbors(a, b)
+
+    def test_cached(self):
+        d = path3()
+        assert d.adjacency_matrix is d.adjacency_matrix
