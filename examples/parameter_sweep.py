@@ -1,0 +1,70 @@
+"""Parameter sweep: compile a QAOA structure once, bind many angle sets.
+
+A variational optimizer changes only the angles between iterations --
+the interaction graph, the qubit mapping, the SWAP schedule all stay
+fixed.  This example compiles the *structure* of a weighted MaxCut
+QAOA layer once and then binds a grid of (gamma, beta) settings at a
+tiny fraction of the cost of recompiling, with every bound circuit
+bit-identical to a from-scratch compile of the same angles.
+
+Run with ``python examples/parameter_sweep.py``.
+"""
+
+import time
+
+from repro.core.bind import compile_structural
+from repro.core.registry import get_compiler
+from repro.devices import montreal
+from repro.hamiltonians.randomized import weighted_maxcut_problem
+from repro.quantum.params import Param
+
+
+def main() -> None:
+    # A weighted MaxCut instance (random 3-regular graph, dyadic edge
+    # weights) with symbolic angles: the step's circuit has gamma/beta
+    # placeholders instead of numbers.
+    problem = weighted_maxcut_problem(
+        12, kind="regular", seed=0,
+        gammas=(Param("gamma"),), betas=(Param("beta"),),
+    )
+    step = problem.layer_step(0)
+    print(f"problem: {problem.label}")
+    print(f"unbound parameters: {sorted(step.parameters())}")
+
+    # Compile the structure once: unify -> mapping -> routing ->
+    # scheduling run here; binding + decomposition are retained as a
+    # replayable suffix.
+    compiler = get_compiler("2qan", device=montreal(), gateset="CNOT",
+                            seed=0)
+    start = time.perf_counter()
+    structural = compile_structural(compiler, step)
+    structural_ms = (time.perf_counter() - start) * 1000
+    print(f"structural compile ({'+'.join(structural.prefix_names)}): "
+          f"{structural_ms:.0f}ms")
+
+    # Bind a small optimizer-style angle grid through the suffix.
+    print("\n gamma   beta   2q-gates  2q-depth  bind-ms")
+    for i in range(6):
+        gamma, beta = 0.1 + 0.15 * i, -0.5 + 0.12 * i
+        start = time.perf_counter()
+        result = structural.bind({"gamma": gamma, "beta": beta})
+        bind_ms = (time.perf_counter() - start) * 1000
+        m = result.metrics
+        print(f"  {gamma:4.2f}  {beta:5.2f}   {m.n_two_qubit_gates:7d} "
+              f"{m.two_qubit_depth:9d}  {bind_ms:6.1f}")
+
+    # The guarantee behind the speed: binding after the structural
+    # compile equals compiling the concrete circuit, bit for bit.
+    binding = {"gamma": 0.4, "beta": 1.1}
+    warm = structural.bind(binding)
+    cold = compiler.compile(step.bind(binding))
+    identical = all(
+        ga.unitary().tobytes() == gb.unitary().tobytes()
+        for ga, gb in zip(warm.circuit.gates, cold.circuit.gates)
+    )
+    print(f"\nbind({binding}) bit-identical to cold compile: "
+          f"{identical and warm.metrics == cold.metrics}")
+
+
+if __name__ == "__main__":
+    main()

@@ -25,6 +25,7 @@ import sys
 from repro.analysis.harness import (
     SweepConfig,
     build_step,
+    build_symbolic_step,
     format_cache_stats,
     format_pass_timings,
     format_rows,
@@ -37,7 +38,8 @@ from repro.core.registry import (
 )
 from repro.devices.library import all_to_all, by_name
 
-BENCHMARKS = ["NNN_Heisenberg", "NNN_XY", "NNN_Ising", "QAOA-REG-3"]
+BENCHMARKS = ["NNN_Heisenberg", "NNN_XY", "NNN_Ising", "QAOA-REG-3",
+              "QAOA-WR-3", "QAOA-ER"]
 DEVICES = ["montreal", "sycamore", "aspen", "manhattan", "all-to-all"]
 GATESETS = ["CNOT", "CZ", "SYC", "ISWAP"]
 SWEEP_COMPILERS = list(compiler_names())
@@ -54,11 +56,13 @@ def make_parser() -> argparse.ArgumentParser:
         description="2QAN reproduction: compile 2-local Hamiltonian "
                     "simulation benchmarks onto NISQ devices",
         epilog="subcommands: 'repro compile ...' compiles one benchmark "
-               "with any registered compiler; 'repro sweep ...' runs a "
-               "parallel, resumable (sizes x instances x compilers) "
-               "sweep; 'repro batch ...' serves a JSON file of compile "
-               "requests through the content-addressed cache; see "
-               "'repro compile --help' / 'repro sweep --help' / "
+               "with any registered compiler; 'repro bind ...' compiles "
+               "a benchmark's structure once and binds angle sets at "
+               "request speed; 'repro sweep ...' runs a parallel, "
+               "resumable (sizes x instances x compilers) sweep; 'repro "
+               "batch ...' serves a JSON file of compile requests "
+               "through the content-addressed cache; see 'repro compile "
+               "--help' / 'repro bind --help' / 'repro sweep --help' / "
                "'repro batch --help'",
     )
     parser.add_argument("--benchmark", default="NNN_Heisenberg",
@@ -85,6 +89,27 @@ def make_parser() -> argparse.ArgumentParser:
 
 def _csv(text: str) -> list[str]:
     return [item for item in (p.strip() for p in text.split(",")) if item]
+
+
+def _parse_binding(text: str) -> dict[str, float]:
+    """Parse ``gamma=0.4,beta=1.1`` into an angle binding."""
+    binding: dict[str, float] = {}
+    for part in _csv(text):
+        name, sep, value = part.partition("=")
+        name = name.strip()
+        if not sep or not name:
+            raise ValueError(
+                f"bad binding {part!r}; expected name=value"
+            )
+        try:
+            binding[name] = float(value)
+        except ValueError:
+            raise ValueError(
+                f"bad binding value in {part!r}; expected a number"
+            ) from None
+    if not binding:
+        raise ValueError("empty binding; expected name=value[,name=value]")
+    return binding
 
 
 def _resolve_device(name: str, max_qubits: int):
@@ -123,6 +148,11 @@ def make_compile_parser() -> argparse.ArgumentParser:
     parser.add_argument("--gateset", default="CNOT", choices=GATESETS,
                         help="hardware two-qubit basis")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--bind", default=None, metavar="NAME=VAL[,...]",
+                        help="compile the benchmark's symbolic form and "
+                             "bind these angles (e.g. gamma=0.4,beta=1.1); "
+                             "bit-identical to compiling the concrete "
+                             "circuit")
     parser.add_argument("--json", action="store_true",
                         help="emit metrics/timings as JSON")
     parser.add_argument("--list-compilers", action="store_true",
@@ -154,13 +184,23 @@ def compile_main(argv: list[str]) -> int:
         # rejecting problems larger than the named device.
         device = all_to_all(args.qubits)
     gateset = args.gateset if spec.uses_gateset else None
-    step = build_step(args.benchmark, args.qubits, args.seed)
+    binding = None
+    if args.bind is not None:
+        try:
+            binding = _parse_binding(args.bind)
+        except ValueError as exc:
+            print(f"error: bad --bind: {exc}", file=sys.stderr)
+            return 1
+        step = build_symbolic_step(args.benchmark, args.qubits, args.seed)
+    else:
+        step = build_step(args.benchmark, args.qubits, args.seed)
     compiler = get_compiler(args.compiler, device=device,
                             gateset=args.gateset, seed=args.seed)
     try:
-        result = compiler.compile(step)
+        result = compiler.compile(step, binding=binding)
     except ValueError as exc:
-        # e.g. ic_qaoa on a benchmark without mutually commuting layers
+        # e.g. ic_qaoa on a benchmark without mutually commuting layers,
+        # or a --bind that misses a parameter the benchmark carries
         print(f"error: {exc}", file=sys.stderr)
         return 1
     metrics = result.metrics
@@ -172,6 +212,7 @@ def compile_main(argv: list[str]) -> int:
             "device": device.name,
             "gateset": gateset,
             "seed": args.seed,
+            **({"parameters": binding} if binding else {}),
             "n_swaps": metrics.n_swaps,
             "n_dressed": metrics.n_dressed,
             "n_two_qubit_gates": metrics.n_two_qubit_gates,
@@ -186,6 +227,9 @@ def compile_main(argv: list[str]) -> int:
     basis = (f"{gateset} basis" if gateset is not None
              else "idealised CNOT cost model")
     print(f"{args.benchmark} n={args.qubits} on {device.name} ({basis})")
+    if binding:
+        print("  bound: " + ", ".join(f"{name}={value:g}"
+                                      for name, value in binding.items()))
     print(f"  {args.compiler}: swaps={metrics.n_swaps} "
           f"dressed={metrics.n_dressed} "
           f"2q-gates={metrics.n_two_qubit_gates} "
@@ -196,6 +240,122 @@ def compile_main(argv: list[str]) -> int:
     print("  pass timings: " + ", ".join(
         f"{name}={seconds * 1000:.0f}ms"
         for name, seconds in result.timings.items()))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# repro bind
+# ----------------------------------------------------------------------
+def make_bind_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bind",
+        description="Compile a benchmark's structure once, then bind one "
+                    "or more angle sets at request speed; every bound "
+                    "circuit is bit-identical to a from-scratch compile "
+                    "of the concrete benchmark",
+    )
+    parser.add_argument("--compiler", default="2qan",
+                        choices=COMPILER_CHOICES,
+                        help="registry name (or alias) of the compiler")
+    parser.add_argument("--benchmark", default="QAOA-REG-3",
+                        choices=BENCHMARKS, help="benchmark family")
+    parser.add_argument("--qubits", type=int, default=10,
+                        help="problem size")
+    parser.add_argument("--device", default="montreal", choices=DEVICES,
+                        help="target device")
+    parser.add_argument("--gateset", default="CNOT", choices=GATESETS,
+                        help="hardware two-qubit basis")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--bind", action="append", required=True,
+                        metavar="NAME=VAL[,...]",
+                        help="one angle set, e.g. gamma=0.4,beta=1.1; "
+                             "repeat the flag for several sets")
+    parser.add_argument("--json", action="store_true",
+                        help="emit per-binding metrics as JSON")
+    return parser
+
+
+def bind_main(argv: list[str]) -> int:
+    import time
+
+    from repro.core.bind import compile_structural
+
+    args = make_bind_parser().parse_args(argv)
+    try:
+        bindings = [_parse_binding(text) for text in args.bind]
+    except ValueError as exc:
+        print(f"error: bad --bind: {exc}", file=sys.stderr)
+        return 1
+    spec = resolve_spec(args.compiler)
+    if spec.requires_device:
+        device = _resolve_device(args.device, args.qubits)
+        if device is None:
+            return 1
+    else:
+        device = all_to_all(args.qubits)
+    gateset = args.gateset if spec.uses_gateset else None
+    step = build_symbolic_step(args.benchmark, args.qubits, args.seed)
+    compiler = get_compiler(args.compiler, device=device,
+                            gateset=args.gateset, seed=args.seed)
+    start = time.perf_counter()
+    try:
+        structural = compile_structural(compiler, step)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    structural_seconds = time.perf_counter() - start
+
+    payloads = []
+    lines = []
+    for binding in bindings:
+        start = time.perf_counter()
+        try:
+            result = structural.bind(binding)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        seconds = time.perf_counter() - start
+        metrics = result.metrics
+        bound = ", ".join(f"{name}={value:g}"
+                          for name, value in binding.items())
+        lines.append(f"  bind {bound}: swaps={metrics.n_swaps} "
+                     f"dressed={metrics.n_dressed} "
+                     f"2q-gates={metrics.n_two_qubit_gates} "
+                     f"2q-depth={metrics.two_qubit_depth} "
+                     f"depth={metrics.total_depth} "
+                     f"({seconds * 1000:.0f}ms)")
+        payloads.append({
+            "parameters": binding,
+            "n_swaps": metrics.n_swaps,
+            "n_dressed": metrics.n_dressed,
+            "n_two_qubit_gates": metrics.n_two_qubit_gates,
+            "two_qubit_depth": metrics.two_qubit_depth,
+            "total_depth": metrics.total_depth,
+            "qap_cost": (None if math.isnan(result.qap_cost)
+                         else result.qap_cost),
+            "seconds": seconds,
+        })
+    if args.json:
+        print(json.dumps({
+            "compiler": args.compiler,
+            "benchmark": args.benchmark,
+            "n_qubits": args.qubits,
+            "device": device.name,
+            "gateset": gateset,
+            "seed": args.seed,
+            "structural_passes": list(structural.prefix_names),
+            "structural_seconds": structural_seconds,
+            "bindings": payloads,
+        }, indent=2))
+        return 0
+    basis = (f"{gateset} basis" if gateset is not None
+             else "idealised CNOT cost model")
+    print(f"{args.benchmark} n={args.qubits} on {device.name} ({basis})")
+    print(f"  structural: {'+'.join(structural.prefix_names)} "
+          f"({structural_seconds * 1000:.0f}ms, parameters: "
+          f"{', '.join(sorted(structural.parameters)) or 'none'})")
+    for line in lines:
+        print(line)
     return 0
 
 
@@ -339,8 +499,11 @@ def make_batch_parser() -> argparse.ArgumentParser:
                     "processes",
         epilog="the requests file holds a JSON list of objects with any "
                "of: compiler, benchmark, n_qubits, device, gateset, "
-               "seed, qaoa_degree (missing fields take the 'repro "
-               "compile' defaults)",
+               "seed, qaoa_degree, parameters (missing fields take the "
+               "'repro compile' defaults; parameters is an angle object "
+               "such as {\"gamma\": 0.4, \"beta\": 1.1} -- requests "
+               "differing only in angle values share one structural "
+               "compilation)",
     )
     parser.add_argument("--requests", required=True, metavar="FILE",
                         help="JSON file with the request list")
@@ -413,6 +576,8 @@ def main(argv: list[str] | None = None) -> int:
         return compile_main(argv[1:])
     if argv and argv[0] == "batch":
         return batch_main(argv[1:])
+    if argv and argv[0] == "bind":
+        return bind_main(argv[1:])
     args = make_parser().parse_args(argv)
     step = build_step(args.benchmark, args.qubits, args.seed)
     device = _resolve_device(args.device, args.qubits)

@@ -19,6 +19,7 @@ from repro.devices.topology import Device
 from repro.hamiltonians.models import MODEL_BUILDERS
 from repro.hamiltonians.qaoa import random_regular_graph, QAOAProblem
 from repro.hamiltonians.trotter import TrotterStep, trotter_step
+from repro.quantum.params import Param
 
 DEFAULT_COMPILERS = ("2qan", "tket", "qiskit")
 
@@ -65,20 +66,68 @@ class SweepConfig:
     qaoa_degree: int = 3
 
 
+#: Default sweep angles for the QAOA families (see build_step).
+_SWEEP_ANGLES = ((0.35,), (-0.39,))
+
+
+def _benchmark_graph(benchmark: str, n_qubits: int, instance_seed: int,
+                     degree: int):
+    """The random graph behind a QAOA-family benchmark name, or None."""
+    if benchmark.startswith("QAOA-REG"):
+        return random_regular_graph(degree, n_qubits, seed=instance_seed)
+    if benchmark.startswith("QAOA-WR"):
+        from repro.hamiltonians.randomized import weighted_regular_graph
+
+        return weighted_regular_graph(degree, n_qubits, seed=instance_seed)
+    if benchmark == "QAOA-ER":
+        from repro.hamiltonians.randomized import weighted_erdos_renyi_graph
+
+        return weighted_erdos_renyi_graph(n_qubits, seed=instance_seed)
+    return None
+
+
 def build_step(benchmark: str, n_qubits: int, instance_seed: int,
                degree: int = 3) -> TrotterStep:
     """Instantiate one benchmark problem as a Trotter step."""
-    if benchmark.startswith("QAOA-REG"):
-        graph = random_regular_graph(degree, n_qubits, seed=instance_seed)
+    graph = _benchmark_graph(benchmark, n_qubits, instance_seed, degree)
+    if graph is not None:
         # Compilation metrics are angle-independent; fixed angles keep the
         # sweep fast.  (Fidelity experiments pick optimal angles.)
-        problem = QAOAProblem(graph, (0.35,), (-0.39,))
+        problem = QAOAProblem(graph, *_SWEEP_ANGLES)
         return problem.layer_step(0)
     try:
         builder = MODEL_BUILDERS[benchmark]
     except KeyError:
         raise ValueError(f"unknown benchmark {benchmark!r}") from None
     return trotter_step(builder(n_qubits, seed=instance_seed))
+
+
+def build_symbolic_step(benchmark: str, n_qubits: int, instance_seed: int,
+                        degree: int = 3) -> TrotterStep:
+    """The symbolic (structure-only) form of a benchmark problem.
+
+    QAOA families carry ``gamma``/``beta`` placeholders, Hamiltonian
+    models a ``t`` placeholder; binding
+    :func:`default_binding` reproduces :func:`build_step`'s concrete
+    step bit-for-bit (the service and CLI fast paths rely on that).
+    """
+    graph = _benchmark_graph(benchmark, n_qubits, instance_seed, degree)
+    if graph is not None:
+        problem = QAOAProblem(graph, (Param("gamma"),), (Param("beta"),))
+        return problem.layer_step(0)
+    try:
+        builder = MODEL_BUILDERS[benchmark]
+    except KeyError:
+        raise ValueError(f"unknown benchmark {benchmark!r}") from None
+    return trotter_step(builder(n_qubits, seed=instance_seed), t=Param("t"))
+
+
+def default_binding(benchmark: str) -> dict[str, float]:
+    """The angle values :func:`build_step` bakes into a benchmark."""
+    if benchmark.startswith("QAOA"):
+        (gamma,), (beta,) = _SWEEP_ANGLES
+        return {"gamma": gamma, "beta": beta}
+    return {"t": 1.0}
 
 
 def compile_with(name: str, step: TrotterStep, device: Device,

@@ -15,6 +15,7 @@ from typing import ClassVar
 from repro.baselines.base import identity_map
 from repro.core.decompose import DecomposeCache
 from repro.core.pipeline import (
+    BindPass,
     CompilationContext,
     CompilationResult,
     DecomposePass,
@@ -60,6 +61,7 @@ class NoMapCompiler(PipelineCompiler):
         return PassPipeline([
             UnifyPass(enabled=self.unify),
             NoDeviceSchedulePass(),
+            BindPass(),
             DecomposePass(solve=self.solve),
         ])
 

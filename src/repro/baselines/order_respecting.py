@@ -29,9 +29,10 @@ from typing import ClassVar
 
 import numpy as np
 
-from repro.baselines.base import swap_gate
+from repro.baselines.base import app_1q_gate, app_2q_gate, swap_gate
 from repro.core.decompose import DecomposeCache
 from repro.core.pipeline import (
+    BindPass,
     CompilationContext,
     CompilationResult,
     DecomposePass,
@@ -45,10 +46,7 @@ from repro.hamiltonians.trotter import TrotterStep, TwoQubitOperator
 from repro.mapping.placement import line_placement, random_mapping
 from repro.mapping.qap import qap_from_problem
 from repro.quantum.circuit import Circuit
-from repro.quantum.gates import Gate, standard_gate_unitary
 from repro.synthesis.gateset import GateSet
-
-_SWAP = standard_gate_unitary("SWAP")
 
 
 @dataclass
@@ -132,11 +130,7 @@ def _route_order_respecting(step: TrotterStep, device: Device,
                 op = dag.operators[index]
                 u, v = op.pair
                 pu, pv = qmap.physical(u), qmap.physical(v)
-                matrix = op.unitary if pu < pv else (
-                    _SWAP @ op.unitary @ _SWAP
-                )
-                circuit.append(Gate("APP2Q", (min(pu, pv), max(pu, pv)),
-                                    matrix=matrix, meta={"label": op.label}))
+                circuit.append(app_2q_gate(op, pu, pv))
                 dag.executed.add(index)
             last_swap = None
             continue
@@ -176,8 +170,7 @@ def _route_order_respecting(step: TrotterStep, device: Device,
 def _append_one_qubit_ops(circuit: Circuit, step: TrotterStep,
                           final_map: QubitMap) -> Circuit:
     for op in step.one_qubit_ops:
-        circuit.append(Gate("APP1Q", (final_map.physical(op.qubit),),
-                            matrix=op.unitary, meta={"label": op.label}))
+        circuit.append(app_1q_gate(op, final_map.physical(op.qubit)))
     return circuit
 
 
@@ -282,6 +275,7 @@ class TketLikeCompiler(_OrderRespectingCompiler):
             UnifyPass(enabled=self.unify),
             LinePlacementPass(),
             FrontierRoutePass(lookahead=self.lookahead, stochastic=False),
+            BindPass(),
             DecomposePass(solve=self.solve),
         ])
 
@@ -298,6 +292,7 @@ class QiskitLikeCompiler(_OrderRespectingCompiler):
             UnifyPass(enabled=self.unify),
             RandomPlacementPass(trials=self.trials),
             FrontierRoutePass(lookahead=0, stochastic=True),
+            BindPass(),
             DecomposePass(solve=self.solve),
         ])
 

@@ -34,6 +34,7 @@ from typing import ClassVar
 from repro.baselines.base import identity_map
 from repro.core.metrics import CircuitMetrics
 from repro.core.pipeline import (
+    BindPass,
     CompilationContext,
     CompilationResult,
     PassPipeline,
@@ -94,7 +95,9 @@ class PaulihedralLikeCompiler(PipelineCompiler):
     cache: object = None
 
     def build_pipeline(self) -> PassPipeline:
-        return PassPipeline([PaulihedralSchedulePass()])
+        # the cost-model metrics are angle-free, so the bind pass runs
+        # last, materialising the published circuits only
+        return PassPipeline([PaulihedralSchedulePass(), BindPass()])
 
 
 def compile_paulihedral_like(step: TrotterStep, seed: int = 0,

@@ -24,9 +24,10 @@ from typing import ClassVar
 
 import numpy as np
 
-from repro.baselines.base import swap_gate
+from repro.baselines.base import app_1q_gate, app_2q_gate, swap_gate
 from repro.core.decompose import DecomposeCache
 from repro.core.pipeline import (
+    BindPass,
     CompilationContext,
     CompilationResult,
     DecomposePass,
@@ -38,10 +39,9 @@ from repro.core.routing import QubitMap
 from repro.devices.topology import Device
 from repro.hamiltonians.trotter import TrotterStep
 from repro.quantum.circuit import Circuit
-from repro.quantum.gates import Gate, standard_gate_unitary
+from repro.quantum.gates import Gate
+from repro.quantum.params import probe_binding
 from repro.synthesis.gateset import GateSet
-
-_SWAP = standard_gate_unitary("SWAP")
 
 
 def _all_commuting(step: TrotterStep) -> bool:
@@ -52,7 +52,13 @@ def _all_commuting(step: TrotterStep) -> bool:
     simpler and exact: commuting 4x4 blocks on overlapping qubits is not
     sufficient in general, so we check matrix commutators on the joint
     support for overlapping pairs.
+
+    A symbolic step is probed under a generic angle binding: whether two
+    exponential families commute does not depend on generic (non-special)
+    angle values, so the structural guard needs no real binding.
     """
+    if step.is_symbolic:
+        step = step.bind(probe_binding(step.parameters()))
     ops = step.two_qubit_ops
     for i, a in enumerate(ops):
         for b in ops[i + 1 :]:
@@ -187,11 +193,7 @@ class InstructionGainRoutePass:
                 u, v = op.pair
                 pu, pv = qmap.physical(u), qmap.physical(v)
                 if device.are_neighbors(pu, pv):
-                    matrix = (op.unitary if pu < pv
-                              else _SWAP @ op.unitary @ _SWAP)
-                    circuit.append(Gate("APP2Q", (min(pu, pv), max(pu, pv)),
-                                        matrix=matrix,
-                                        meta={"label": op.label}))
+                    circuit.append(app_2q_gate(op, pu, pv))
                 else:
                     still.append(op)
             remaining = still
@@ -239,8 +241,7 @@ class InstructionGainRoutePass:
             execute_ready()
 
         for op in working.one_qubit_ops:
-            circuit.append(Gate("APP1Q", (qmap.physical(op.qubit),),
-                                matrix=op.unitary, meta={"label": op.label}))
+            circuit.append(app_1q_gate(op, qmap.physical(op.qubit)))
         ctx.app_circuit = circuit
         ctx.n_swaps = n_swaps
         ctx.initial_map = initial_map
@@ -268,6 +269,7 @@ class ICQAOACompiler(PipelineCompiler):
             CommutationGuardPass(),
             DegreePlacementPass(),
             InstructionGainRoutePass(),
+            BindPass(),
             DecomposePass(solve=self.solve),
         ])
 

@@ -41,7 +41,7 @@ from repro.core.pipeline import (
 )
 
 #: Context fields set by the driver (compilation inputs).
-INPUT_FIELDS = ("step", "gateset", "device", "seed", "initial")
+INPUT_FIELDS = ("step", "gateset", "device", "seed", "initial", "binding")
 
 #: Context fields set by passes (compilation artifacts), in write order.
 ARTIFACT_FIELDS = (
@@ -136,7 +136,7 @@ class CachedPipeline(PassPipeline):
 
 
 def compile_cached(compiler, step, cache: ArtifactCache,
-                   initial=None) -> CompilationResult:
+                   initial=None, binding=None) -> CompilationResult:
     """Compile one step through ``compiler``'s pipeline with caching.
 
     ``compiler`` is any :class:`~repro.core.pipeline.PipelineCompiler`
@@ -144,6 +144,12 @@ def compile_cached(compiler, step, cache: ArtifactCache,
     context is built by the same :func:`run_pipeline` that
     ``compiler.compile`` uses, so the result is bit-identical to the
     uncached call by construction.
+
+    A symbolic ``step`` fingerprints by parameter *names*, not values,
+    and the structural passes do not read ``binding``, so every binding
+    of one circuit shape shares the unify-through-schedule cache prefix;
+    only the bind pass (and decomposition behind it) keys on the angle
+    values.
     """
     return run_pipeline(
         CachedPipeline(compiler.build_pipeline(), cache), step,
@@ -152,4 +158,5 @@ def compile_cached(compiler, step, cache: ArtifactCache,
         seed=compiler.seed,
         cache=getattr(compiler, "cache", None),
         initial=initial,
+        binding=binding,
     )

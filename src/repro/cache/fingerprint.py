@@ -101,16 +101,19 @@ def _update(h, obj: object) -> None:  # noqa: PLR0912 - one dispatch table
 def _is_known_class(obj: object) -> bool:
     from repro.core.routing import QubitMap
     from repro.devices.topology import Device
+    from repro.hamiltonians.trotter import OneQubitOperator, TwoQubitOperator
     from repro.quantum.circuit import Circuit
     from repro.quantum.gates import Gate
     from repro.synthesis.gateset import GateSet
 
-    return isinstance(obj, (Device, Circuit, Gate, GateSet, QubitMap))
+    return isinstance(obj, (Device, Circuit, Gate, GateSet, QubitMap,
+                            TwoQubitOperator, OneQubitOperator))
 
 
 def _update_known(h, obj: object) -> None:
     from repro.core.routing import QubitMap
     from repro.devices.topology import Device
+    from repro.hamiltonians.trotter import OneQubitOperator, TwoQubitOperator
     from repro.quantum.circuit import Circuit
     from repro.quantum.gates import Gate
     from repro.synthesis.gateset import GateSet
@@ -140,6 +143,31 @@ def _update_known(h, obj: object) -> None:
         _update(h, obj.qubits)
         _update(h, obj.params)
         _update(h, obj.matrix)
+        # Only symbolic gates hash their lazily-resolved unitary -- by
+        # factor structure and parameter *names*, never values -- so a
+        # gate bound up front keeps the exact pre-split byte layout.
+        if obj.symbolic is not None:
+            _update(h, obj.symbolic)
+    elif isinstance(obj, (TwoQubitOperator, OneQubitOperator)):
+        # Reproduce the generic dataclass walk of the pre-split classes
+        # byte for byte for concrete operators; only symbolic operators
+        # (unitary is None) additionally hash their factor structure,
+        # whose Param angles contribute parameter names, not values.
+        cls = type(obj)
+        _tag(h, f"{cls.__module__}.{cls.__qualname__}")
+        if isinstance(obj, TwoQubitOperator):
+            _update(h, "qubits")
+            _update(h, obj.qubits)
+        else:
+            _update(h, "qubit")
+            _update(h, obj.qubit)
+        _update(h, "unitary")
+        _update(h, obj.unitary)
+        _update(h, "label")
+        _update(h, obj.label)
+        if obj.unitary is None:
+            _update(h, "factors")
+            _update(h, obj.factors)
     elif isinstance(obj, GateSet):
         _tag(h, "GateSet")
         _update(h, obj.name)

@@ -1,0 +1,104 @@
+"""Bind perf smoke: structural compile once + N binds vs N cold compiles.
+
+Run as ``python -m repro.core.bind_perf_smoke``.  Compiles the structure
+of a fixed n = 20 QAOA instance on sycamore once, binds ``N_BINDINGS``
+angle sets through the retained pipeline suffix, and times the same
+angle sets served as from-scratch compiles of the concrete circuits.
+The warm path must be at least ``MIN_RATIO`` times faster in aggregate.
+The check is *relative* (both sides run in the same process on the same
+machine), so it is robust to slow CI runners; it also re-asserts every
+bound circuit is bit-identical to its cold-compiled twin, because a
+fast wrong bind is worse than a slow right one.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+MIN_RATIO = 5.0
+N_QUBITS = 20
+N_BINDINGS = 20
+BENCHMARK = "QAOA-REG-3"
+
+
+def angle_sets(n: int = N_BINDINGS) -> list[dict[str, float]]:
+    """``n`` deterministic (gamma, beta) bindings on a fixed grid."""
+    return [{"gamma": 0.05 + 0.11 * i, "beta": -0.6 + 0.07 * i}
+            for i in range(n)]
+
+
+def build_compiler():
+    from repro.core.registry import get_compiler
+    from repro.devices import sycamore
+
+    return get_compiler("2qan", device=sycamore(), gateset="CNOT", seed=0)
+
+
+def circuits_identical(a, b) -> bool:
+    """Gate-by-gate bit identity: same wires, same unitary bytes."""
+    if a.n_qubits != b.n_qubits or len(a.gates) != len(b.gates):
+        return False
+    for ga, gb in zip(a.gates, b.gates):
+        if ga.name != gb.name or ga.qubits != gb.qubits:
+            return False
+        if ga.unitary().tobytes() != gb.unitary().tobytes():
+            return False
+    return True
+
+
+def measure(bindings: list[dict[str, float]] | None = None,
+            ) -> tuple[float, float, bool]:
+    """(warm bind seconds, cold compile seconds, bit-identical) over one
+    structural compile + len(bindings) binds vs as many cold compiles.
+
+    The warm clock includes the structural compile itself: the claim is
+    about serving the whole batch, not about a pre-warmed suffix.
+    """
+    from repro.analysis.harness import build_symbolic_step
+    from repro.core.bind import compile_structural
+
+    if bindings is None:
+        bindings = angle_sets()
+    symbolic = build_symbolic_step(BENCHMARK, N_QUBITS, 0)
+
+    start = time.perf_counter()
+    structural = compile_structural(build_compiler(), symbolic)
+    warm = [structural.bind(binding) for binding in bindings]
+    warm_s = time.perf_counter() - start
+
+    # cold baseline: bind the angles at the front end (a fully concrete
+    # step, exactly what the sweep harness compiles) and run the whole
+    # pipeline from scratch per angle set
+    start = time.perf_counter()
+    cold = [build_compiler().compile(symbolic.bind(binding))
+            for binding in bindings]
+    cold_s = time.perf_counter() - start
+
+    identical = all(
+        circuits_identical(w.circuit, c.circuit)
+        and w.metrics == c.metrics
+        for w, c in zip(warm, cold)
+    )
+    return warm_s, cold_s, identical
+
+
+def main() -> int:
+    warm_s, cold_s, identical = measure()
+    ratio = cold_s / warm_s if warm_s > 0 else float("inf")
+    print(f"bind perf smoke (n={N_QUBITS}, {N_BINDINGS} angle sets): "
+          f"structural+binds {warm_s * 1e3:.1f}ms, "
+          f"cold compiles {cold_s * 1e3:.1f}ms, "
+          f"ratio {ratio:.1f}x (need >= {MIN_RATIO}x), "
+          f"identical: {identical}")
+    if not identical:
+        print("FAIL: bound circuits differ from cold-compiled circuits")
+        return 1
+    if ratio < MIN_RATIO:
+        print(f"FAIL: warm bind path only {ratio:.1f}x faster")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

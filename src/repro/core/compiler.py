@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.core.decompose import DecomposeCache, decompose_circuit
 from repro.core.pipeline import (
+    BindPass,
     CompilationResult,
     DecomposePass,
     MapPass,
@@ -61,24 +62,28 @@ class TwoQANCompiler(PipelineCompiler):
             MapPass(trials=self.mapping_trials, jobs=self.mapping_jobs),
             RoutePass(dress=self.dress, criteria=self.swap_criteria),
             SchedulePass(hybrid=self.hybrid_schedule),
+            BindPass(),
             DecomposePass(solve=self.solve_angles),
         ])
 
     # ``compile`` is inherited from PipelineCompiler.
 
     # ------------------------------------------------------------------
-    def compile_layers(self, steps: list[TrotterStep]) -> CompilationResult:
+    def compile_layers(self, steps: list[TrotterStep],
+                       binding: dict[str, float] | None = None,
+                       ) -> CompilationResult:
         """Multi-layer compilation via the paper's odd/even scheme.
 
         Only the first layer is compiled; odd layers reuse its circuit
         and even layers reverse the two-qubit gate order (Section V-C).
         The per-layer operator *parameters* may differ (QAOA), so each
         reused layer re-lowers the first layer's schedule with its own
-        unitaries -- structure (SWAPs, depth shape) is shared.
+        unitaries -- structure (SWAPs, depth shape) is shared.  A
+        symbolic first layer takes its angles from ``binding``.
         """
         if not steps:
             raise ValueError("need at least one layer")
-        first = self.compile(steps[0])
+        first = self.compile(steps[0], binding=binding)
         if len(steps) == 1:
             return first
         # layer 0 is exactly first.circuit (the re-lowering is

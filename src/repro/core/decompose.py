@@ -68,15 +68,28 @@ class DecomposeCache:
 
 def decompose_circuit(circuit: Circuit, gateset: GateSet, *,
                       solve: bool = False, seed: int = 0,
-                      cache: DecomposeCache | None = None) -> Circuit:
+                      cache: DecomposeCache | None = None,
+                      templates=None) -> Circuit:
     """Lower an application-level circuit to the hardware basis.
 
     ``solve=False`` (the benchmark mode) produces placeholder single-qubit
     gates but exact basis-gate counts and depth structure; ``solve=True``
     produces unitary-exact circuits.
+
+    Gates carrying a ``meta["template"]`` key (term-structure signature
+    plus resolved angles, attached by the schedule emitter and by
+    ``Gate.bind``) are looked up through ``templates`` (a
+    :class:`~repro.synthesis.templates.TemplateCache`, defaulting to the
+    shared module instance): repeat bindings of the same term structure
+    skip both the factor fold and the matrix-bytes keying.  The template
+    layer delegates to ``cache`` on miss, so its blocks are bit-identical
+    to the plain path.
     """
     if cache is None:
         cache = DecomposeCache()
+    if templates is None:
+        from repro.synthesis.templates import DEFAULT_TEMPLATES
+        templates = DEFAULT_TEMPLATES
     lowered = Circuit(circuit.n_qubits)
     for gate in circuit:
         if gate.n_qubits == 1:
@@ -84,10 +97,15 @@ def decompose_circuit(circuit: Circuit, gateset: GateSet, *,
             continue
         if gate.n_qubits != 2:
             raise ValueError(f"cannot decompose {gate.n_qubits}-qubit gate")
-        block, _ = cache.get(gateset, gate.unitary(), solve, seed)
+        template = gate.meta.get("template")
+        if template is not None:
+            block, _ = templates.get(gateset, gate, template, solve=solve,
+                                     seed=seed, cache=cache)
+        else:
+            block, _ = cache.get(gateset, gate.unitary(), solve, seed)
         a, b = gate.qubits
         for small in block:
             mapped = tuple(a if q == 0 else b for q in small.qubits)
             lowered.append(Gate(small.name, mapped, small.params,
-                                small.matrix, dict(small.meta)))
+                                small.matrix, meta=dict(small.meta)))
     return merge_single_qubit_gates(lowered)

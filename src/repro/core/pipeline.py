@@ -79,6 +79,7 @@ class CompilationContext:
     seed: int = 0
     cache: DecomposeCache | None = None
     initial: np.ndarray | None = None
+    binding: dict[str, float] | None = None
 
     working: TrotterStep | None = None
     assignment: np.ndarray | None = None
@@ -222,7 +223,9 @@ def result_from_context(ctx: CompilationContext) -> CompilationResult:
 def run_pipeline(pipeline: PassPipeline, step: TrotterStep, *,
                  gateset: str | GateSet, device: Device | None = None,
                  seed: int = 0, cache: DecomposeCache | None = None,
-                 initial: np.ndarray | None = None) -> CompilationResult:
+                 initial: np.ndarray | None = None,
+                 binding: dict[str, float] | None = None,
+                 ) -> CompilationResult:
     """Build a context, run ``pipeline`` over it, package the result."""
     ctx = CompilationContext(
         step=step,
@@ -231,6 +234,7 @@ def run_pipeline(pipeline: PassPipeline, step: TrotterStep, *,
         seed=seed,
         cache=cache if cache is not None else DecomposeCache(),
         initial=initial,
+        binding=dict(binding) if binding else None,
     )
     return result_from_context(pipeline.run(ctx))
 
@@ -347,6 +351,59 @@ class SchedulePass:
 
 
 @dataclass(frozen=True)
+class BindPass:
+    """Bind symbolic parameters into concrete unitaries.
+
+    The seam of the structure/parameter split: every pass before it is
+    *structural* (operates on pairs, interaction counts and factor
+    structure, never on matrix entries) and runs once per circuit shape;
+    every pass after it sees only concrete unitaries.  The pass resolves
+    ``ctx.binding`` into the scheduled operators and any already-present
+    circuits, preserving object identity where artifacts alias each
+    other (e.g. baselines that publish ``app_circuit is circuit``).
+
+    On a fully-concrete compilation with no binding the pass is a no-op,
+    so it sits in every pipeline (keeping the one-timing-entry-per-pass
+    shape) without perturbing existing behaviour.  Unknown parameter
+    names in the binding are ignored -- a sweep may carry one mapping for
+    circuits touching different parameter subsets -- while *missing*
+    names raise :class:`~repro.quantum.params.UnboundParameterError`
+    before any downstream pass can trip over a ``None`` unitary.
+    """
+
+    name: str = "binding"
+
+    reads: ClassVar[tuple[str, ...]] = ("scheduled", "app_circuit",
+                                        "circuit", "binding")
+    writes: ClassVar[tuple[str, ...]] = ("scheduled", "app_circuit",
+                                         "circuit")
+
+    def run(self, ctx: CompilationContext) -> CompilationContext:
+        from repro.core.bind import bind_scheduled, context_parameters
+        from repro.quantum.params import UnboundParameterError
+
+        binding = ctx.binding or {}
+        names = context_parameters(ctx)
+        if not names:
+            return ctx
+        missing = names - binding.keys()
+        if missing:
+            raise UnboundParameterError(missing)
+        if ctx.scheduled is not None:
+            ctx.scheduled = bind_scheduled(ctx.scheduled, binding)
+        if ctx.app_circuit is not None:
+            bound_app = ctx.app_circuit.bind(binding)
+            if ctx.circuit is ctx.app_circuit:
+                ctx.circuit = bound_app
+            elif ctx.circuit is not None:
+                ctx.circuit = ctx.circuit.bind(binding)
+            ctx.app_circuit = bound_app
+        elif ctx.circuit is not None:
+            ctx.circuit = ctx.circuit.bind(binding)
+        return ctx
+
+
+@dataclass(frozen=True)
 class DecomposePass:
     """Stage 6: lower to the hardware basis and collect circuit metrics.
 
@@ -452,10 +509,18 @@ class PipelineCompiler:
         raise NotImplementedError
 
     def compile(self, step: TrotterStep,
-                initial: np.ndarray | None = None) -> CompilationResult:
-        """Compile one Trotter step / QAOA layer through the pipeline."""
+                initial: np.ndarray | None = None,
+                binding: dict[str, float] | None = None,
+                ) -> CompilationResult:
+        """Compile one Trotter step / QAOA layer through the pipeline.
+
+        ``binding`` maps symbolic parameter names to angles; it is
+        required exactly when ``step`` is symbolic (the pipeline's bind
+        pass resolves it before decomposition).
+        """
         return run_pipeline(
             self.build_pipeline(), step,
             gateset=self.gateset, device=getattr(self, "device", None),
             seed=self.seed, cache=self.cache, initial=initial,
+            binding=binding,
         )

@@ -19,23 +19,27 @@ the fused gate costs no more hardware gates than the bare operator.
 
 Candidate scoring runs on one of two engines (see :func:`route`):
 
-* ``"incremental"`` -- the default on hop-count devices.  A per-logical
-  index of the still-unrouted operators (:class:`_CostIndex`) turns the
-  Equation-7 rescan into an O(deg) delta per candidate SWAP: only the
-  operators touching the two moved logicals can change distance, so the
+* ``"incremental"`` -- the default.  A per-logical index of the
+  still-unrouted operators (:class:`_CostIndex`) turns the Equation-7
+  rescan into an O(deg) delta per candidate SWAP: only the operators
+  touching the two moved logicals can change distance, so the
   candidate's remaining cost is the retained running total plus their
-  distance deltas.  Hop counts are integers, exactly representable in
-  float64, so the delta-updated total is *bit-identical* to the scalar
-  rescan -- same scan order, same tie-breaks, same RNG draws.  Dressing
-  lookups use a pair-keyed FIFO (:class:`_DressIndex`) instead of a
-  linear scan over the routed gates.
+  distance deltas.  The index works on the device's *scaled-integer*
+  distance rows (:attr:`repro.devices.topology.Device.
+  scaled_integer_distances`): hop counts scale by 1, and
+  ``edge_weights``-weighted devices scale by the power-of-two common
+  denominator of their weights, so the delta-updated total is exact
+  integer arithmetic on both -- no ulp drift, same tie-breaks, same
+  RNG draws as a full rescan in the same domain.  Dressing lookups use
+  a pair-keyed FIFO (:class:`_DressIndex`) instead of a linear scan
+  over the routed gates.
 * ``"reference"`` -- the retained scalar implementation
   (:func:`_remaining_cost` rescans, :func:`_find_dressable` list
-  scans), kept both as the property-test oracle
-  (``tests/core/test_router_delta.py``) and as the engine of record for
-  devices with ``edge_weights``-weighted (non-integer) distances, where
-  a delta-updated float total could differ from the rescan by an ulp
-  and an ulp is enough to flip a tie-break.
+  scans), kept as the property-test oracle
+  (``tests/core/test_router_delta.py``).  It also remains the engine
+  of record for the rare weighted device whose float distance matrix
+  cannot be reproduced exactly by scaled integers (pathological weight
+  denominators); ``"auto"`` falls back to it only there.
 """
 
 from __future__ import annotations
@@ -248,31 +252,44 @@ class _MapMirror:
 class _CostIndex:
     """Per-logical index of unrouted operators + retained Equation-7 total.
 
-    ``candidate_cost(edge)`` returns exactly what
-    ``_remaining_cost(device, qmap.after_swap(edge), unrouted)`` would:
-    a candidate SWAP moves two logicals, so only the operators incident
+    ``candidate_cost(edge)`` returns the Equation-7 cost of the
+    still-unrouted operators under ``qmap.after_swap(edge)``: a
+    candidate SWAP moves two logicals, so only the operators incident
     to them change distance -- an O(deg) delta on the running total
-    instead of an O(|unrouted|) rescan.  With integer (hop-count)
-    distances every term is an integer exactly representable in
-    float64, so the delta-updated total carries the same bits as the
-    rescan and cannot flip a tie-break.  (``tolist()`` conversions keep
-    the exact IEEE values; Python and numpy float64 arithmetic agree
-    bit-for-bit.)
+    instead of an O(|unrouted|) rescan.  The rows are the device's
+    scaled-integer distances, so every term -- and therefore the
+    delta-updated total -- is exact integer arithmetic on hop-count
+    *and* weighted devices alike; the total carries the same value a
+    full rescan in the same rows would and cannot flip a tie-break.
+    Scaling by a positive constant is order- and tie-preserving, so on
+    devices whose float sums are themselves exact (hop counts, dyadic
+    weights of moderate size) the selected SWAPs match the float
+    reference engine's exactly.
     """
 
     def __init__(self, device: Device, qmap: QubitMap,
                  unrouted: list[TwoQubitOperator], mirror: _MapMirror):
         self.mirror = mirror
-        self.rows: list[list[float]] = device.distance.tolist()
+        scaled = device.scaled_integer_distances
+        if scaled is None:
+            raise ValueError(
+                f"device {device.name!r} admits no exact scaled-integer "
+                f"distance representation; route with engine='reference'"
+            )
+        self.rows: list[list[int]] = scaled[0]
+        self.scale: int = scaled[1]
         # per-logical multiset of opposite endpoints of unrouted operators
         self._others: dict[int, list[int]] = defaultdict(list)
+        l2p = mirror.l2p
+        total = 0
         for op in unrouted:
             u, v = op.qubits
             self._others[u].append(v)
             self._others[v].append(u)
-        self.total = _remaining_cost(device, qmap, unrouted)
+            total += self.rows[l2p[u]][l2p[v]]
+        self.total = total
 
-    def candidate_cost(self, edge: tuple[int, int]) -> float:
+    def candidate_cost(self, edge: tuple[int, int]) -> int:
         """Remaining cost if the contents of ``edge`` were exchanged."""
         a, b = edge
         l2p = self.mirror.l2p
@@ -282,7 +299,7 @@ class _CostIndex:
         dist_a = self.rows[a]
         dist_b = self.rows[b]
         others = self._others
-        delta = 0.0
+        delta = 0
         if la >= 0:
             for other in others.get(la, ()):
                 if other == lb:        # both endpoints move: distance is
@@ -360,10 +377,13 @@ def _validate_criteria(criteria: tuple[str, ...], device: Device) -> None:
 def _resolve_engine(engine: str, device: Device) -> bool:
     """True when the incremental engine should run."""
     if engine == "auto":
-        # Weighted (non-integer) distances: a delta-updated float total
-        # can differ from the scalar rescan by an ulp, enough to flip a
-        # tie-break -- keep the reference engine's exact trajectories.
-        return device.integer_distances
+        # The incremental engine runs wherever the distance matrix has
+        # an exact scaled-integer representation -- all hop-count
+        # devices and every weighted device whose float matrix the
+        # scaled integers reproduce bit-for-bit.  Only a pathological
+        # weight set (scale beyond the cap, or float path sums that
+        # round) keeps the scalar reference engine.
+        return device.scaled_integer_distances is not None
     if engine == "incremental":
         return True
     if engine == "reference":
@@ -394,9 +414,11 @@ def route(step: TrotterStep, device: Device, initial: np.ndarray,
         requires the device to carry ``edge_errors`` (it is a silent
         no-op otherwise, so that configuration is rejected).
     engine:
-        ``"auto"`` (default) scores candidates incrementally on devices
-        with integer hop-count distances and falls back to the scalar
-        rescan on weighted devices; ``"incremental"`` / ``"reference"``
+        ``"auto"`` (default) scores candidates incrementally -- on
+        hop-count devices and on ``edge_weights``-weighted devices
+        alike, via the exact scaled-integer distance rows -- and falls
+        back to the scalar rescan only when no exact integer
+        representation exists; ``"incremental"`` / ``"reference"``
         force one path (the perf smoke and the property tests pin the
         two bit-identical).
     """
@@ -590,8 +612,9 @@ def _select_swap(candidates, device, qmap, target, unrouted, busy, gates,
             scores.append(_distance(device, trial_map, target))
         else:
             # the target's distance after the candidate swap, read off
-            # the mirror: same matrix entry _distance would read on the
-            # trial map, no arithmetic, so exact on any device
+            # the mirror: the scaled-integer image of the matrix entry
+            # _distance would read on the trial map -- scaling is
+            # order- and tie-preserving, so selection is unchanged
             l2p = cost_index.mirror.l2p
             u, v = target.qubits
             pu, pv = l2p[u], l2p[v]

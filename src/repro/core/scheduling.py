@@ -27,6 +27,7 @@ from repro.core.routing import QubitMap, RoutedProblem, RoutedSwap
 from repro.hamiltonians.trotter import TrotterStep, TwoQubitOperator
 from repro.quantum.circuit import Circuit
 from repro.quantum.gates import Gate, standard_gate_unitary
+from repro.quantum.params import UnboundParameterError, factor_template_key
 
 _SWAP_MATRIX = standard_gate_unitary("SWAP")
 
@@ -76,22 +77,38 @@ class ScheduledCircuit:
         for item in sorted(self.items, key=lambda i: (i.cycle, i.physical_pair)):
             p, q = item.physical_pair
             if item.kind == "op":
-                matrix = _oriented(item.operator.unitary, item.operator, p, q,
-                                   current)
+                op = item.operator
+                if op.unitary is None:
+                    raise UnboundParameterError(op.parameters)
+                matrix = _oriented(op.unitary, op, p, q, current)
+                meta = {"label": op.label}
+                if op.factors:
+                    meta["template"] = factor_template_key(
+                        op.factors, matrix is not op.unitary, False
+                    )
                 circuit.append(Gate("APP2Q", (p, q), matrix=matrix,
-                                    meta={"label": item.operator.label}))
+                                    meta=meta))
             elif item.kind == "dressed":
                 inner = item.swap.dressed_with
+                if inner.unitary is None:
+                    raise UnboundParameterError(inner.parameters)
                 matrix = _oriented(inner.unitary, inner, p, q, current)
+                meta = {"label": f"swap*{inner.label}"}
+                if inner.factors:
+                    meta["template"] = factor_template_key(
+                        inner.factors, matrix is not inner.unitary, True
+                    )
                 circuit.append(Gate("DRESSED_SWAP", (p, q),
                                     matrix=_SWAP_MATRIX @ matrix,
-                                    meta={"label": f"swap*{inner.label}"}))
+                                    meta=meta))
                 current = current.after_swap(item.physical_pair)
             else:
                 circuit.append(Gate("SWAP", (p, q)))
                 current = current.after_swap(item.physical_pair)
         final = self.final_map
         for op in self.one_qubit_ops:
+            if op.unitary is None:
+                raise UnboundParameterError(op.parameters)
             circuit.append(Gate("APP1Q", (final.physical(op.qubit),),
                                 matrix=op.unitary,
                                 meta={"label": op.label}))

@@ -11,6 +11,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+#: Largest accepted power-of-two scale for exact integer distances.
+#: Float64 weights always have power-of-two denominators, but a weight
+#: like 0.1 carries a 2**55 denominator; beyond this cap the scaled
+#: integers would dwarf the float mantissa and the exactness check
+#: below could not hold anyway.
+_MAX_WEIGHT_SCALE = 1 << 40
+
 
 @dataclass
 class Device:
@@ -30,6 +37,10 @@ class Device:
     _adjacency: list[set[int]] | None = field(default=None, repr=False)
     _integer_distances: bool | None = field(default=None, repr=False)
     _adjacency_matrix: np.ndarray | None = field(default=None, repr=False)
+    # Memoised scaled_integer_distances, boxed in a 1-tuple so ``None``
+    # can mean "not computed yet" (the computed value may itself be
+    # None) and the cache survives pickling into worker processes.
+    _scaled_distances: tuple | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         seen = set()
@@ -128,6 +139,85 @@ class Device:
             self._integer_distances = bool(
                 np.array_equal(dist, np.rint(dist)))
         return self._integer_distances
+
+    @property
+    def scaled_integer_distances(
+            self) -> tuple[list[list[int]], int] | None:
+        """Exact integer rows of the distance matrix, plus their scale.
+
+        Returns ``(rows, scale)`` with ``rows[a][b] * (1 / scale) ==
+        distance[a, b]`` *bit-exactly* for every pair, or ``None`` when
+        no such representation exists.  Hop-count devices scale by 1.
+        Weighted devices scale by the largest power-of-two denominator
+        of their edge weights (every float64 is a dyadic rational, so
+        ``float.as_integer_ratio`` yields one exactly) and re-run
+        Floyd--Warshall in arbitrary-precision integers; the result is
+        accepted only if it reproduces the float matrix exactly, so a
+        weight set whose float path sums round returns ``None``.
+
+        The incremental routing engine keys on this: integer cost
+        totals admit exact delta updates, so the engine extends to
+        ``edge_weights``-weighted devices without the ulp drift that
+        used to force the scalar-rescan fallback.
+        """
+        if self._scaled_distances is None:
+            self._scaled_distances = (self._compute_scaled_distances(),)
+        return self._scaled_distances[0]
+
+    def _compute_scaled_distances(
+            self) -> tuple[list[list[int]], int] | None:
+        dist = self.distance
+        if self.integer_distances:
+            return [[int(x) for x in row] for row in dist.tolist()], 1
+        weights = {}
+        scale = 1
+        for a, b in self.edges:
+            weight = 1.0
+            if self.edge_weights is not None:
+                weight = float(self.edge_weights.get((a, b), 1.0))
+            if not weight > 0.0 or not np.isfinite(weight):
+                return None
+            numerator, denominator = weight.as_integer_ratio()
+            weights[(a, b)] = (numerator, denominator)
+            scale = max(scale, denominator)
+        if scale > _MAX_WEIGHT_SCALE:
+            return None
+        n = self.n_qubits
+        inf = None
+        rows: list[list[int | None]] = [
+            [0 if i == j else inf for j in range(n)] for i in range(n)
+        ]
+        for (a, b), (numerator, denominator) in weights.items():
+            scaled = numerator * (scale // denominator)
+            current = rows[a][b]
+            if current is None or scaled < current:
+                rows[a][b] = rows[b][a] = scaled
+        for k in range(n):
+            row_k = rows[k]
+            for i in range(n):
+                via = rows[i][k]
+                if via is None:
+                    continue
+                row_i = rows[i]
+                for j in range(n):
+                    leg = row_k[j]
+                    if leg is None:
+                        continue
+                    candidate = via + leg
+                    if row_i[j] is None or candidate < row_i[j]:
+                        row_i[j] = candidate
+        # exactness gate: the integer matrix must reproduce the float
+        # one bit-for-bit, otherwise the two cost domains disagree and
+        # the caller must keep the float path
+        for i in range(n):
+            for j in range(n):
+                # Python-float comparison against the big int is exact;
+                # the multiply is a pure exponent shift (scale is a
+                # power of two), so the gate really is bit-level
+                if rows[i][j] is None or \
+                        float(dist[i, j]) * scale != rows[i][j]:
+                    return None
+        return rows, scale
 
     @property
     def max_degree(self) -> int:

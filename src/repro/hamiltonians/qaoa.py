@@ -29,6 +29,17 @@ from repro.hamiltonians.trotter import (
 )
 from repro.quantum.circuit import Circuit
 from repro.quantum.gates import Gate
+# exp_zz/exp_x live in repro.quantum.params (they are the concrete
+# builders the symbolic factor kinds dispatch to); the historical private
+# names are kept as aliases.
+from repro.quantum.params import (
+    Param,
+    PauliExponential,
+    exp_x as _x_exponential,
+    exp_zz as _zz_exponential,
+    is_symbolic_value,
+    resolve_value,
+)
 from repro.quantum.statevector import Statevector
 
 # Fixed-angle-conjecture angles for 3-regular MaxCut (Wurtz & Love 2021),
@@ -48,11 +59,16 @@ def random_regular_graph(degree: int, n_nodes: int, seed: int = 0) -> nx.Graph:
     return nx.random_regular_graph(degree, n_nodes, seed=seed)
 
 
+def _edge_weight(graph: nx.Graph, u: int, v: int) -> float:
+    """The MaxCut weight of edge ``(u, v)`` (1.0 when unweighted)."""
+    return float(graph.edges[u, v].get("weight", 1.0))
+
+
 def maxcut_hamiltonian(graph: nx.Graph) -> TwoLocalHamiltonian:
-    """The QAOA cost Hamiltonian ``C = sum ZZ`` of a graph."""
+    """The (possibly weighted) cost Hamiltonian ``C = sum w ZZ``."""
     h = TwoLocalHamiltonian(graph.number_of_nodes())
     for u, v in sorted(tuple(sorted(e)) for e in graph.edges):
-        h.add(1.0, "ZZ", (u, v))
+        h.add(_edge_weight(graph, u, v), "ZZ", (u, v))
     return h
 
 
@@ -66,7 +82,8 @@ def cost_diagonal(graph: nx.Graph, n_qubits: int) -> np.ndarray:
     for u, v in graph.edges:
         bit_u = (indices >> (n_qubits - 1 - u)) & 1
         bit_v = (indices >> (n_qubits - 1 - v)) & 1
-        diag += np.where(bit_u == bit_v, 1.0, -1.0)
+        weight = _edge_weight(graph, u, v)
+        diag += np.where(bit_u == bit_v, weight, -weight)
     return diag
 
 
@@ -77,16 +94,33 @@ def minimum_cost(graph: nx.Graph, n_qubits: int) -> float:
 
 @dataclass
 class QAOAProblem:
-    """A MaxCut QAOA instance: graph + per-layer angles."""
+    """A MaxCut QAOA instance: graph + per-layer angles.
+
+    Angles may be :class:`~repro.quantum.params.Param` placeholders (see
+    :meth:`symbolic`); ``layer_step`` then emits symbolic operators that
+    the structural compiler passes accept unchanged, and :meth:`bind`
+    resolves them.
+    """
 
     graph: nx.Graph
-    gammas: tuple[float, ...]
-    betas: tuple[float, ...]
+    gammas: tuple[float | Param, ...]
+    betas: tuple[float | Param, ...]
     label: str = ""
 
     def __post_init__(self) -> None:
         if len(self.gammas) != len(self.betas):
             raise ValueError("need one (gamma, beta) pair per layer")
+
+    @classmethod
+    def symbolic(cls, graph: nx.Graph, n_layers: int = 1,
+                 label: str = "") -> "QAOAProblem":
+        """An angle-free instance: ``gamma``/``beta`` parameters per layer
+        (suffixed ``gamma0, gamma1, ...`` for ``n_layers > 1``)."""
+        if n_layers == 1:
+            return cls(graph, (Param("gamma"),), (Param("beta"),), label)
+        gammas = tuple(Param(f"gamma{i}") for i in range(n_layers))
+        betas = tuple(Param(f"beta{i}") for i in range(n_layers))
+        return cls(graph, gammas, betas, label)
 
     @property
     def n_qubits(self) -> int:
@@ -96,6 +130,25 @@ class QAOAProblem:
     def n_layers(self) -> int:
         return len(self.gammas)
 
+    def parameters(self) -> frozenset[str]:
+        return frozenset(
+            p.name for p in (*self.gammas, *self.betas)
+            if is_symbolic_value(p)
+        )
+
+    @property
+    def is_symbolic(self) -> bool:
+        return bool(self.parameters())
+
+    def bind(self, mapping: dict[str, float]) -> "QAOAProblem":
+        """A concrete instance with every symbolic angle resolved."""
+        return QAOAProblem(
+            self.graph,
+            tuple(resolve_value(g, mapping) for g in self.gammas),
+            tuple(resolve_value(b, mapping) for b in self.betas),
+            self.label,
+        )
+
     def hamiltonian(self) -> TwoLocalHamiltonian:
         return maxcut_hamiltonian(self.graph)
 
@@ -104,10 +157,26 @@ class QAOAProblem:
         gamma, beta = self.gammas[layer], self.betas[layer]
         two_q = []
         for u, v in sorted(tuple(sorted(e)) for e in self.graph.edges):
-            matrix = _zz_exponential(-gamma)
-            two_q.append(TwoQubitOperator((u, v), matrix, f"ZZ{u},{v}@L{layer}"))
+            weight = _edge_weight(self.graph, u, v)
+            # keep the historical expression for the (ubiquitous)
+            # unweighted case; the weighted product mirrors bit-for-bit
+            # between the Param path ((-1.0 * w) * gamma) and the float
+            # path ((-gamma) * w) because IEEE-754 multiplication is
+            # commutative and sign flips are exact
+            angle = -gamma if weight == 1.0 else -gamma * weight
+            factors = (PauliExponential("zz", "", angle),)
+            matrix = (None if is_symbolic_value(gamma)
+                      else _zz_exponential(angle))
+            two_q.append(TwoQubitOperator((u, v), matrix,
+                                          f"ZZ{u},{v}@L{layer}",
+                                          factors=factors))
         one_q = [
-            OneQubitOperator(k, _x_exponential(-beta), f"X{k}@L{layer}")
+            OneQubitOperator(
+                k,
+                None if is_symbolic_value(beta) else _x_exponential(-beta),
+                f"X{k}@L{layer}",
+                factors=(PauliExponential("x", "", -beta),),
+            )
             for k in range(self.n_qubits)
         ]
         return TrotterStep(self.n_qubits, two_q, one_q)
@@ -194,28 +263,22 @@ class QAOAProblem:
             edges_here = layer_edges[self.n_layers - 1 - layer]
             gamma, beta = self.gammas[layer], self.betas[layer]
             for a, b in edges_here:
+                weight = _edge_weight(self.graph, a, b)
                 circuit.append(Gate(
                     "APP2Q", (local_index[a], local_index[b]),
-                    matrix=_zz_exponential(-gamma),
+                    matrix=_zz_exponential(
+                        -gamma if weight == 1.0 else -gamma * weight),
                 ))
             for node in nodes:
                 circuit.append(Gate("RX", (local_index[node],), (2 * beta,)))
         state = Statevector.plus(k)
         state.apply_circuit(circuit)
         pair_graph = nx.Graph([(local_index[u], local_index[v])])
+        pair_graph.edges[local_index[u], local_index[v]]["weight"] = \
+            _edge_weight(self.graph, u, v)
         return state.expectation_diagonal(cost_diagonal(pair_graph, k))
 
 
-def _zz_exponential(angle: float) -> np.ndarray:
-    """``exp(i angle ZZ)``."""
-    phase = np.exp(1j * angle)
-    return np.diag([phase, np.conj(phase), np.conj(phase), phase])
-
-
-def _x_exponential(angle: float) -> np.ndarray:
-    """``exp(i angle X)``."""
-    c, s = math.cos(angle), math.sin(angle)
-    return np.array([[c, 1j * s], [1j * s, c]], dtype=complex)
 
 
 def optimal_angles_p1(graph: nx.Graph, resolution: int = 48,

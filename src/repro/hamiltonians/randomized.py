@@ -1,24 +1,38 @@
-"""Randomized product formulas (paper Section VII, future work).
+"""Randomized problem instances: product formulas and random graphs.
 
-The paper's closing discussion points to randomization approaches
+Randomized product formulas (paper Section VII, future work): the
+paper's closing discussion points to randomization approaches
 (Childs-Ostrander-Su, Campbell) that permute the operator order in every
 Trotter step to suppress coherent error accumulation.  2QAN is a natural
 fit: since the compiler already treats the operator order as free, a
 random permutation per step costs nothing extra to compile.
-
 :func:`random_order_steps` produces per-step random permutations;
 :func:`trotter_error` measures the spectral-norm error of a given
 sequence of steps against the exact evolution, which the tests use to
 confirm the textbook facts (second order beats first order; random
 orderings average out coherent error).
+
+Weighted random-graph MaxCut generators
+(:func:`weighted_regular_graph`, :func:`weighted_erdos_renyi_graph`,
+:func:`weighted_maxcut_problem`) extend the QAOA-REG benchmark family
+beyond unit weights: edge weights are drawn from a small *dyadic* set
+(exact in float64), so weighted instances keep every bit-identity
+property the compiler pipeline pins -- including the symbolic
+bind-after-compile contract and the router's scaled-integer cost
+arithmetic.  The sweep benchmark set exposes them as ``QAOA-WR-d``
+(weighted random regular) and ``QAOA-ER`` (weighted Erdos-Renyi).
 """
 
 from __future__ import annotations
 
+import networkx as nx
 import numpy as np
 
 from repro.hamiltonians.hamiltonian import TwoLocalHamiltonian
 from repro.hamiltonians.trotter import TrotterStep, trotter_step
+
+#: Default weight alphabet: dyadic rationals, exact in float64.
+DYADIC_WEIGHTS = (0.5, 1.0, 1.5, 2.0)
 
 
 def permuted_step(step: TrotterStep, rng: np.random.Generator) -> TrotterStep:
@@ -45,6 +59,75 @@ def fixed_order_steps(hamiltonian: TwoLocalHamiltonian, n_steps: int,
     """``n_steps`` identical first-order steps (the deterministic scheme)."""
     base = trotter_step(hamiltonian, t=total_time / n_steps)
     return [base] * n_steps
+
+
+# ----------------------------------------------------------------------
+# Weighted random-graph MaxCut generators
+# ----------------------------------------------------------------------
+def _assign_weights(graph: nx.Graph, rng: np.random.Generator,
+                    weights: tuple[float, ...]) -> nx.Graph:
+    """Attach one weight per edge, drawn in sorted-edge order so the
+    instance is a deterministic function of the seed."""
+    for u, v in sorted(tuple(sorted(e)) for e in graph.edges):
+        draw = int(rng.integers(len(weights)))
+        graph.edges[u, v]["weight"] = float(weights[draw])
+    return graph
+
+
+def weighted_regular_graph(degree: int, n_nodes: int, seed: int = 0,
+                           weights: tuple[float, ...] = DYADIC_WEIGHTS,
+                           ) -> nx.Graph:
+    """A random ``degree``-regular graph with random dyadic edge weights."""
+    if (degree * n_nodes) % 2 != 0:
+        raise ValueError("degree * n_nodes must be even")
+    graph = nx.random_regular_graph(degree, n_nodes, seed=seed)
+    return _assign_weights(graph, np.random.default_rng(seed), weights)
+
+
+def weighted_erdos_renyi_graph(n_nodes: int, p: float | None = None,
+                               seed: int = 0,
+                               weights: tuple[float, ...] = DYADIC_WEIGHTS,
+                               ) -> nx.Graph:
+    """A weighted G(n, p) MaxCut instance (default ``p = 3 / n``).
+
+    The default edge probability keeps the expected degree at 3,
+    matching the QAOA-REG-3 family's interaction density while varying
+    the degree distribution.  Isolated qubits are kept (they simply
+    carry no two-qubit terms); a graph with no edges at all is rejected
+    because it is not a MaxCut instance.
+    """
+    if p is None:
+        p = min(1.0, 3.0 / n_nodes)
+    graph = nx.gnp_random_graph(n_nodes, p, seed=seed)
+    if graph.number_of_edges() == 0:
+        raise ValueError(
+            f"G({n_nodes}, {p}) instance with seed {seed} has no edges; "
+            f"pick another seed or a larger p"
+        )
+    return _assign_weights(graph, np.random.default_rng(seed), weights)
+
+
+def weighted_maxcut_problem(n_qubits: int, kind: str = "regular",
+                            degree: int = 3, seed: int = 0,
+                            gammas: tuple = (0.35,),
+                            betas: tuple = (-0.39,)):
+    """A weighted MaxCut :class:`~repro.hamiltonians.qaoa.QAOAProblem`.
+
+    ``kind`` selects the graph family (``"regular"`` or
+    ``"erdos-renyi"``); angles may be floats or
+    :class:`~repro.quantum.params.Param` placeholders.
+    """
+    from repro.hamiltonians.qaoa import QAOAProblem
+
+    if kind == "regular":
+        graph = weighted_regular_graph(degree, n_qubits, seed=seed)
+    elif kind == "erdos-renyi":
+        graph = weighted_erdos_renyi_graph(n_qubits, seed=seed)
+    else:
+        raise ValueError(f"unknown weighted-graph kind {kind!r}; "
+                         f"expected 'regular' or 'erdos-renyi'")
+    label = f"MAXCUT-W-{kind}-n{n_qubits}-s{seed}"
+    return QAOAProblem(graph, tuple(gammas), tuple(betas), label=label)
 
 
 def trotter_error(hamiltonian: TwoLocalHamiltonian,

@@ -17,6 +17,31 @@ import numpy as np
 from repro.hamiltonians.hamiltonian import Term, TwoLocalHamiltonian
 from repro.quantum.circuit import Circuit
 from repro.quantum.gates import Gate
+from repro.quantum.params import Param, PauliExponential, SymbolicUnitary
+
+
+def _factor_parameters(factors: tuple[PauliExponential, ...]) -> frozenset[str]:
+    names: frozenset[str] = frozenset()
+    for factor in factors:
+        names |= factor.parameters
+    return names
+
+
+def _bind_factors(factors: tuple[PauliExponential, ...],
+                  binding: dict[str, float]) -> tuple:
+    """Fold the factor matrices (earliest first, each new one on the left)
+    and resolve the factor angles.
+
+    The left-multiplied fold reproduces the association order of the
+    incremental unify merges (``other.unitary @ acc.unitary``), so binding
+    a merged symbolic operator is bit-identical to merging the bound
+    concrete operators.
+    """
+    resolved = tuple(f.resolved(binding) for f in factors)
+    unitary = resolved[0].matrix()
+    for factor in resolved[1:]:
+        unitary = factor.matrix() @ unitary
+    return unitary, resolved
 
 
 @dataclass(frozen=True)
@@ -24,34 +49,80 @@ class TwoQubitOperator:
     """One two-qubit block ``exp(i angle * P_uv)`` (or a product of such).
 
     ``qubits`` is ordered ``(min, max)``; ``unitary`` is the 4x4 matrix in
-    that qubit order.  ``label`` records provenance for verification.
+    that qubit order, or ``None`` for a symbolic operator whose matrix is
+    the fold of ``factors`` under a later binding.  ``label`` records
+    provenance for verification.
     """
 
     qubits: tuple[int, int]
-    unitary: np.ndarray = field(compare=False)
+    unitary: np.ndarray | None = field(compare=False)
     label: str = ""
+    factors: tuple[PauliExponential, ...] = field(
+        default=(), compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.qubits[0] >= self.qubits[1]:
             raise ValueError(f"qubits must be ordered, got {self.qubits}")
-        if self.unitary.shape != (4, 4):
+        if self.unitary is None:
+            if not self.factors:
+                raise ValueError(
+                    "symbolic two-qubit operator needs exponential factors"
+                )
+        elif self.unitary.shape != (4, 4):
             raise ValueError("two-qubit operator needs a 4x4 unitary")
 
     @property
     def pair(self) -> tuple[int, int]:
         return self.qubits
 
+    @property
+    def is_symbolic(self) -> bool:
+        return self.unitary is None
+
+    @property
+    def parameters(self) -> frozenset[str]:
+        return _factor_parameters(self.factors)
+
     def merged_with(self, other: "TwoQubitOperator") -> "TwoQubitOperator":
         """Product ``other . self`` (self applied first) on the same pair."""
         if other.qubits != self.qubits:
             raise ValueError("cannot merge operators on different pairs")
+        if self.unitary is None or other.unitary is None:
+            if not (self.factors and other.factors):
+                raise ValueError(
+                    "cannot merge a symbolic operator without factors"
+                )
+            return TwoQubitOperator(
+                self.qubits,
+                None,
+                label=f"{other.label}*{self.label}",
+                factors=self.factors + other.factors,
+            )
+        factors = (
+            self.factors + other.factors
+            if self.factors and other.factors else ()
+        )
         return TwoQubitOperator(
             self.qubits,
             other.unitary @ self.unitary,
             label=f"{other.label}*{self.label}",
+            factors=factors,
         )
 
+    def bind(self, binding: dict[str, float]) -> "TwoQubitOperator":
+        """A concrete operator with every symbolic angle resolved."""
+        if self.unitary is not None:
+            return self
+        unitary, resolved = _bind_factors(self.factors, binding)
+        return TwoQubitOperator(self.qubits, unitary, self.label,
+                                factors=resolved)
+
     def to_gate(self) -> Gate:
+        if self.unitary is None:
+            return Gate("APP2Q", self.qubits,
+                        symbolic=SymbolicUnitary(self.factors),
+                        meta={"label": self.label})
         return Gate("APP2Q", self.qubits, matrix=self.unitary,
                     meta={"label": self.label})
 
@@ -61,10 +132,38 @@ class OneQubitOperator:
     """A single-qubit exponential ``exp(i angle * P_k)``."""
 
     qubit: int
-    unitary: np.ndarray = field(compare=False)
+    unitary: np.ndarray | None = field(compare=False)
     label: str = ""
+    factors: tuple[PauliExponential, ...] = field(
+        default=(), compare=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.unitary is None and not self.factors:
+            raise ValueError(
+                "symbolic one-qubit operator needs exponential factors"
+            )
+
+    @property
+    def is_symbolic(self) -> bool:
+        return self.unitary is None
+
+    @property
+    def parameters(self) -> frozenset[str]:
+        return _factor_parameters(self.factors)
+
+    def bind(self, binding: dict[str, float]) -> "OneQubitOperator":
+        if self.unitary is not None:
+            return self
+        unitary, resolved = _bind_factors(self.factors, binding)
+        return OneQubitOperator(self.qubit, unitary, self.label,
+                                factors=resolved)
 
     def to_gate(self) -> Gate:
+        if self.unitary is None:
+            return Gate("APP1Q", (self.qubit,),
+                        symbolic=SymbolicUnitary(self.factors),
+                        meta={"label": self.label})
         return Gate("APP1Q", (self.qubit,), matrix=self.unitary,
                     meta={"label": self.label})
 
@@ -95,35 +194,94 @@ class TrotterStep:
             counts[op.pair] = counts.get(op.pair, 0) + 1
         return counts
 
+    # ------------------------------------------------------------------
+    # symbolic parameters
+    # ------------------------------------------------------------------
+    def parameters(self) -> frozenset[str]:
+        names: frozenset[str] = frozenset()
+        for op in self.two_qubit_ops:
+            names |= op.parameters
+        for op in self.one_qubit_ops:
+            names |= op.parameters
+        return names
+
+    @property
+    def is_symbolic(self) -> bool:
+        return any(op.is_symbolic for op in self.two_qubit_ops) or \
+            any(op.is_symbolic for op in self.one_qubit_ops)
+
+    def bind(self, binding: dict[str, float]) -> "TrotterStep":
+        """A concrete step with every symbolic angle resolved.
+
+        Operators shared by identity (e.g. the reversed half of a
+        second-order step) bind to the same concrete object.
+        """
+        memo: dict[int, object] = {}
+
+        def _bound(op):
+            key = id(op)
+            if key not in memo:
+                memo[key] = op.bind(binding)
+            return memo[key]
+
+        return TrotterStep(
+            self.n_qubits,
+            [_bound(op) for op in self.two_qubit_ops],
+            [_bound(op) for op in self.one_qubit_ops],
+        )
+
 
 def _term_exponential(term: Term, t: float) -> np.ndarray:
     """``exp(i t c P)`` on the term's support qubits (sorted order)."""
     return term.pauli.exp(t * term.coefficient)
 
 
-def trotter_step(hamiltonian: TwoLocalHamiltonian, t: float = 1.0,
+def _term_factor(term: Term, t) -> PauliExponential:
+    """The exponential factor of one term: compact label + angle.
+
+    ``PauliString.from_label(compact).exp(angle)`` runs the byte-for-byte
+    identical code path as ``term.pauli.exp(angle)`` (``exp`` compacts the
+    label internally), so binding the factor reproduces the concrete
+    ``_term_exponential`` bits exactly.
+    """
+    compact = "".join(p for _, p in term.pauli.paulis)
+    return PauliExponential("pauli", compact, t * term.coefficient)
+
+
+def trotter_step(hamiltonian: TwoLocalHamiltonian, t: float | Param = 1.0,
                  ) -> TrotterStep:
     """Build one first-order Trotter step, one operator per term.
+
+    ``t`` may be a :class:`~repro.quantum.params.Param`, producing a
+    symbolic step whose operators carry exponential factors instead of
+    matrices; the structural compiler passes run on it unchanged and
+    ``TrotterStep.bind`` (or the pipeline's bind pass) materialises the
+    unitaries later.
 
     Operators are emitted in the Hamiltonian's term order; merging of
     same-pair operators (circuit unitary unifying) is a compiler pre-pass,
     see :mod:`repro.core.unify`.
     """
+    symbolic = isinstance(t, Param)
     two_q: list[TwoQubitOperator] = []
     one_q: list[OneQubitOperator] = []
     for idx, term in enumerate(hamiltonian.terms):
-        matrix = _term_exponential(term, t)
+        factors = (_term_factor(term, t),)
+        matrix = None if symbolic else _term_exponential(term, t)
         label = f"T{idx}:{term.pauli}"
         if term.weight == 2:
             a, b = term.qubits
-            two_q.append(TwoQubitOperator((min(a, b), max(a, b)), matrix, label))
+            two_q.append(TwoQubitOperator((min(a, b), max(a, b)), matrix,
+                                          label, factors=factors))
         elif term.weight == 1:
-            one_q.append(OneQubitOperator(term.qubits[0], matrix, label))
+            one_q.append(OneQubitOperator(term.qubits[0], matrix, label,
+                                          factors=factors))
         # weight-0 terms contribute only a global phase; dropped.
     return TrotterStep(hamiltonian.n_qubits, two_q, one_q)
 
 
-def second_order_step(hamiltonian: TwoLocalHamiltonian, t: float = 1.0,
+def second_order_step(hamiltonian: TwoLocalHamiltonian,
+                      t: float | Param = 1.0,
                       ) -> tuple[TrotterStep, TrotterStep]:
     """Second-order (symmetric) Trotter: forward and reversed half-steps.
 

@@ -55,6 +55,35 @@ class Circuit:
     def copy(self) -> "Circuit":
         return Circuit(self.n_qubits, list(self.gates))
 
+    # ------------------------------------------------------------------
+    # symbolic parameters
+    # ------------------------------------------------------------------
+    def parameters(self) -> frozenset[str]:
+        """Names of unbound symbolic parameters across all gates."""
+        names: frozenset[str] = frozenset()
+        for gate in self.gates:
+            names |= gate.parameters
+        return names
+
+    @property
+    def is_symbolic(self) -> bool:
+        return bool(self.parameters())
+
+    def bind(self, mapping: dict[str, float]) -> "Circuit":
+        """A concrete circuit with every symbolic angle resolved.
+
+        Gates shared by identity (the same object appended twice) bind to
+        the same concrete object, preserving aliasing.
+        """
+        memo: dict[int, Gate] = {}
+        bound = []
+        for gate in self.gates:
+            key = id(gate)
+            if key not in memo:
+                memo[key] = gate.bind(mapping)
+            bound.append(memo[key])
+        return Circuit(self.n_qubits, bound)
+
     def __iter__(self) -> Iterator[Gate]:
         return iter(self.gates)
 

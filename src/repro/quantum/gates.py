@@ -16,6 +16,14 @@ from typing import Any
 
 import numpy as np
 
+from repro.quantum.params import (
+    Param,
+    SymbolicUnitary,
+    UnboundParameterError,
+    parameter_names,
+    resolve_value,
+)
+
 _SQRT2 = math.sqrt(2.0)
 
 
@@ -124,9 +132,15 @@ class Gate:
         Qubit indices the gate acts on, in tensor order (first index is the
         most significant factor of the matrix).
     params:
-        Rotation angles for parametric gates.
+        Rotation angles for parametric gates; each entry is a float or a
+        :class:`~repro.quantum.params.Param` placeholder.
     matrix:
-        Explicit unitary; when ``None`` it is resolved from the name.
+        Explicit unitary; when ``None`` it is resolved from the name (or
+        from ``symbolic`` once bound).
+    symbolic:
+        Lazily-resolved unitary (a
+        :class:`~repro.quantum.params.SymbolicUnitary`); mutually
+        exclusive with ``matrix``.  ``bind`` materialises it.
     meta:
         Free-form metadata (term labels, dressing provenance, ...).  Not
         hashed or compared.
@@ -134,13 +148,19 @@ class Gate:
 
     name: str
     qubits: tuple[int, ...]
-    params: tuple[float, ...] = ()
+    params: tuple[float | Param, ...] = ()
     matrix: np.ndarray | None = field(default=None, compare=False, repr=False)
+    symbolic: SymbolicUnitary | None = field(default=None, repr=False)
     meta: dict[str, Any] = field(default_factory=dict, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if len(set(self.qubits)) != len(self.qubits):
             raise ValueError(f"repeated qubit in gate {self.name}: {self.qubits}")
+        if self.matrix is not None and self.symbolic is not None:
+            raise ValueError(
+                f"gate {self.name} cannot carry both a concrete matrix "
+                f"and a symbolic unitary"
+            )
         if self.matrix is not None:
             dim = 2 ** len(self.qubits)
             if self.matrix.shape != (dim, dim):
@@ -157,10 +177,53 @@ class Gate:
     def is_two_qubit(self) -> bool:
         return len(self.qubits) == 2
 
+    # ------------------------------------------------------------------
+    # symbolic parameters
+    # ------------------------------------------------------------------
+    @property
+    def parameters(self) -> frozenset[str]:
+        """Names of unbound symbolic parameters this gate depends on."""
+        names: frozenset[str] = frozenset()
+        for p in self.params:
+            names |= parameter_names(p)
+        if self.symbolic is not None:
+            names |= self.symbolic.parameters
+        return names
+
+    @property
+    def is_symbolic(self) -> bool:
+        return bool(self.parameters)
+
+    def bind(self, mapping: dict[str, float]) -> "Gate":
+        """A concrete gate with every symbolic angle resolved.
+
+        A gate carrying a fully-concrete ``symbolic`` unitary is also
+        materialised (the factor fold runs with an empty binding), so the
+        result never holds a :class:`SymbolicUnitary`.
+        """
+        if self.symbolic is None and not self.is_symbolic:
+            return self
+        params = tuple(resolve_value(p, mapping) for p in self.params)
+        matrix = self.matrix
+        meta = self.meta
+        if self.symbolic is not None:
+            matrix = self.symbolic.bind(mapping)
+            # the resolved template key routes the bound gate through the
+            # per-term-structure decomposition memo
+            meta = dict(self.meta)
+            meta["template"] = self.symbolic.template_key(mapping)
+        return replace(self, params=params, matrix=matrix, symbolic=None,
+                       meta=meta)
+
     def unitary(self) -> np.ndarray:
         """The gate unitary, resolving standard names when needed."""
+        names = self.parameters
+        if names:
+            raise UnboundParameterError(names)
         if self.matrix is not None:
             return self.matrix
+        if self.symbolic is not None:
+            return self.symbolic.bind({})
         return standard_gate_unitary(self.name, self.params)
 
     def on(self, *qubits: int) -> "Gate":
@@ -176,6 +239,9 @@ class Gate:
     def __str__(self) -> str:
         qubits = ",".join(map(str, self.qubits))
         if self.params:
-            params = ",".join(f"{p:.4g}" for p in self.params)
+            params = ",".join(
+                str(p) if isinstance(p, Param) else f"{p:.4g}"
+                for p in self.params
+            )
             return f"{self.name}({params})[{qubits}]"
         return f"{self.name}[{qubits}]"

@@ -1,0 +1,306 @@
+"""Symbolic parameters for the structure/parameter split.
+
+A :class:`Param` is a named placeholder usable wherever a float angle
+goes today: Hamiltonian time steps, QAOA ``gamma``/``beta`` angles,
+rotation-gate parameters.  Circuits and operator lists built from
+symbolic angles carry *structure only*; the structural compiler passes
+(unify, map, route, schedule) run on them unchanged, and a later
+``bind({name: value})`` materialises the concrete unitaries.
+
+Bit-identity discipline
+-----------------------
+The whole point of the split is that binding after structural
+compilation must be *bit-identical* to compiling the concrete circuit.
+Two rules make that hold:
+
+* a :class:`Param` is affine (``scale * theta + shift``) and its
+  arithmetic mirrors the float expressions the concrete builders
+  evaluate: ``t * coefficient`` stores ``scale=coefficient`` and
+  evaluates ``scale * value`` -- IEEE-754 multiplication is
+  commutative, so the bits match the concrete ``value * coefficient``;
+  ``-gamma`` stores ``scale=-1.0`` (multiplying by -1.0 flips exactly
+  the sign bit).
+* a :class:`PauliExponential` factor records *which builder* produced
+  a concrete matrix (``kind``), and binding calls that exact builder --
+  never an algebraically equal reformulation.
+
+Merged (unified) operators concatenate their factor tuples in time
+order; :meth:`SymbolicUnitary.bind` folds them with each new factor
+matrix multiplied on the left, reproducing the association order of the
+concrete unify pass exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.quantum.pauli import PauliString
+
+
+class UnboundParameterError(ValueError):
+    """A symbolic value was used where a concrete one is required."""
+
+    def __init__(self, names) -> None:
+        self.names = tuple(sorted(names))
+        label = ", ".join(self.names) if self.names else "<none>"
+        super().__init__(
+            f"unbound symbolic parameter(s): {label}; bind them first "
+            f"(e.g. circuit.bind({{'gamma': 0.4}}))"
+        )
+
+
+@dataclass(frozen=True)
+class Param:
+    """An affine function ``scale * theta + shift`` of a named angle."""
+
+    name: str
+    scale: float = 1.0
+    shift: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("parameter name must be non-empty")
+
+    # ------------------------------------------------------------------
+    # arithmetic (floats only; Param * Param has no affine form)
+    # ------------------------------------------------------------------
+    def __neg__(self) -> "Param":
+        return replace(self, scale=-self.scale, shift=-self.shift)
+
+    def __mul__(self, other: object) -> "Param":
+        if not isinstance(other, (int, float)):
+            return NotImplemented
+        return replace(self, scale=self.scale * other,
+                       shift=self.shift * other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: object) -> "Param":
+        if not isinstance(other, (int, float)):
+            return NotImplemented
+        return replace(self, scale=self.scale / other,
+                       shift=self.shift / other)
+
+    def __add__(self, other: object) -> "Param":
+        if not isinstance(other, (int, float)):
+            return NotImplemented
+        return replace(self, shift=self.shift + other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: object) -> "Param":
+        if not isinstance(other, (int, float)):
+            return NotImplemented
+        return replace(self, shift=self.shift - other)
+
+    def __rsub__(self, other: object) -> "Param":
+        if not isinstance(other, (int, float)):
+            return NotImplemented
+        return (-self).__add__(other)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, binding: dict[str, float]) -> float:
+        if self.name not in binding:
+            raise UnboundParameterError((self.name,))
+        value = self.scale * float(binding[self.name])
+        # skip the no-op addition: `x + 0.0` is bit-identical to `x`
+        # except for x = -0.0, which no angle expression produces here,
+        # and skipping keeps pure products exactly mirroring the
+        # concrete `value * coefficient` float path.
+        if self.shift != 0.0:
+            value = value + self.shift
+        return value
+
+    def __str__(self) -> str:
+        text = self.name
+        if self.scale != 1.0:
+            text = f"{self.scale:g}*{text}"
+        if self.shift != 0.0:
+            text = f"{text}{self.shift:+g}"
+        return text
+
+
+def is_symbolic_value(value: object) -> bool:
+    """True when ``value`` is a :class:`Param` (rather than a number)."""
+    return isinstance(value, Param)
+
+
+def resolve_value(value, binding: dict[str, float] | None):
+    """Evaluate ``value`` under ``binding`` when symbolic, else pass it
+    through unchanged."""
+    if isinstance(value, Param):
+        return value.evaluate(binding or {})
+    return value
+
+
+def parameter_names(value) -> frozenset[str]:
+    """The parameter names a (possibly symbolic) value depends on."""
+    if isinstance(value, Param):
+        return frozenset((value.name,))
+    return frozenset()
+
+
+# ----------------------------------------------------------------------
+# Exponential builders
+#
+# These are THE concrete builders: the front ends
+# (repro.hamiltonians.trotter / .qaoa) call them for concrete angles and
+# record them by ``kind`` in symbolic factors, so a later bind runs the
+# byte-for-byte identical code path.
+# ----------------------------------------------------------------------
+def exp_zz(angle: float) -> np.ndarray:
+    """``exp(i angle ZZ)`` (the QAOA cost-layer convention)."""
+    phase = np.exp(1j * angle)
+    return np.diag([phase, np.conj(phase), np.conj(phase), phase])
+
+
+def exp_x(angle: float) -> np.ndarray:
+    """``exp(i angle X)`` (the QAOA mixer convention)."""
+    c, s = math.cos(angle), math.sin(angle)
+    return np.array([[c, 1j * s], [1j * s, c]], dtype=complex)
+
+
+def exp_pauli(label: str, angle: float) -> np.ndarray:
+    """``exp(i angle P)`` for a compact Pauli label (Trotter terms)."""
+    return PauliString.from_label(label).exp(angle)
+
+
+_FACTOR_KINDS = {
+    "pauli": lambda label, angle: exp_pauli(label, angle),
+    "zz": lambda label, angle: exp_zz(angle),
+    "x": lambda label, angle: exp_x(angle),
+}
+
+
+@dataclass(frozen=True)
+class PauliExponential:
+    """One exponential factor of an application-level operator.
+
+    ``kind`` selects the concrete matrix builder (``"pauli"`` for
+    :meth:`PauliString.exp`, ``"zz"``/``"x"`` for the QAOA-convention
+    builders); ``label`` is the compact Pauli label for ``kind="pauli"``
+    and empty otherwise; ``angle`` is a float or a :class:`Param`.
+    """
+
+    kind: str
+    label: str
+    angle: float | Param
+
+    def __post_init__(self) -> None:
+        if self.kind not in _FACTOR_KINDS:
+            raise ValueError(
+                f"unknown factor kind {self.kind!r}; "
+                f"expected one of {sorted(_FACTOR_KINDS)}"
+            )
+
+    @property
+    def parameters(self) -> frozenset[str]:
+        return parameter_names(self.angle)
+
+    def resolved(self, binding: dict[str, float] | None) -> "PauliExponential":
+        if not isinstance(self.angle, Param):
+            return self
+        return replace(self, angle=self.angle.evaluate(binding or {}))
+
+    def matrix(self, binding: dict[str, float] | None = None) -> np.ndarray:
+        angle = resolve_value(self.angle, binding)
+        return _FACTOR_KINDS[self.kind](self.label, angle)
+
+    def signature(self) -> str:
+        """Structure-only key for the decomposition-template cache."""
+        return f"{self.kind}:{self.label}"
+
+
+# Local SWAP matrix (same values as the standard-gate table; defined
+# here so the quantum.gates module can depend on this one without a
+# cycle).  Matrix products against it are exact permutations of rows or
+# columns, so orientation/dressing applied at bind time carries the
+# same bits as the concrete materialisation paths.
+_SWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+
+
+@dataclass(frozen=True)
+class SymbolicUnitary:
+    """A lazily-bound unitary: factor fold + structural SWAP transforms.
+
+    ``bind`` reproduces the concrete pipeline's float path exactly:
+
+    * fold: ``U = M(f_1)``, then ``U = M(f_j) @ U`` for each later
+      factor -- the association order of the unify pass's incremental
+      ``other.unitary @ acc.unitary`` merges;
+    * ``conjugate_swap``: ``U = SWAP @ U @ SWAP`` (physical-orientation
+      flip, as applied by the routers and the schedule walk);
+    * ``pre_swap``: ``U = SWAP @ U`` (dressed-SWAP composition).
+    """
+
+    factors: tuple[PauliExponential, ...]
+    conjugate_swap: bool = False
+    pre_swap: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.factors:
+            raise ValueError("symbolic unitary needs at least one factor")
+
+    @property
+    def parameters(self) -> frozenset[str]:
+        names: frozenset[str] = frozenset()
+        for factor in self.factors:
+            names |= factor.parameters
+        return names
+
+    def bind(self, binding: dict[str, float] | None = None) -> np.ndarray:
+        missing = sorted(
+            name for name in self.parameters
+            if name not in (binding or {})
+        )
+        if missing:
+            raise UnboundParameterError(missing)
+        unitary = self.factors[0].matrix(binding)
+        for factor in self.factors[1:]:
+            unitary = factor.matrix(binding) @ unitary
+        if self.conjugate_swap:
+            unitary = _SWAP @ unitary @ _SWAP
+        if self.pre_swap:
+            unitary = _SWAP @ unitary
+        return unitary
+
+    def template_key(self, binding: dict[str, float] | None = None,
+                     ) -> tuple:
+        """(signature, resolved angles, transforms) -- uniquely
+        determines the bound matrix for the template cache."""
+        signature = tuple(f.signature() for f in self.factors)
+        angles = tuple(
+            float(resolve_value(f.angle, binding)) for f in self.factors
+        )
+        return (signature, angles, self.conjugate_swap, self.pre_swap)
+
+
+def factor_template_key(factors, conjugated: bool = False,
+                        dressed: bool = False) -> tuple:
+    """Template key for a concrete (resolved-angle) factor tuple.
+
+    Same layout as :meth:`SymbolicUnitary.template_key`: signatures,
+    float angles, and the orientation/dressing flags that determine the
+    emitted matrix.  Factors must already carry float angles.
+    """
+    signatures = tuple(f.signature() for f in factors)
+    angles = tuple(float(f.angle) for f in factors)
+    return (signatures, angles, bool(conjugated), bool(dressed))
+
+
+def probe_binding(names, base: float = 0.37, stride: float = 0.11,
+                  ) -> dict[str, float]:
+    """A deterministic generic binding for structural probes.
+
+    Used where a structural pass needs *some* concrete matrix whose
+    algebraic properties (e.g. commutation) are generic in the angles --
+    distinct, irrational-ish values avoid special-angle coincidences.
+    """
+    return {name: base + stride * i for i, name in enumerate(sorted(names))}

@@ -15,7 +15,11 @@ service would:
   other's stage artifacts, and a ``cache_dir`` persists artifacts
   across batches and processes;
 * *fan-out* -- with ``jobs > 1`` unique requests spread over a
-  ``ProcessPoolExecutor`` whose workers share the disk cache layer.
+  ``ProcessPoolExecutor`` whose workers share the disk cache layer;
+* *structural coalescing* -- requests that carry ``parameters`` and
+  differ only in angle values share one structural compilation
+  (everything before the pipeline's binding pass); each request then
+  binds its own angles, bit-identical to a from-scratch compile.
 
 Responses come back in request order, duplicates marked
 ``deduplicated=True``.  Failures are isolated per request: a compilation
@@ -44,12 +48,25 @@ _REQUEST_DEFAULTS = {
     "gateset": "CNOT",
     "seed": 0,
     "qaoa_degree": 3,
+    "parameters": (),
 }
+
+#: Benchmark families that consume ``qaoa_degree``.
+_DEGREE_FAMILIES = ("QAOA-REG", "QAOA-WR")
 
 
 @dataclass(frozen=True)
 class CompileRequest:
-    """One compilation, described entirely by plain values."""
+    """One compilation, described entirely by plain values.
+
+    ``parameters`` optionally carries angle bindings as sorted
+    ``(name, value)`` pairs (JSON form: an object such as
+    ``{"gamma": 0.4, "beta": 1.1}``).  A request with parameters is
+    served through the structure/parameter split: the benchmark's
+    *symbolic* step is compiled structurally once per
+    :meth:`structural_key` and each request's angles are bound at the
+    end -- bit-identical to compiling the concrete circuit.
+    """
 
     compiler: str = _REQUEST_DEFAULTS["compiler"]
     benchmark: str = _REQUEST_DEFAULTS["benchmark"]
@@ -58,6 +75,29 @@ class CompileRequest:
     gateset: str = _REQUEST_DEFAULTS["gateset"]
     seed: int = _REQUEST_DEFAULTS["seed"]
     qaoa_degree: int = _REQUEST_DEFAULTS["qaoa_degree"]
+    parameters: tuple[tuple[str, float], ...] = ()
+
+    def binding(self) -> dict[str, float]:
+        """The angle binding this request carries (empty = concrete)."""
+        return {name: value for name, value in self.parameters}
+
+    def _key_payload(self) -> dict:
+        from repro.core.registry import resolve_spec
+
+        spec = resolve_spec(self.compiler)
+        return {
+            "compiler": spec.name,
+            "benchmark": self.benchmark,
+            "n_qubits": self.n_qubits,
+            "device": (self.device.lower() if spec.requires_device
+                       else None),
+            "gateset": (self.gateset.upper() if spec.uses_gateset
+                        else None),
+            "seed": self.seed,
+            "qaoa_degree": (self.qaoa_degree
+                            if self.benchmark.startswith(_DEGREE_FAMILIES)
+                            else None),
+        }
 
     def key(self) -> str:
         """Dedupe key: the request after canonicalisation.
@@ -68,28 +108,38 @@ class CompileRequest:
         gate set collapse for compilers that ignore them (and device
         names are case-folded as ``by_name`` folds them), and
         ``qaoa_degree`` collapses for non-QAOA benchmarks (only
-        ``QAOA-REG*`` problems consume it).
+        ``QAOA-REG*``/``QAOA-WR*`` problems consume it).  The
+        ``parameters`` field joins the key only when set, so concrete
+        requests keep their historical keys byte-for-byte.
         """
         from repro.analysis.store import config_fingerprint
-        from repro.core.registry import resolve_spec
 
-        spec = resolve_spec(self.compiler)
-        return config_fingerprint({
-            "compiler": spec.name,
-            "benchmark": self.benchmark,
-            "n_qubits": self.n_qubits,
-            "device": (self.device.lower() if spec.requires_device
-                       else None),
-            "gateset": (self.gateset.upper() if spec.uses_gateset
-                        else None),
-            "seed": self.seed,
-            "qaoa_degree": (self.qaoa_degree
-                            if self.benchmark.startswith("QAOA-REG")
-                            else None),
-        })
+        payload = self._key_payload()
+        if self.parameters:
+            payload["parameters"] = {name: value
+                                     for name, value in self.parameters}
+        return config_fingerprint(payload)
+
+    def structural_key(self) -> str:
+        """Coalescing key of the angle-free structural compilation.
+
+        Requests that differ only in their ``parameters`` values share
+        one structural compile; the batch compiler fans their bindings
+        out over it.
+        """
+        from repro.analysis.store import config_fingerprint
+
+        payload = self._key_payload()
+        payload["structural"] = True
+        return config_fingerprint(payload)
 
     def to_dict(self) -> dict:
-        return dataclasses.asdict(self)
+        payload = dataclasses.asdict(self)
+        if self.parameters:
+            payload["parameters"] = self.binding()
+        else:
+            del payload["parameters"]
+        return payload
 
 
 def request_from_dict(payload: dict) -> CompileRequest:
@@ -105,6 +155,8 @@ def request_from_dict(payload: dict) -> CompileRequest:
             f"unknown request field(s) {unknown}; expected a subset of "
             f"{sorted(_REQUEST_DEFAULTS)}"
         )
+    payload = dict(payload)
+    parameters = payload.pop("parameters", None)
     for key, value in payload.items():
         want = type(_REQUEST_DEFAULTS[key])
         if not isinstance(value, want) or isinstance(value, bool):
@@ -112,7 +164,37 @@ def request_from_dict(payload: dict) -> CompileRequest:
                 f"request field {key!r} must be {want.__name__}, "
                 f"got {type(value).__name__} {value!r}"
             )
+    if parameters is not None:
+        payload["parameters"] = normalize_parameters(parameters)
     return CompileRequest(**payload)
+
+
+def normalize_parameters(parameters) -> tuple[tuple[str, float], ...]:
+    """Canonicalise a JSON ``parameters`` object to sorted name/value pairs.
+
+    Accepts a ``{"gamma": 0.4, ...}`` mapping (ints are fine as values);
+    anything else is rejected with the same style of message as the
+    scalar request fields.
+    """
+    if not isinstance(parameters, dict):
+        raise ValueError(
+            f"request field 'parameters' must be an object mapping "
+            f"parameter names to numbers, got "
+            f"{type(parameters).__name__} {parameters!r}"
+        )
+    pairs = []
+    for name, value in parameters.items():
+        if not isinstance(name, str) or not name:
+            raise ValueError(
+                f"parameter names must be non-empty strings, got {name!r}"
+            )
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(
+                f"parameter {name!r} must be a number, "
+                f"got {type(value).__name__} {value!r}"
+            )
+        pairs.append((name, float(value)))
+    return tuple(sorted(pairs))
 
 
 def load_requests(path: str | Path) -> list[CompileRequest]:
@@ -207,10 +289,21 @@ def error_response(request: CompileRequest,
 
 
 def execute_request(request: CompileRequest,
-                    cache: ArtifactCache | None = None) -> CompileResponse:
-    """Serve one request: resolve, build, compile (through the cache)."""
-    from repro.analysis.harness import build_step
+                    cache: ArtifactCache | None = None,
+                    structurals: dict | None = None) -> CompileResponse:
+    """Serve one request: resolve, build, compile (through the cache).
+
+    A request carrying ``parameters`` compiles the benchmark's *symbolic*
+    step and binds the angles at the end.  With ``structurals`` (a
+    mutable mapping the caller keeps across requests) the structural
+    prefix is compiled once per :meth:`CompileRequest.structural_key`
+    and reused -- the batch compiler's coalescing path.  Without it the
+    binding still flows through the cache-aware pipeline, so requests
+    sharing a structural prefix reuse it through the artifact cache.
+    """
+    from repro.analysis.harness import build_step, build_symbolic_step
     from repro.cache.cached import compile_cached
+    from repro.core.bind import bind_structural, compile_structural
     from repro.core.registry import get_compiler, resolve_spec
     from repro.devices.library import all_to_all, by_name
 
@@ -225,15 +318,28 @@ def execute_request(request: CompileRequest,
         # all-to-all is sized to the problem, exactly as 'repro compile'
         # resolves it; device-free compilers get it regardless of name
         device = all_to_all(request.n_qubits)
-    step = build_step(request.benchmark, request.n_qubits, request.seed,
-                      request.qaoa_degree)
+    binding = request.binding()
+    if binding:
+        step = build_symbolic_step(request.benchmark, request.n_qubits,
+                                   request.seed, request.qaoa_degree)
+    else:
+        step = build_step(request.benchmark, request.n_qubits, request.seed,
+                          request.qaoa_degree)
     compiler = get_compiler(spec.name, device=device,
                             gateset=request.gateset, seed=request.seed)
     start = time.perf_counter()
-    if cache is not None:
-        result = compile_cached(compiler, step, cache)
+    if binding and structurals is not None:
+        skey = request.structural_key()
+        structural = structurals.get(skey)
+        if structural is None:
+            structural = compile_structural(compiler, step)
+            structurals[skey] = structural
+        result = bind_structural(structural, binding)
+    elif cache is not None:
+        result = compile_cached(compiler, step, cache,
+                                binding=binding or None)
     else:
-        result = compiler.compile(step)
+        result = compiler.compile(step, binding=binding or None)
     elapsed = time.perf_counter() - start
     metrics = result.metrics
     return CompileResponse(
@@ -388,9 +494,13 @@ class BatchCompiler:
             misses = sum(len(r.cache_events) for r in computed) - hits
         else:
             computed = []
+            # serial mode coalesces parameterised requests: one
+            # structural compile per structural_key, one bind per request
+            structurals: dict = {}
             for request in unique:
                 try:
-                    computed.append(execute_request(request, self._cache))
+                    computed.append(execute_request(request, self._cache,
+                                                    structurals))
                 except Exception as exc:
                     computed.append(error_response(request, exc))
             hits = self._cache.hits - hits_before

@@ -1,0 +1,142 @@
+"""Decomposition templates: per-term-structure synthesis reuse.
+
+The structure/parameter split compiles a circuit's *shape* once and binds
+angles per request.  Decomposition is the one pipeline stage that must
+re-run per binding; this module makes the re-run cheap by memoising
+decomposed blocks per **term structure** rather than per matrix:
+
+* a gate emitted from exponential factors carries a template key
+  ``(signatures, angles, conjugate_swap, pre_swap)`` in its metadata --
+  the factor structure plus the resolved angles and orientation flags;
+* the factor matrices are deterministic functions of their signature and
+  angle, and the fold order is fixed, so the key determines the folded
+  matrix bit for bit -- two gates with equal keys share a block;
+* on a miss the block is fetched through the caller's
+  :class:`~repro.core.decompose.DecomposeCache` (the matrix-keyed memo),
+  so the template path returns bit-identical circuits to the plain path.
+
+For products of XX/YY/ZZ exponentials (ZZ cost layers, exchange terms,
+Ising/Heisenberg Trotter factors) the Weyl-chamber coordinates -- and
+hence the hardware two-qubit gate count -- also have a closed analytic
+form, computed here without building any matrix; unknown structures fall
+back to numeric KAK via the delegate cache.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.synthesis.cnot_basis import cnot_count
+from repro.synthesis.weyl import _best_candidate
+
+_TEMPLATE_LIMIT = 4096
+
+# Axis of each analytically-known factor signature in CAN(x, y, z);
+# "zz:" is the QAOA cost factor (a ZZ exponential with an empty label).
+_AXIS = {"pauli:XX": 0, "pauli:YY": 1, "pauli:ZZ": 2, "zz:": 2}
+
+
+def analytic_weyl(signatures, angles, conjugate_swap: bool = False,
+                  pre_swap: bool = False):
+    """Canonical Weyl coordinates of a factor product, matrix-free.
+
+    Supported structures: products of XX/YY/ZZ exponentials.  The three
+    generators mutually commute, so the product is ``CAN(x, y, z)`` with
+    per-axis angle sums.  SWAP conjugation (operand orientation) is a
+    no-op on the coordinates -- SWAP maps ``P (x) Q`` to ``Q (x) P`` and
+    each generator is symmetric -- and a leading SWAP (dressing) equals
+    ``exp(i pi/4 (XX+YY+ZZ))`` up to global phase, adding ``pi/4`` per
+    axis.  The raw sums are reduced to the Weyl chamber by the same
+    move-orbit search numeric KAK uses, so the result matches
+    :func:`~repro.synthesis.weyl.weyl_coordinates` of the folded matrix.
+
+    Returns ``None`` for factor structures with no analytic form (the
+    caller falls back to numeric KAK).
+    """
+    del conjugate_swap  # no-op on symmetric generators
+    theta = [0.0, 0.0, 0.0]
+    for signature, angle in zip(signatures, angles):
+        axis = _AXIS.get(signature)
+        if axis is None:
+            return None
+        theta[axis] += float(angle)
+    if pre_swap:
+        for axis in range(3):
+            theta[axis] += math.pi / 4
+    coords, _word, _signs, _shifts = _best_candidate(np.array(theta))
+    return coords
+
+
+def predicted_cnot_count(signatures, angles, conjugate_swap: bool = False,
+                         pre_swap: bool = False):
+    """CNOT cost of a factor product from its analytic coordinates.
+
+    ``None`` when the structure has no analytic form.
+    """
+    coords = analytic_weyl(signatures, angles, conjugate_swap, pre_swap)
+    if coords is None:
+        return None
+    return cnot_count(coords)
+
+
+class TemplateCache:
+    """LRU memo of decomposed blocks keyed by term structure + binding.
+
+    Keyed by ``(gateset, solve, seed, signatures, angles, conjugate_swap,
+    pre_swap)``.  Repeat bindings of the same structure (every edge of a
+    QAOA cost layer shares one angle; a sweep revisits a handful of
+    angle sets) hit here without folding factor matrices or hashing
+    matrix bytes.  Misses delegate to the matrix-keyed
+    :class:`~repro.core.decompose.DecomposeCache`, which keeps template
+    blocks bit-identical to the plain decomposition path.
+    """
+
+    def __init__(self, maxsize: int = _TEMPLATE_LIMIT) -> None:
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._store: OrderedDict[tuple, tuple] = OrderedDict()
+
+    def get(self, gateset, gate, template, *, solve: bool, seed: int,
+            cache):
+        signatures, angles, conjugate_swap, pre_swap = template
+        key = (gateset.name, solve, seed, tuple(signatures), tuple(angles),
+               bool(conjugate_swap), bool(pre_swap))
+        hit = self._store.get(key)
+        if hit is not None:
+            self.hits += 1
+            self._store.move_to_end(key)
+            return hit
+        self.misses += 1
+        value = cache.get(gateset, gate.unitary(), solve, seed)
+        if self.maxsize > 0:
+            self._store[key] = value
+            if len(self._store) > self.maxsize:
+                self._store.popitem(last=False)
+        return value
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict[str, int]:
+        """Lookup counters plus current occupancy."""
+        return {"hits": self.hits, "misses": self.misses,
+                "size": len(self._store), "maxsize": self.maxsize}
+
+
+#: Shared process-wide template memo (mirrors the default DecomposeCache
+#: handling: callers may supply their own instance for isolation).
+DEFAULT_TEMPLATES = TemplateCache()
+
+
+def reset_default_templates() -> None:
+    """Clear the shared template memo (test isolation hook)."""
+    DEFAULT_TEMPLATES.clear()

@@ -119,3 +119,60 @@ class TestPassFingerprints:
                 return ctx
 
         assert fingerprint_pass(Custom()) == fingerprint_pass(Custom())
+
+
+class TestSymbolicFingerprints:
+    def test_symbolic_step_hashes_parameter_names_not_values(self):
+        """All bindings of one structure share the structural cache
+        prefix: the symbolic step's fingerprint must be independent of
+        any angle values (there are none) but sensitive to names."""
+        from repro.analysis.harness import build_symbolic_step
+
+        a = build_symbolic_step("QAOA-REG-3", 6, 0)
+        b = build_symbolic_step("QAOA-REG-3", 6, 0)
+        assert fingerprint_step(a) == fingerprint_step(b)
+
+    def test_param_names_distinguished(self):
+        from repro.hamiltonians.models import nnn_ising
+        from repro.hamiltonians.trotter import trotter_step
+        from repro.quantum.params import Param
+
+        a = trotter_step(nnn_ising(6, seed=0), t=Param("t"))
+        b = trotter_step(nnn_ising(6, seed=0), t=Param("tau"))
+        assert fingerprint_step(a) != fingerprint_step(b)
+
+    def test_param_affine_coefficients_distinguished(self):
+        from repro.hamiltonians.models import nnn_ising
+        from repro.hamiltonians.trotter import trotter_step
+        from repro.quantum.params import Param
+
+        a = trotter_step(nnn_ising(6, seed=0), t=Param("t"))
+        b = trotter_step(nnn_ising(6, seed=0), t=2 * Param("t"))
+        assert fingerprint_step(a) != fingerprint_step(b)
+
+    def test_symbolic_differs_from_concrete(self):
+        from repro.hamiltonians.models import nnn_ising
+        from repro.hamiltonians.trotter import trotter_step
+        from repro.quantum.params import Param
+
+        symbolic = trotter_step(nnn_ising(6, seed=0), t=Param("t"))
+        concrete = trotter_step(nnn_ising(6, seed=0), t=1.0)
+        assert fingerprint_step(symbolic) != fingerprint_step(concrete)
+        assert fingerprint_step(symbolic.bind({"t": 1.0})) == \
+            fingerprint_step(concrete)
+
+    def test_symbolic_circuit_fingerprints(self):
+        from repro.quantum.params import Param, PauliExponential, \
+            SymbolicUnitary
+
+        def circuit(name):
+            factors = (PauliExponential("zz", "", -Param(name)),)
+            c = Circuit(2)
+            c.append(Gate("UNIFIED", (0, 1),
+                          symbolic=SymbolicUnitary(factors)))
+            return c
+
+        assert fingerprint_circuit(circuit("gamma")) == \
+            fingerprint_circuit(circuit("gamma"))
+        assert fingerprint_circuit(circuit("gamma")) != \
+            fingerprint_circuit(circuit("beta"))

@@ -115,7 +115,8 @@ class TestCachedPipeline:
         second = compile_cached(cz, step, cache)
         assert second.cache_events == {
             "unify": "hit", "mapping": "hit", "routing": "hit",
-            "scheduling": "hit", "decomposition": "miss",
+            "scheduling": "hit", "binding": "hit",
+            "decomposition": "miss",
         }
 
     def test_config_change_invalidates(self, step, device):

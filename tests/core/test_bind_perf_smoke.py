@@ -1,0 +1,26 @@
+"""The CI bind perf smoke stays runnable and honest.
+
+The strict >= 5x timing assertion lives in the dedicated CI job
+(`python -m repro.core.bind_perf_smoke`); here we only pin what must
+never flake: the smoke runs, every bound circuit is bit-identical to
+its cold-compiled twin, and both timings are real measurements.
+"""
+
+from repro.core import bind_perf_smoke
+
+
+def test_measure_bound_circuits_bit_identical():
+    warm_s, cold_s, identical = bind_perf_smoke.measure(
+        bindings=bind_perf_smoke.angle_sets(3))
+    assert identical
+    assert warm_s > 0
+    assert cold_s > 0
+
+
+def test_main_runs_end_to_end(capsys, monkeypatch):
+    """main() exercised with the timing bar lowered to zero: the strict
+    >= 5x assertion belongs to the dedicated CI job, not to tier-1,
+    where a contended runner could flake it."""
+    monkeypatch.setattr(bind_perf_smoke, "MIN_RATIO", 0.0)
+    assert bind_perf_smoke.main() == 0
+    assert "ratio" in capsys.readouterr().out

@@ -43,7 +43,8 @@ class TestBasics:
         step = trotter_step(nnn_ising(6, seed=0))
         result = compile_step(step, grid23, "CNOT")
         assert set(result.timings) == {
-            "unify", "mapping", "routing", "scheduling", "decomposition"
+            "unify", "mapping", "routing", "scheduling", "binding",
+            "decomposition"
         }
 
     def test_qap_cost_reported(self, grid23):

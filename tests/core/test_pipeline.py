@@ -30,7 +30,8 @@ class TestPassPipeline:
     def test_default_2qan_pass_order(self, grid23):
         pipeline = TwoQANCompiler(grid23, "CNOT").build_pipeline()
         assert pipeline.names() == (
-            "unify", "mapping", "routing", "scheduling", "decomposition"
+            "unify", "mapping", "routing", "scheduling", "binding",
+            "decomposition"
         )
 
     def test_passes_satisfy_protocol(self, grid23):

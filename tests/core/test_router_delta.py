@@ -4,13 +4,14 @@ The incremental candidate-scoring engine (per-logical `_CostIndex`
 deltas + pair-keyed `_DressIndex`) is pinned *bit-for-bit* (`==`, not
 `isclose`) against the retained scalar references
 (`_remaining_cost` rescans, `_find_dressable` list scans) on randomized
-steps and devices: hop-count distances are integers, so every float64
-sum is exact and the delta-updated running total cannot change a single
-bit -- same candidate scores, same tie-breaks, same RNG draws, same
-routed problem.  Covered shapes: square grids with and without spare
-qubits, duplicate-pair (un-unified) operator lists, dress on/off, and
-every criteria order including the noise-aware "error" criterion;
-mirrors ``tests/mapping/test_delta_kernel.py``.
+steps and devices.  The index works on the device's scaled-integer
+distance rows, so the delta-updated running total is exact integer
+arithmetic on hop-count *and* dyadically weighted devices alike -- same
+candidate scores, same tie-breaks, same RNG draws, same routed problem.
+Covered shapes: square grids with and without spare qubits, duplicate-
+pair (un-unified) operator lists, dress on/off, every criteria order
+including the noise-aware "error" criterion, and dyadic edge-weighted
+grids; mirrors ``tests/mapping/test_delta_kernel.py``.
 """
 
 import numpy as np
@@ -27,7 +28,22 @@ from repro.core.routing import (
 )
 from repro.core.routing_perf_smoke import routed_equal
 from repro.devices.library import grid
+from repro.devices.topology import Device
 from repro.hamiltonians.trotter import TrotterStep, TwoQubitOperator
+
+#: Dyadic edge weights: exact in float64 and cheap to scale (x2).
+DYADIC_WEIGHTS = (0.5, 1.0, 1.5, 2.0)
+
+
+def with_dyadic_weights(device, seed: int):
+    """The same topology with random dyadic edge weights attached."""
+    rng = np.random.default_rng(seed)
+    weights = {
+        edge: float(DYADIC_WEIGHTS[int(rng.integers(len(DYADIC_WEIGHTS)))])
+        for edge in device.edges
+    }
+    return Device(f"{device.name}-weighted", device.n_qubits, device.edges,
+                  edge_errors=device.edge_errors, edge_weights=weights)
 
 CRITERIA_ORDERS = (
     ("count",),
@@ -104,6 +120,34 @@ class TestIncrementalVsReferenceRoute:
                           criteria=criteria, engine="reference")
         assert routed_equal(auto, reference)
 
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_weighted_devices_identical(self, seed):
+        """Dyadic edge weights: the scaled-integer cost rows keep the
+        incremental engine bit-identical to the float reference."""
+        step, device, initial, dress, criteria = random_problem(seed)
+        device = with_dyadic_weights(device, seed + 7)
+        kwargs = dict(seed=seed % 17, dress=dress, criteria=criteria)
+        incremental = route(step, device, initial,
+                            engine="incremental", **kwargs)
+        reference = route(step, device, initial,
+                          engine="reference", **kwargs)
+        assert routed_equal(incremental, reference)
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_auto_engine_is_incremental_on_weighted_devices(self, seed):
+        """ROADMAP leftover: auto no longer falls back to the scalar
+        rescan just because the device carries edge weights."""
+        step, device, initial, dress, criteria = random_problem(seed)
+        device = with_dyadic_weights(device, seed + 7)
+        assert device.scaled_integer_distances is not None
+        auto = route(step, device, initial, seed=1, dress=dress,
+                     criteria=criteria)
+        incremental = route(step, device, initial, seed=1, dress=dress,
+                            criteria=criteria, engine="incremental")
+        assert routed_equal(auto, incremental)
+
 
 class TestCostIndexDeltas:
     @given(st.integers(0, 10**6))
@@ -133,6 +177,24 @@ class TestCostIndexDeltas:
                 op = unrouted.pop(int(rng.integers(len(unrouted))))
                 u, v = op.qubits
                 index.discard(op, qmap.physical(u), qmap.physical(v))
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_weighted_candidate_cost_is_scaled_rescan(self, seed):
+        """On a dyadically weighted device the integer candidate cost
+        equals the float rescan times the scale, exactly."""
+        step, device, initial, _, _ = random_problem(seed)
+        device = with_dyadic_weights(device, seed + 7)
+        qmap = QubitMap.from_assignment(initial, n_physical=device.n_qubits)
+        unrouted = list(step.two_qubit_ops)
+        mirror = _MapMirror(qmap)
+        index = _CostIndex(device, qmap, unrouted, mirror)
+        scale = index.scale
+        assert index.total == _remaining_cost(device, qmap, unrouted) * scale
+        for edge in device.edges:
+            trial = qmap.after_swap(edge)
+            assert index.candidate_cost(edge) == \
+                _remaining_cost(device, trial, unrouted) * scale
 
 
 class TestErrorCriterionValidation:

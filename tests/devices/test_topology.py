@@ -105,3 +105,62 @@ class TestAdjacencyMatrix:
     def test_cached(self):
         d = path3()
         assert d.adjacency_matrix is d.adjacency_matrix
+
+
+class TestScaledIntegerDistances:
+    def test_hop_count_devices_scale_one(self):
+        d = path3()
+        rows, scale = d.scaled_integer_distances
+        assert scale == 1
+        assert rows == [[0, 1, 2], [1, 0, 1], [2, 1, 0]]
+        assert all(isinstance(x, int) for row in rows for x in row)
+
+    def test_dyadic_weights_scale_exactly(self):
+        d = Device("w", 3, ((0, 1), (1, 2)),
+                   edge_weights={(0, 1): 1.5, (1, 2): 0.5})
+        rows, scale = d.scaled_integer_distances
+        assert scale == 2
+        dist = d.distance
+        for a in range(3):
+            for b in range(3):
+                assert float(dist[a, b]) * scale == rows[a][b]
+
+    def test_non_dyadic_weights_return_none(self):
+        # 0.1 has a 2**55 denominator in binary: over the scale cap
+        d = Device("w", 3, ((0, 1), (1, 2)),
+                   edge_weights={(0, 1): 0.1, (1, 2): 1.0})
+        assert d.scaled_integer_distances is None
+
+    def test_nonpositive_weight_returns_none(self):
+        d = Device("w", 3, ((0, 1), (1, 2)),
+                   edge_weights={(0, 1): -0.5, (1, 2): 1.0})
+        assert d.scaled_integer_distances is None
+
+    def test_zero_weight_is_exact_via_integer_valued_distances(self):
+        # a 0.0 weight keeps the float matrix integer-valued, so the
+        # hop-count fast path already represents it exactly at scale 1
+        d = Device("w", 3, ((0, 1), (1, 2)),
+                   edge_weights={(0, 1): 0.0, (1, 2): 1.0})
+        rows, scale = d.scaled_integer_distances
+        assert scale == 1
+        dist = d.distance
+        assert all(float(dist[i, j]) == rows[i][j]
+                   for i in range(3) for j in range(3))
+
+    def test_cached(self):
+        d = path3()
+        assert d.scaled_integer_distances is d.scaled_integer_distances
+
+    def test_survives_pickling(self):
+        # devices are shipped to worker processes by the parallel sweep
+        # engine; the memo cache must stay usable after a round trip,
+        # whether it was populated before pickling or not
+        import pickle
+
+        d = path3()
+        fresh = pickle.loads(pickle.dumps(d))
+        assert fresh.scaled_integer_distances == d.scaled_integer_distances
+        _ = d.scaled_integer_distances
+        warmed = pickle.loads(pickle.dumps(d))
+        rows, scale = warmed.scaled_integer_distances
+        assert (rows, scale) == d.scaled_integer_distances

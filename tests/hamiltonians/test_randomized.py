@@ -72,3 +72,66 @@ class TestErrors:
             for s in range(3)
         ])
         assert randomized < 3 * fixed
+
+
+class TestWeightedGraphs:
+    def test_regular_graph_deterministic(self):
+        from repro.hamiltonians.randomized import weighted_regular_graph
+
+        a = weighted_regular_graph(3, 8, seed=4)
+        b = weighted_regular_graph(3, 8, seed=4)
+        assert sorted(a.edges) == sorted(b.edges)
+        assert all(a.edges[e]["weight"] == b.edges[e]["weight"]
+                   for e in a.edges)
+        assert all(d == 3 for _, d in a.degree)
+
+    def test_regular_graph_odd_product_rejected(self):
+        import pytest
+
+        from repro.hamiltonians.randomized import weighted_regular_graph
+
+        with pytest.raises(ValueError):
+            weighted_regular_graph(3, 7)
+
+    def test_weights_drawn_from_alphabet(self):
+        from repro.hamiltonians.randomized import (
+            DYADIC_WEIGHTS,
+            weighted_erdos_renyi_graph,
+            weighted_regular_graph,
+        )
+
+        for graph in (weighted_regular_graph(3, 10, seed=1),
+                      weighted_erdos_renyi_graph(10, seed=1)):
+            weights = {graph.edges[e]["weight"] for e in graph.edges}
+            assert weights <= set(DYADIC_WEIGHTS)
+
+    def test_erdos_renyi_edgeless_rejected(self):
+        import pytest
+
+        from repro.hamiltonians.randomized import weighted_erdos_renyi_graph
+
+        with pytest.raises(ValueError):
+            weighted_erdos_renyi_graph(4, p=0.0, seed=0)
+
+    def test_weighted_maxcut_problem_kinds_and_label(self):
+        import pytest
+
+        from repro.hamiltonians.randomized import weighted_maxcut_problem
+
+        problem = weighted_maxcut_problem(8, kind="regular", seed=2)
+        assert problem.label == "MAXCUT-W-regular-n8-s2"
+        er = weighted_maxcut_problem(8, kind="erdos-renyi", seed=2)
+        assert er.label == "MAXCUT-W-erdos-renyi-n8-s2"
+        with pytest.raises(ValueError):
+            weighted_maxcut_problem(8, kind="nope")
+
+    def test_weights_flow_into_hamiltonian(self):
+        from repro.hamiltonians.qaoa import maxcut_hamiltonian
+        from repro.hamiltonians.randomized import weighted_regular_graph
+
+        graph = weighted_regular_graph(3, 8, seed=0)
+        h = maxcut_hamiltonian(graph)
+        by_pair = {term.qubits: term.coefficient for term in h.terms}
+        for u, v in graph.edges:
+            pair = (min(u, v), max(u, v))
+            assert by_pair[pair] == graph.edges[u, v]["weight"]

@@ -1,0 +1,133 @@
+"""The symbolic-parameter IR: affine Params, factors, symbolic unitaries.
+
+These pin the exact semantics the bind-after-compile bit-identity rests
+on: Param arithmetic stays affine, evaluation mirrors the concrete
+float path bit for bit, and a SymbolicUnitary binds to the same bytes
+as folding the factor matrices by hand.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.quantum.params import (
+    Param,
+    PauliExponential,
+    SymbolicUnitary,
+    UnboundParameterError,
+    exp_pauli,
+    exp_x,
+    exp_zz,
+    factor_template_key,
+    is_symbolic_value,
+    parameter_names,
+    probe_binding,
+    resolve_value,
+)
+
+
+class TestParamArithmetic:
+    def test_affine_chain(self):
+        p = -2 * Param("t") + 1
+        assert (p.name, p.scale, p.shift) == ("t", -2.0, 1.0)
+        assert p.evaluate({"t": 0.25}) == -2 * 0.25 + 1
+
+    def test_neg_mul_div_sub(self):
+        p = Param("g")
+        assert (-p).evaluate({"g": 0.3}) == -0.3
+        assert (p * 4).evaluate({"g": 0.3}) == (4 * p).evaluate({"g": 0.3})
+        assert (p / 2).evaluate({"g": 0.3}) == 0.15
+        assert (p - 1).evaluate({"g": 0.3}) == 0.3 - 1
+        assert (1 - p).evaluate({"g": 0.3}) == 1 - 0.3
+
+    def test_param_times_param_rejected(self):
+        with pytest.raises(TypeError):
+            Param("a") * Param("b")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Param("")
+
+    def test_pure_product_matches_concrete_float_path_bitwise(self):
+        # the weighted-QAOA expression: (-gamma) * w == -(gamma * w)
+        for gamma in (0.35, -0.7, 1.2345678901, 3.0):
+            for w in (0.5, 1.5, 2.0, 0.1):
+                symbolic = (-Param("gamma")) * w
+                assert symbolic.evaluate({"gamma": gamma}) == -(gamma * w)
+
+    def test_evaluate_missing_name_raises(self):
+        with pytest.raises(UnboundParameterError) as err:
+            Param("gamma").evaluate({"beta": 1.0})
+        assert "gamma" in str(err.value)
+
+    def test_helpers(self):
+        assert is_symbolic_value(Param("x")) and not is_symbolic_value(0.5)
+        assert resolve_value(Param("x"), {"x": 2.0}) == 2.0
+        assert resolve_value(0.5, None) == 0.5
+        assert parameter_names(Param("x")) == frozenset({"x"})
+        assert parameter_names(1.0) == frozenset()
+
+    def test_str_forms(self):
+        assert str(Param("t")) == "t"
+        assert str(-2 * Param("t") + 1) == "-2*t+1"
+
+
+class TestFactors:
+    def test_factor_matrix_matches_builder(self):
+        zz = PauliExponential("zz", "", 0.7)
+        assert zz.matrix().tobytes() == exp_zz(0.7).tobytes()
+        x = PauliExponential("x", "", -0.39)
+        assert x.matrix().tobytes() == exp_x(-0.39).tobytes()
+        xy = PauliExponential("pauli", "XY", 1.1)
+        assert xy.matrix().tobytes() == exp_pauli("XY", 1.1).tobytes()
+
+    def test_symbolic_factor_resolves_through_binding(self):
+        factor = PauliExponential("zz", "", -Param("gamma"))
+        assert factor.parameters == frozenset({"gamma"})
+        assert factor.matrix({"gamma": 0.4}).tobytes() == \
+            exp_zz(-0.4).tobytes()
+        with pytest.raises(UnboundParameterError):
+            factor.matrix({})
+
+    def test_signature_carries_kind_and_label(self):
+        assert PauliExponential("zz", "", 0.1).signature() == "zz:"
+        assert PauliExponential("pauli", "XX", 0.1).signature() == "pauli:XX"
+
+
+class TestSymbolicUnitary:
+    def test_bind_equals_manual_fold(self):
+        factors = (PauliExponential("pauli", "XX", Param("t")),
+                   PauliExponential("pauli", "ZZ", 2 * Param("t")))
+        unitary = SymbolicUnitary(factors)
+        bound = unitary.bind({"t": 0.3})
+        manual = exp_pauli("ZZ", 0.6) @ exp_pauli("XX", 0.3)
+        assert bound.tobytes() == manual.tobytes()
+
+    def test_parameters_union(self):
+        unitary = SymbolicUnitary((
+            PauliExponential("zz", "", -Param("gamma")),
+            PauliExponential("x", "", Param("beta")),
+        ))
+        assert unitary.parameters == frozenset({"gamma", "beta"})
+
+    def test_template_key_hashes_structure_and_binding(self):
+        factors = (PauliExponential("zz", "", -Param("gamma")),)
+        unitary = SymbolicUnitary(factors)
+        k1 = unitary.template_key({"gamma": 0.4})
+        k2 = unitary.template_key({"gamma": 0.4})
+        k3 = unitary.template_key({"gamma": 0.5})
+        assert k1 == k2 and k1 != k3
+
+    def test_factor_template_key_orientation_flags(self):
+        factors = (PauliExponential("zz", "", 0.4),)
+        plain = factor_template_key(factors)
+        conj = factor_template_key(factors, conjugated=True)
+        dressed = factor_template_key(factors, dressed=True)
+        assert len({plain, conj, dressed}) == 3
+
+
+def test_probe_binding_is_deterministic_and_distinct():
+    binding = probe_binding(("beta", "gamma"))
+    assert binding == probe_binding(("gamma", "beta"))
+    assert len(set(binding.values())) == 2

@@ -280,3 +280,109 @@ class TestFailureIsolation:
     def test_success_summary_line_unchanged(self):
         _, summary = BatchCompiler().run(REQS[:1])
         assert "failed" not in summary.line()
+
+
+class TestParameterisedRequests:
+    BASE = {"compiler": "2qan", "benchmark": "QAOA-REG-3", "n_qubits": 6,
+            "device": "montreal", "gateset": "CNOT", "seed": 0}
+
+    def test_from_dict_parses_parameters(self):
+        request = request_from_dict(
+            {**self.BASE, "parameters": {"gamma": 0.4, "beta": 1}})
+        assert request.parameters == (("beta", 1.0), ("gamma", 0.4))
+        assert request.binding() == {"gamma": 0.4, "beta": 1.0}
+
+    def test_from_dict_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="parameters"):
+            request_from_dict({**self.BASE, "parameters": [0.4]})
+        with pytest.raises(ValueError, match="gamma"):
+            request_from_dict({**self.BASE, "parameters": {"gamma": "x"}})
+        with pytest.raises(ValueError, match="gamma"):
+            request_from_dict({**self.BASE, "parameters": {"gamma": True}})
+        with pytest.raises(ValueError, match="names"):
+            request_from_dict({**self.BASE, "parameters": {"": 1.0}})
+
+    def test_concrete_key_unchanged_by_field_addition(self):
+        # concrete requests must keep their historical dedupe keys, so a
+        # parameters-free request hashes without the field entirely
+        concrete = request_from_dict(self.BASE)
+        bound = request_from_dict(
+            {**self.BASE, "parameters": {"gamma": 0.4, "beta": 1.1}})
+        assert concrete.key() != bound.key()
+        assert "parameters" not in concrete.to_dict()
+        assert bound.to_dict()["parameters"] == {"gamma": 0.4, "beta": 1.1}
+
+    def test_structural_key_collapses_angle_values(self):
+        a = request_from_dict(
+            {**self.BASE, "parameters": {"gamma": 0.4, "beta": 1.1}})
+        b = request_from_dict(
+            {**self.BASE, "parameters": {"gamma": -2.0, "beta": 0.0}})
+        assert a.key() != b.key()
+        assert a.structural_key() == b.structural_key()
+        # ...but not across different structures
+        other = request_from_dict(
+            {**self.BASE, "n_qubits": 8,
+             "parameters": {"gamma": 0.4, "beta": 1.1}})
+        assert other.structural_key() != a.structural_key()
+
+    def test_qaoa_degree_consumed_by_weighted_regular_family(self):
+        base = {**self.BASE, "benchmark": "QAOA-WR-3"}
+        a = request_from_dict({**base, "qaoa_degree": 3})
+        b = request_from_dict({**base, "qaoa_degree": 4})
+        assert a.key() != b.key()
+        er = {**self.BASE, "benchmark": "QAOA-ER"}
+        assert request_from_dict({**er, "qaoa_degree": 3}).key() == \
+            request_from_dict({**er, "qaoa_degree": 4}).key()
+
+    def test_bound_request_matches_concrete_compile(self):
+        # the default sweep angles bound late must reproduce the
+        # concrete benchmark's metrics exactly
+        concrete = execute_request(request_from_dict(self.BASE))
+        bound = execute_request(request_from_dict(
+            {**self.BASE, "parameters": {"gamma": 0.35, "beta": -0.39}}))
+        assert (bound.n_swaps, bound.n_dressed, bound.n_two_qubit_gates,
+                bound.two_qubit_depth, bound.total_depth, bound.qap_cost) \
+            == (concrete.n_swaps, concrete.n_dressed,
+                concrete.n_two_qubit_gates, concrete.two_qubit_depth,
+                concrete.total_depth, concrete.qap_cost)
+
+    def test_batch_coalesces_structural_compiles(self):
+        requests = [
+            request_from_dict(
+                {**self.BASE, "parameters": {"gamma": g, "beta": b}})
+            for g, b in [(0.35, -0.39), (0.7, 0.1), (1.2, 0.4)]
+        ]
+        structurals: dict = {}
+        responses = [execute_request(r, None, structurals)
+                     for r in requests]
+        # three bindings, one structural compile
+        assert len(structurals) == 1
+        assert len({r.n_swaps for r in responses}) == 1
+        # and the structural fast path agrees with the plain path
+        plain = execute_request(requests[0])
+        assert responses[0].n_swaps == plain.n_swaps
+        assert responses[0].n_two_qubit_gates == plain.n_two_qubit_gates
+
+    def test_batch_run_serves_mixed_batches(self):
+        requests = [
+            request_from_dict(self.BASE),
+            request_from_dict(
+                {**self.BASE, "parameters": {"gamma": 0.35, "beta": -0.39}}),
+            request_from_dict(
+                {**self.BASE, "parameters": {"gamma": 0.7, "beta": 0.2}}),
+        ]
+        responses, summary = BatchCompiler().run(requests)
+        assert summary.n_failed == 0
+        assert summary.n_unique == 3
+        assert [r.failed for r in responses] == [False, False, False]
+        assert responses[0].n_swaps == responses[1].n_swaps
+
+    def test_missing_parameter_is_isolated_failure(self):
+        responses, summary = BatchCompiler().run([
+            request_from_dict(self.BASE),
+            request_from_dict({**self.BASE, "parameters": {"gamma": 0.4}}),
+        ])
+        assert summary.n_failed == 1
+        assert not responses[0].failed
+        assert responses[1].failed
+        assert "beta" in responses[1].error

@@ -1,0 +1,108 @@
+"""Decomposition templates: analytic Weyl coordinates + structure memo.
+
+The analytic coordinates must match numeric KAK of the folded matrix
+(that is what makes the template path safe), and the TemplateCache must
+return byte-identical blocks to its DecomposeCache delegate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.decompose import DecomposeCache
+from repro.quantum.gates import Gate
+from repro.quantum.params import (
+    PauliExponential,
+    SymbolicUnitary,
+    factor_template_key,
+)
+from repro.synthesis.gateset import get_gateset
+from repro.synthesis.templates import (
+    TemplateCache,
+    analytic_weyl,
+    predicted_cnot_count,
+)
+from repro.synthesis.weyl import weyl_coordinates
+
+def _fold(factors, conjugate_swap=False, pre_swap=False):
+    return SymbolicUnitary(tuple(factors), conjugate_swap=conjugate_swap,
+                           pre_swap=pre_swap).bind({})
+
+
+CASES = [
+    (PauliExponential("zz", "", -0.35),),
+    (PauliExponential("pauli", "XX", 0.7),),
+    (PauliExponential("pauli", "XX", 0.4),
+     PauliExponential("pauli", "YY", 0.4)),
+    (PauliExponential("pauli", "XX", 0.3),
+     PauliExponential("pauli", "YY", -0.8),
+     PauliExponential("pauli", "ZZ", 1.9)),
+]
+
+
+@pytest.mark.parametrize("factors", CASES)
+@pytest.mark.parametrize("conjugate_swap", [False, True])
+@pytest.mark.parametrize("pre_swap", [False, True])
+def test_analytic_weyl_matches_numeric_kak(factors, conjugate_swap,
+                                           pre_swap):
+    signatures = tuple(f.signature() for f in factors)
+    angles = tuple(f.angle for f in factors)
+    coords = analytic_weyl(signatures, angles, conjugate_swap, pre_swap)
+    assert coords is not None
+    numeric = weyl_coordinates(_fold(factors, conjugate_swap, pre_swap))
+    assert coords == pytest.approx(numeric, abs=1e-9)
+
+
+def test_unknown_structure_returns_none():
+    assert analytic_weyl(("pauli:XY",), (0.3,)) is None
+    assert predicted_cnot_count(("pauli:XY",), (0.3,)) is None
+
+
+def test_predicted_cnot_count_zz():
+    # a bare ZZ exponential needs 2 CNOTs; adding a SWAP makes it 3
+    assert predicted_cnot_count(("zz:",), (-0.35,)) == 2
+    assert predicted_cnot_count(("zz:",), (-0.35,), pre_swap=True) == 3
+    # the identity (angle 0 mod pi) costs nothing
+    assert predicted_cnot_count(("zz:",), (0.0,)) == 0
+
+
+def test_template_cache_bit_identical_to_delegate_and_counts():
+    gateset = get_gateset("CNOT")
+    factors = (PauliExponential("zz", "", -0.35),)
+    unitary = SymbolicUnitary(factors).bind({})
+    gate = Gate("UNIFIED", (0, 1), matrix=unitary,
+                meta={"template": factor_template_key(factors)})
+    template = gate.meta["template"]
+
+    templates = TemplateCache()
+    delegate = DecomposeCache()
+    block, phase = templates.get(gateset, gate, template, solve=False,
+                                 seed=0, cache=delegate)
+    direct_block, direct_phase = DecomposeCache().get(
+        gateset, gate.unitary(), False, 0)
+    assert phase == direct_phase
+    assert [g.unitary().tobytes() for g in block.gates] == \
+        [g.unitary().tobytes() for g in direct_block.gates]
+
+    # second lookup hits the structure memo, not the delegate
+    delegate_misses = delegate.misses
+    again, _ = templates.get(gateset, gate, template, solve=False,
+                             seed=0, cache=delegate)
+    assert again is block
+    assert delegate.misses == delegate_misses
+    assert templates.stats() == {"hits": 1, "misses": 1, "size": 1,
+                                 "maxsize": templates.maxsize}
+
+
+def test_template_cache_lru_eviction():
+    gateset = get_gateset("CNOT")
+    delegate = DecomposeCache()
+    templates = TemplateCache(maxsize=2)
+    for angle in (0.1, 0.2, 0.3):
+        factors = (PauliExponential("zz", "", angle),)
+        gate = Gate("UNIFIED", (0, 1),
+                    matrix=SymbolicUnitary(factors).bind({}),
+                    meta={"template": factor_template_key(factors)})
+        templates.get(gateset, gate, gate.meta["template"], solve=False,
+                      seed=0, cache=delegate)
+    assert len(templates) == 2

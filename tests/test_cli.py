@@ -86,7 +86,7 @@ class TestCompileCommand:
         payload = json.loads(capsys.readouterr().out)
         assert payload["compiler"] == "nomap"
         assert set(payload["timings"]) == {
-            "unify", "scheduling", "decomposition"
+            "unify", "scheduling", "binding", "decomposition"
         }
 
     def test_list_compilers(self, capsys):
@@ -348,3 +348,81 @@ class TestDeviceFreeSweep:
                      "2qan,nomap", "--jobs", "1"])
         assert code == 1
         assert "exceed" in capsys.readouterr().err
+
+
+class TestCompileBind:
+    ARGS = ["compile", "--compiler", "2qan", "--benchmark", "QAOA-REG-3",
+            "--qubits", "6"]
+
+    def test_bind_matches_concrete_compile(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        concrete = json.loads(capsys.readouterr().out)
+        assert main(self.ARGS + ["--bind", "gamma=0.35,beta=-0.39",
+                                 "--json"]) == 0
+        bound = json.loads(capsys.readouterr().out)
+        assert bound.pop("parameters") == {"gamma": 0.35, "beta": -0.39}
+        # identical apart from wall times
+        concrete.pop("timings")
+        bound.pop("timings")
+        assert bound == concrete
+
+    def test_bind_text_output_reports_angles(self, capsys):
+        assert main(self.ARGS + ["--bind", "gamma=0.4,beta=1.1"]) == 0
+        out = capsys.readouterr().out
+        assert "bound: gamma=0.4, beta=1.1" in out
+
+    def test_bad_bind_syntax_rejected(self, capsys):
+        assert main(self.ARGS + ["--bind", "gamma"]) == 1
+        assert "expected name=value" in capsys.readouterr().err
+        assert main(self.ARGS + ["--bind", "gamma=x"]) == 1
+        assert "expected a number" in capsys.readouterr().err
+
+    def test_missing_parameter_reported(self, capsys):
+        assert main(self.ARGS + ["--bind", "gamma=0.4"]) == 1
+        assert "beta" in capsys.readouterr().err
+
+
+class TestBindCommand:
+    ARGS = ["bind", "--compiler", "2qan", "--benchmark", "QAOA-REG-3",
+            "--qubits", "6"]
+
+    def test_multiple_bindings_one_structural_compile(self, capsys):
+        assert main(self.ARGS + ["--bind", "gamma=0.35,beta=-0.39",
+                                 "--bind", "gamma=0.7,beta=0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "structural: unify+mapping+routing+scheduling" in out
+        assert out.count("bind gamma=") == 2
+
+    def test_json_payload(self, capsys):
+        assert main(self.ARGS + ["--bind", "gamma=0.35,beta=-0.39",
+                                 "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["structural_passes"] == [
+            "unify", "mapping", "routing", "scheduling"]
+        (binding,) = payload["bindings"]
+        assert binding["parameters"] == {"gamma": 0.35, "beta": -0.39}
+        assert binding["n_two_qubit_gates"] > 0
+
+    def test_json_metrics_match_compile(self, capsys):
+        assert main(["compile", "--compiler", "2qan", "--benchmark",
+                     "QAOA-REG-3", "--qubits", "6", "--json"]) == 0
+        concrete = json.loads(capsys.readouterr().out)
+        assert main(self.ARGS + ["--bind", "gamma=0.35,beta=-0.39",
+                                 "--json"]) == 0
+        (binding,) = json.loads(capsys.readouterr().out)["bindings"]
+        for field in ("n_swaps", "n_dressed", "n_two_qubit_gates",
+                      "two_qubit_depth", "total_depth", "qap_cost"):
+            assert binding[field] == concrete[field]
+
+    def test_bind_required(self):
+        with pytest.raises(SystemExit):
+            main(self.ARGS)
+
+    def test_missing_parameter_reported(self, capsys):
+        assert main(self.ARGS + ["--bind", "beta=0.1"]) == 1
+        assert "gamma" in capsys.readouterr().err
+
+    def test_help_mentions_bind(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        assert "repro bind" in capsys.readouterr().out
