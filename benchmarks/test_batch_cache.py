@@ -3,9 +3,15 @@
 Serves the same 20-request batch twice through a disk-backed
 content-addressed cache: the cold run compiles everything, the warm run
 (a fresh service instance over the same cache directory, as a restarted
-server would be) must replay stored artifacts at least 5x faster with
+server would be) must replay stored artifacts at least 3x faster with
 byte-identical responses.  The measurement is recorded under
 ``benchmarks/results/batch_cache.json``.
+
+The floor has been lowered twice -- 60x -> 5x when mapping vectorized
+(PR 4), 5x -> 3x when decomposition batched (PR 7) -- because each perf
+PR speeds up the *cold* denominator while warm replay stays fixed disk
+I/O; the warm run being pure cache replay (zero artifact misses) is the
+structural assertion, the ratio just guards against regressions.
 """
 
 from __future__ import annotations
@@ -33,7 +39,7 @@ def _request_batch() -> list[CompileRequest]:
     return requests + requests[:4]
 
 
-def test_warm_batch_at_least_5x_faster(results_dir, tmp_path):
+def test_warm_batch_at_least_3x_faster(results_dir, tmp_path):
     requests = _request_batch()
     cache_dir = tmp_path / "cache"
 
@@ -66,7 +72,7 @@ def test_warm_batch_at_least_5x_faster(results_dir, tmp_path):
         [r.to_dict() for r in cold_responses]
     assert warm.artifact_misses == 0
     assert warm.artifact_hits > 0
-    assert speedup >= 5.0, (
+    assert speedup >= 3.0, (
         f"warm batch only {speedup:.1f}x faster "
         f"({cold_seconds:.2f}s -> {warm_seconds:.2f}s)"
     )

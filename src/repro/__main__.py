@@ -196,6 +196,10 @@ def compile_main(argv: list[str]) -> int:
         step = build_step(args.benchmark, args.qubits, args.seed)
     compiler = get_compiler(args.compiler, device=device,
                             gateset=args.gateset, seed=args.seed)
+    from repro.synthesis.templates import DEFAULT_TEMPLATES
+
+    tpl_hits_before = DEFAULT_TEMPLATES.hits
+    tpl_misses_before = DEFAULT_TEMPLATES.misses
     try:
         result = compiler.compile(step, binding=binding)
     except ValueError as exc:
@@ -203,6 +207,12 @@ def compile_main(argv: list[str]) -> int:
         # or a --bind that misses a parameter the benchmark carries
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    cache_stats = {
+        "decompose_hits": compiler.cache.hits,
+        "decompose_misses": compiler.cache.misses,
+        "template_hits": DEFAULT_TEMPLATES.hits - tpl_hits_before,
+        "template_misses": DEFAULT_TEMPLATES.misses - tpl_misses_before,
+    }
     metrics = result.metrics
     if args.json:
         payload = {
@@ -221,6 +231,7 @@ def compile_main(argv: list[str]) -> int:
             "qap_cost": (None if math.isnan(result.qap_cost)
                          else result.qap_cost),
             "timings": result.timings,
+            "cache_stats": cache_stats,
         }
         print(json.dumps(payload, indent=2))
         return 0

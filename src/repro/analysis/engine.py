@@ -123,7 +123,11 @@ def execute_task(task: SweepTask, device: Device,
         from repro.cache.store import process_cache
 
         artifacts = process_cache(artifact_dir)
+    from repro.synthesis.templates import DEFAULT_TEMPLATES
+
     hits_before, misses_before = cache.hits, cache.misses
+    tpl_hits_before = DEFAULT_TEMPLATES.hits
+    tpl_misses_before = DEFAULT_TEMPLATES.misses
     start = time.perf_counter()
     result = compile_with(task.compiler, step, device, task.gateset,
                           task.compiler_seed, cache, artifacts=artifacts)
@@ -131,6 +135,8 @@ def execute_task(task: SweepTask, device: Device,
     cache_stats = {
         "decompose_hits": cache.hits - hits_before,
         "decompose_misses": cache.misses - misses_before,
+        "template_hits": DEFAULT_TEMPLATES.hits - tpl_hits_before,
+        "template_misses": DEFAULT_TEMPLATES.misses - tpl_misses_before,
     }
     if artifacts is not None:
         from repro.cache.cached import count_cache_hits

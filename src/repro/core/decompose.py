@@ -5,6 +5,17 @@ circuit retargets to any hardware basis.  Each application-level two-qubit
 block (term exponential, unified gate, SWAP, dressed SWAP) becomes basis
 two-qubit gates plus single-qubit gates; adjacent single-qubit gates are
 fused afterwards.
+
+Lowering is **two-phase**: a first walk over the circuit resolves every
+two-qubit gate against the template and matrix memos and collects the
+unique uncached matrices (SWAP / dressed-SWAP repeats dominate real
+workloads, so dedupe-before-synthesis shrinks the work sharply); the
+misses are synthesized in one call to the batched KAK engine
+(:meth:`~repro.synthesis.gateset.GateSet.decompose_batch`); a second walk
+emits the lowered circuit from the resolved blocks.  Outputs are
+bit-identical to the retained scalar walk
+(:func:`decompose_circuit_reference`) -- the batch engine guarantees
+per-matrix byte equality and falls back per matrix where it cannot.
 """
 
 from __future__ import annotations
@@ -21,6 +32,15 @@ from repro.synthesis.gateset import GateSet
 # Decomposition results for repeated unitaries (bare SWAPs especially)
 # are cached by matrix bytes.
 _CACHE_LIMIT = 4096
+
+
+def cache_key(matrix: np.ndarray) -> bytes:
+    """Matrix-bytes memo key (rounded so float noise does not split keys).
+
+    Factored out so the two-phase walk computes each gate's key exactly
+    once and reuses it for dedupe, lookup, and insert.
+    """
+    return np.round(matrix, 12).tobytes()
 
 
 class DecomposeCache:
@@ -41,20 +61,34 @@ class DecomposeCache:
         self._store: OrderedDict[tuple[str, bool, bytes],
                                  tuple[Circuit, complex]] = OrderedDict()
 
-    def get(self, gateset: GateSet, matrix: np.ndarray, solve: bool,
-            seed: int) -> tuple[Circuit, complex]:
-        key = (gateset.name, solve, np.round(matrix, 12).tobytes())
-        hit = self._store.get(key)
+    def lookup(self, gateset: GateSet, key: bytes,
+               solve: bool) -> tuple[Circuit, complex] | None:
+        """Probe by precomputed matrix key; counts a hit or a miss."""
+        full = (gateset.name, solve, key)
+        hit = self._store.get(full)
         if hit is not None:
             self.hits += 1
-            self._store.move_to_end(key)
+            self._store.move_to_end(full)
             return hit
         self.misses += 1
-        value = gateset.decompose(matrix, solve=solve, seed=seed)
+        return None
+
+    def insert(self, gateset: GateSet, key: bytes, solve: bool,
+               value: tuple[Circuit, complex]) -> None:
+        """Store a synthesized block under a precomputed matrix key."""
         if self.maxsize > 0:
-            self._store[key] = value
+            self._store[(gateset.name, solve, key)] = value
             if len(self._store) > self.maxsize:
                 self._store.popitem(last=False)
+
+    def get(self, gateset: GateSet, matrix: np.ndarray, solve: bool,
+            seed: int) -> tuple[Circuit, complex]:
+        key = cache_key(matrix)
+        hit = self.lookup(gateset, key, solve)
+        if hit is not None:
+            return hit
+        value = gateset.decompose(matrix, solve=solve, seed=seed)
+        self.insert(gateset, key, solve, value)
         return value
 
     def __len__(self) -> int:
@@ -69,7 +103,7 @@ class DecomposeCache:
 def decompose_circuit(circuit: Circuit, gateset: GateSet, *,
                       solve: bool = False, seed: int = 0,
                       cache: DecomposeCache | None = None,
-                      templates=None) -> Circuit:
+                      templates=None, engine: str = "auto") -> Circuit:
     """Lower an application-level circuit to the hardware basis.
 
     ``solve=False`` (the benchmark mode) produces placeholder single-qubit
@@ -84,6 +118,126 @@ def decompose_circuit(circuit: Circuit, gateset: GateSet, *,
     skip both the factor fold and the matrix-bytes keying.  The template
     layer delegates to ``cache`` on miss, so its blocks are bit-identical
     to the plain path.
+
+    ``engine`` selects the lowering walk: ``"auto"`` (default) runs the
+    two-phase batched walk, ``"scalar"`` the per-gate reference.  Both
+    produce bit-identical circuits; counters can differ only in the
+    pathological regime where a single circuit overflows the cache bound
+    mid-walk (the batched walk resolves each unique matrix once, so a
+    key the scalar walk would re-miss after eviction counts as a hit).
+    """
+    if engine == "scalar":
+        return decompose_circuit_reference(circuit, gateset, solve=solve,
+                                           seed=seed, cache=cache,
+                                           templates=templates)
+    if engine != "auto":
+        raise ValueError(f"unknown decompose engine {engine!r}")
+    if cache is None:
+        cache = DecomposeCache()
+    if templates is None:
+        from repro.synthesis.templates import DEFAULT_TEMPLATES
+        templates = DEFAULT_TEMPLATES
+
+    # ------------------------------------------------------------------
+    # Phase 1: resolve every gate, dedupe and collect uncached matrices.
+    # ------------------------------------------------------------------
+    # plan entries: ("1q", Gate) | ("value", block_value, gate)
+    #             | ("key", matrix_key, gate)
+    plan: list[tuple] = []
+    resolved: dict[bytes, tuple[Circuit, complex] | None] = {}
+    pending: list[tuple[bytes, np.ndarray]] = []
+    pending_keys: set[bytes] = set()
+    # template keys resolved through the matrix path this walk
+    template_refs: dict[tuple, bytes] = {}
+    template_inserts: list[tuple[tuple, bytes]] = []
+
+    for gate in circuit:
+        if gate.n_qubits == 1:
+            plan.append(("1q", Gate("U1Q", gate.qubits,
+                                    matrix=gate.unitary())))
+            continue
+        if gate.n_qubits != 2:
+            raise ValueError(f"cannot decompose {gate.n_qubits}-qubit gate")
+        template = gate.meta.get("template")
+        if template is not None:
+            tkey = templates.key(gateset, template, solve=solve, seed=seed)
+            known = template_refs.get(tkey)
+            if known is not None:
+                # The scalar walk would hit the entry inserted by the
+                # first occurrence (when the template memo stores at all).
+                if templates.maxsize > 0:
+                    templates.hits += 1
+                else:
+                    templates.misses += 1
+                plan.append(("key", known, gate))
+                continue
+            hit = templates.lookup(tkey)
+            if hit is not None:
+                plan.append(("value", hit, gate))
+                continue
+            matrix = gate.unitary()
+            mkey = cache_key(matrix)
+            template_refs[tkey] = mkey
+            template_inserts.append((tkey, mkey))
+        else:
+            matrix = gate.unitary()
+            mkey = cache_key(matrix)
+        if mkey in pending_keys:
+            # Scalar would have inserted after the first occurrence and
+            # hit now (or re-missed with storage disabled).
+            if cache.maxsize > 0:
+                cache.hits += 1
+            else:
+                cache.misses += 1
+        elif mkey not in resolved:
+            hit = cache.lookup(gateset, mkey, solve)
+            if hit is not None:
+                resolved[mkey] = hit
+            else:
+                pending.append((mkey, matrix))
+                pending_keys.add(mkey)
+        else:
+            # Repeat of a store-resolved key: replay the scalar lookup so
+            # counters and LRU recency stay identical.
+            cache.lookup(gateset, mkey, solve)
+        plan.append(("key", mkey, gate))
+
+    # ------------------------------------------------------------------
+    # Phase 2: one batched synthesis call for all misses, then emit.
+    # ------------------------------------------------------------------
+    if pending:
+        blocks = gateset.decompose_batch([m for _, m in pending],
+                                         solve=solve, seed=seed)
+        for (mkey, _), value in zip(pending, blocks):
+            resolved[mkey] = value
+            cache.insert(gateset, mkey, solve, value)
+    for tkey, mkey in template_inserts:
+        templates.insert(tkey, resolved[mkey])
+
+    lowered = Circuit(circuit.n_qubits)
+    for entry in plan:
+        if entry[0] == "1q":
+            lowered.append(entry[1])
+            continue
+        _, ref, gate = entry
+        block, _ = ref if entry[0] == "value" else resolved[ref]
+        a, b = gate.qubits
+        for small in block:
+            mapped = tuple(a if q == 0 else b for q in small.qubits)
+            lowered.append(Gate(small.name, mapped, small.params,
+                                small.matrix, meta=dict(small.meta)))
+    return merge_single_qubit_gates(lowered)
+
+
+def decompose_circuit_reference(circuit: Circuit, gateset: GateSet, *,
+                                solve: bool = False, seed: int = 0,
+                                cache: DecomposeCache | None = None,
+                                templates=None) -> Circuit:
+    """Scalar per-gate lowering walk (the pre-batching reference).
+
+    Kept verbatim as the bit-identity oracle for the two-phase walk; the
+    perf smoke and the equivalence tests run both and compare outputs
+    byte for byte.
     """
     if cache is None:
         cache = DecomposeCache()

@@ -29,6 +29,13 @@ import numpy as np
 
 from repro.quantum.circuit import Circuit
 from repro.quantum.gates import Gate
+from repro.synthesis.batch import (
+    _as_batch,
+    batch_expand_1q,
+    batch_kak_decompose,
+    batch_rx_matrices,
+    batch_rz_matrices,
+)
 from repro.synthesis.weyl import kak_decompose, mirror_x_z
 
 _PI4 = math.pi / 4
@@ -137,6 +144,172 @@ def _append_local(circuit: Circuit, qubit: int, matrix: np.ndarray,
     if off < atol and abs(matrix[0, 0] - matrix[1, 1]) < atol:
         return
     circuit.append(Gate("U1Q", (qubit,), matrix=matrix))
+
+
+# ---------------------------------------------------------------------------
+# Batched CNOT-basis synthesis
+# ---------------------------------------------------------------------------
+# The per-matrix cost of `decompose_to_cnots` is dominated by the two KAK
+# decompositions (target and core) and the dense core-unitary fold; all
+# three batch.  The core circuits have fixed gate *structure* per CNOT
+# count, so their unitary folds split into constant segments (computed
+# once through the scalar `_expand`/matmul chain) and per-matrix rotation
+# layers (stacked matmuls).  A byte-level guard compares one batched core
+# against the scalar `_core_unitary` fold and drops the whole group back
+# to the scalar fold if the platform ever disagrees.
+
+_CORE1_CACHE: dict[str, object] = {}
+
+
+def _core1_kak():
+    """KAK of the constant 1-CNOT core (deterministic; computed once)."""
+    kak = _CORE1_CACHE.get("kak")
+    if kak is None:
+        kak = kak_decompose(_core_unitary(_core_gates(0.0, 0.0, 0.0, 1)))
+        _CORE1_CACHE["kak"] = kak
+    return kak
+
+
+def _expand_gate(gate: Gate) -> np.ndarray:
+    from repro.quantum.circuit import _expand
+
+    return _expand(gate, 2)
+
+
+_CONST_CACHE: dict[str, np.ndarray] = {}
+
+
+def _const_mats() -> dict[str, np.ndarray]:
+    """Constant expanded gates / folded prefixes of the core circuits.
+
+    Every entry reproduces the exact scalar arithmetic
+    (``_expand(gate, 2) @ running`` starting from ``np.eye(4)``), so
+    substituting them for the scalar fold is byte-exact by construction.
+    """
+    if not _CONST_CACHE:
+        eye = np.eye(4, dtype=complex)
+        cnot = _expand_gate(Gate("CNOT", (0, 1)))
+        cz = _expand_gate(Gate("CZ", (0, 1)))
+        _CONST_CACHE["cnot"] = cnot
+        _CONST_CACHE["cz"] = cz
+        # count == 2 prefix: CNOT applied to the identity.
+        _CONST_CACHE["pre2"] = cnot @ eye
+        # count == 3 prefix: RZ(1,-pi/2), CNOT, RZ(0,pi/2), RZ(1,pi/2).
+        run = eye
+        for gate in _core_gates(0.25, 0.25, 0.125, 3)[:4]:
+            run = _expand_gate(gate) @ run
+        _CONST_CACHE["pre3"] = run
+    return _CONST_CACHE
+
+
+def _batch_cores_2(gate_lists: list[list[Gate]]) -> np.ndarray:
+    """Stacked core unitaries for the 2-CNOT template."""
+    consts = _const_mats()
+    rx = batch_rx_matrices(
+        np.array([gates[1].params[0] for gates in gate_lists], dtype=float)
+    )
+    rz = batch_rz_matrices(
+        np.array([gates[2].params[0] for gates in gate_lists], dtype=float)
+    )
+    run = np.matmul(batch_expand_1q(rx, 0), consts["pre2"])
+    run = np.matmul(batch_expand_1q(rz, 1), run)
+    return np.matmul(consts["cnot"], run)
+
+
+def _batch_cores_3(gate_lists: list[list[Gate]]) -> np.ndarray:
+    """Stacked core unitaries for the 3-CNOT template."""
+    consts = _const_mats()
+    rx_a = batch_rx_matrices(
+        np.array([gates[4].params[0] for gates in gate_lists], dtype=float)
+    )
+    rx_b = batch_rx_matrices(
+        np.array([gates[6].params[0] for gates in gate_lists], dtype=float)
+    )
+    rz = batch_rz_matrices(
+        np.array([gates[7].params[0] for gates in gate_lists], dtype=float)
+    )
+    run = np.matmul(batch_expand_1q(rx_a, 0), consts["pre3"])
+    run = np.matmul(consts["cz"], run)
+    run = np.matmul(batch_expand_1q(rx_b, 0), run)
+    run = np.matmul(batch_expand_1q(rz, 1), run)
+    return np.matmul(consts["cnot"], run)
+
+
+def _guarded_cores(gate_lists: list[list[Gate]], builder) -> np.ndarray:
+    """Batched core unitaries with a scalar byte-identity spot check.
+
+    One batched core is refolded through the scalar path; any byte
+    difference retires the whole group to the scalar fold (the
+    ``engine="auto"`` safety treatment).
+    """
+    cores = builder(gate_lists)
+    reference = _core_unitary(gate_lists[0])
+    if reference.tobytes() != np.ascontiguousarray(cores[0]).tobytes():
+        return np.stack([_core_unitary(gates) for gates in gate_lists])
+    return cores
+
+
+def batch_decompose_to_cnots(unitaries) -> list[tuple[Circuit, complex]]:
+    """Batched :func:`decompose_to_cnots`: one entry per stacked matrix.
+
+    Per matrix bit-identical to the scalar function -- the target and
+    core KAK decompositions run through the batch engine (with its scalar
+    fallback), the core folds run as stacked matmuls guarded against the
+    scalar fold, and the final local-gate assembly replays the scalar
+    Python verbatim.
+    """
+    stack = _as_batch(unitaries)
+    k = stack.shape[0]
+    if k == 0:
+        return []
+    targets = batch_kak_decompose(stack)
+    counts = [cnot_count(t.coordinates) for t in targets]
+    gate_lists = [
+        _core_gates(t.x, t.y, t.z, n) for t, n in zip(targets, counts)
+    ]
+
+    # Core KAKs: constant for 1-CNOT cores; batched folds otherwise.
+    cores = {}
+    for count, builder in ((2, _batch_cores_2), (3, _batch_cores_3)):
+        group = [i for i in range(k) if counts[i] == count]
+        if not group:
+            continue
+        mats = _guarded_cores([gate_lists[i] for i in group], builder)
+        for i, decomp in zip(group, batch_kak_decompose(mats)):
+            cores[i] = decomp
+    for i in range(k):
+        if counts[i] == 1:
+            cores[i] = _core1_kak()
+
+    results: list[tuple[Circuit, complex]] = []
+    for i in range(k):
+        target = targets[i]
+        circuit = Circuit(2)
+        if counts[i] == 0:
+            _append_local(circuit, 0, target.a1 @ target.b1)
+            _append_local(circuit, 1, target.a2 @ target.b2)
+            results.append((circuit, target.phase))
+            continue
+        core = cores[i]
+        if np.abs(
+            np.array(core.coordinates) - np.array(target.coordinates)
+        ).max() > 1e-6:
+            raise RuntimeError(
+                f"core class {core.coordinates} does not match target "
+                f"{target.coordinates}"
+            )
+        pre1 = core.b1.conj().T @ target.b1
+        pre2 = core.b2.conj().T @ target.b2
+        post1 = target.a1 @ core.a1.conj().T
+        post2 = target.a2 @ core.a2.conj().T
+        phase = target.phase / core.phase
+        _append_local(circuit, 0, pre1)
+        _append_local(circuit, 1, pre2)
+        circuit.extend(gate_lists[i])
+        _append_local(circuit, 0, post1)
+        _append_local(circuit, 1, post2)
+        results.append((circuit, phase))
+    return results
 
 
 def decompose_kak_aligned(unitary: np.ndarray, core_gates: list[Gate],

@@ -28,7 +28,9 @@ import numpy as np
 from repro.quantum.circuit import Circuit
 from repro.quantum.gates import Gate, standard_gate_unitary
 from repro.quantum.transforms import merge_single_qubit_gates
+from repro.synthesis.batch import batch_weyl_coordinates
 from repro.synthesis.cnot_basis import (
+    batch_decompose_to_cnots,
     cnot_count,
     decompose_kak_aligned,
     decompose_to_cnots,
@@ -78,6 +80,37 @@ class GateSet:
             circuit, phase = decompose_to_cnots(unitary)
             return merge_single_qubit_gates(_rewrite_cnot_as_cz(circuit)), phase
         return self._decompose_numerical(unitary, solve=solve, seed=seed)
+
+    def decompose_batch(self, unitaries, *, solve: bool = True,
+                        seed: int = 0) -> list[tuple[Circuit, complex]]:
+        """Batched :meth:`decompose`: one ``(circuit, phase)`` per input.
+
+        Per matrix bit-identical to the scalar method.  The analytic
+        CNOT/CZ bases and the structural (``solve=False``) numerical
+        path ride the batched KAK engine; the exact numerical path is
+        solver-bound (scipy sandwich search per matrix) and runs the
+        scalar method per input.
+        """
+        if self.name in ("CNOT", "CZ"):
+            rewrite = (_rewrite_cz_as_cnot if self.name == "CNOT"
+                       else _rewrite_cnot_as_cz)
+            return [
+                (merge_single_qubit_gates(rewrite(circuit)), phase)
+                for circuit, phase in batch_decompose_to_cnots(unitaries)
+            ]
+        if not solve:
+            counts = [
+                min_basis_gates(coords, self.basis_coords)
+                for coords in batch_weyl_coordinates(unitaries)
+            ]
+            return [
+                (_structural_circuit(self.name, count), 1.0 + 0j)
+                for count in counts
+            ]
+        return [
+            self._decompose_numerical(unitary, solve=True, seed=seed)
+            for unitary in unitaries
+        ]
 
     def _decompose_numerical(self, unitary: np.ndarray, *, solve: bool,
                              seed: int) -> tuple[Circuit, complex]:

@@ -1,0 +1,118 @@
+"""Decomposition perf smoke: batched KAK synthesis vs the scalar path.
+
+Run as ``python -m repro.synthesis.perf_smoke``.  Builds a fixed batch of
+two-qubit unitaries (seeded Haar draws plus the structured blocks real
+workloads repeat: SWAP, CNOT, CZ, canonical gates at the chamber
+boundaries), lowers it to the CNOT basis both ways -- one
+:meth:`GateSet.decompose_batch` call against per-matrix
+:meth:`GateSet.decompose` -- and asserts the batched engine is at least
+``MIN_RATIO`` times faster.  The check is *relative* (both sides run in
+the same process on the same machine), so it is robust to slow CI
+runners; it also re-asserts block-for-block bit-identity, because a fast
+wrong synthesis is worse than a slow right one.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import time
+
+import numpy as np
+
+MIN_RATIO = 3.0
+N_HAAR = 48
+ROUNDS = 5
+
+
+def build_workload() -> list[np.ndarray]:
+    """The fixed smoke batch: Haar draws plus structured repeats."""
+    from repro.quantum.gates import standard_gate_unitary
+    from repro.quantum.unitaries import random_unitary
+    from repro.synthesis.weyl import canonical_gate
+
+    rng = np.random.default_rng(0)
+    matrices = [random_unitary(4, rng) for _ in range(N_HAAR)]
+    matrices += [
+        standard_gate_unitary("SWAP"),
+        standard_gate_unitary("CNOT"),
+        standard_gate_unitary("CZ"),
+        np.kron(random_unitary(2, rng), random_unitary(2, rng)),
+        canonical_gate(math.pi / 4, 0.3, 0.1),   # x = pi/4 boundary
+        canonical_gate(0.4, 0.3, 0.0),           # z = 0 (2-CNOT class)
+        canonical_gate(0.4, 0.3, -0.2),          # z < 0 pre-reduction
+    ]
+    return matrices
+
+
+def blocks_identical(batched, scalar) -> bool:
+    """Block-for-block comparison: names, qubits, params, matrix bytes,
+    global phases."""
+    if len(batched) != len(scalar):
+        return False
+    for (circuit_b, phase_b), (circuit_s, phase_s) in zip(batched, scalar):
+        if complex(phase_b) != complex(phase_s):
+            return False
+        if len(circuit_b.gates) != len(circuit_s.gates):
+            return False
+        for gate_b, gate_s in zip(circuit_b.gates, circuit_s.gates):
+            if (gate_b.name != gate_s.name
+                    or gate_b.qubits != gate_s.qubits
+                    or gate_b.params != gate_s.params):
+                return False
+            if (gate_b.matrix is None) != (gate_s.matrix is None):
+                return False
+            if gate_b.matrix is not None:
+                if (np.ascontiguousarray(gate_b.matrix).tobytes()
+                        != np.ascontiguousarray(gate_s.matrix).tobytes()):
+                    return False
+    return True
+
+
+def measure(rounds: int = ROUNDS) -> tuple[float, float, bool]:
+    """(batched seconds, scalar seconds, blocks identical) for one pass
+    over the fixed workload, best of ``rounds``."""
+    from repro.synthesis.gateset import get_gateset
+
+    gateset = get_gateset("CNOT")
+    matrices = build_workload()
+
+    def batched():
+        return gateset.decompose_batch(matrices)
+
+    def scalar():
+        return [gateset.decompose(matrix) for matrix in matrices]
+
+    batched()  # warm constant caches on both sides before timing
+    scalar()
+    batched_s = min(_timed(batched) for _ in range(rounds))
+    scalar_s = min(_timed(scalar) for _ in range(rounds))
+    identical = blocks_identical(batched(), scalar())
+    return batched_s, scalar_s, identical
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def main() -> int:
+    batched_s, scalar_s, identical = measure()
+    ratio = scalar_s / batched_s if batched_s > 0 else float("inf")
+    print(f"decompose perf smoke ({N_HAAR + 7} blocks, CNOT basis): "
+          f"batched {batched_s * 1e3:.1f}ms, "
+          f"scalar reference {scalar_s * 1e3:.1f}ms, "
+          f"ratio {ratio:.1f}x (need >= {MIN_RATIO}x), "
+          f"block-identical: {identical}")
+    if not identical:
+        print("FAIL: batched blocks differ from the scalar reference")
+        return 1
+    if ratio < MIN_RATIO:
+        print(f"FAIL: batched synthesis only {ratio:.1f}x faster")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

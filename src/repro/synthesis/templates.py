@@ -100,22 +100,37 @@ class TemplateCache:
         self.misses = 0
         self._store: OrderedDict[tuple, tuple] = OrderedDict()
 
-    def get(self, gateset, gate, template, *, solve: bool, seed: int,
-            cache):
+    def key(self, gateset, template, *, solve: bool, seed: int) -> tuple:
+        """The memo key of a template under a gateset/solve/seed context."""
         signatures, angles, conjugate_swap, pre_swap = template
-        key = (gateset.name, solve, seed, tuple(signatures), tuple(angles),
-               bool(conjugate_swap), bool(pre_swap))
+        return (gateset.name, solve, seed, tuple(signatures), tuple(angles),
+                bool(conjugate_swap), bool(pre_swap))
+
+    def lookup(self, key: tuple):
+        """Probe by precomputed key; counts a hit or a miss."""
         hit = self._store.get(key)
         if hit is not None:
             self.hits += 1
             self._store.move_to_end(key)
             return hit
         self.misses += 1
-        value = cache.get(gateset, gate.unitary(), solve, seed)
+        return None
+
+    def insert(self, key: tuple, value: tuple) -> None:
+        """Store a decomposed block under a precomputed key."""
         if self.maxsize > 0:
             self._store[key] = value
             if len(self._store) > self.maxsize:
                 self._store.popitem(last=False)
+
+    def get(self, gateset, gate, template, *, solve: bool, seed: int,
+            cache):
+        key = self.key(gateset, template, solve=solve, seed=seed)
+        hit = self.lookup(key)
+        if hit is not None:
+            return hit
+        value = cache.get(gateset, gate.unitary(), solve, seed)
+        self.insert(key, value)
         return value
 
     def __len__(self) -> int:

@@ -2,9 +2,17 @@
 
 import numpy as np
 
-from repro.core.decompose import DecomposeCache
-from repro.quantum.gates import standard_gate_unitary
+from repro.core.decompose import (
+    DecomposeCache,
+    cache_key,
+    decompose_circuit,
+    decompose_circuit_reference,
+)
+from repro.quantum.circuit import Circuit
+from repro.quantum.gates import Gate, standard_gate_unitary
 from repro.synthesis.gateset import get_gateset
+
+from tests.conftest import pauli_exponential
 
 
 def _rz_pair(theta: float) -> np.ndarray:
@@ -76,3 +84,101 @@ class TestDecomposeCacheLRU:
         circuit_b, phase_b = unbounded.get(gateset, swap, True, 0)
         assert phase_a == phase_b
         assert [str(g) for g in circuit_a] == [str(g) for g in circuit_b]
+
+    def test_cache_key_rounds_float_noise(self):
+        swap = standard_gate_unitary("SWAP")
+        assert cache_key(swap) == cache_key(swap + 1e-15)
+        assert cache_key(swap) != cache_key(swap + 1e-9)
+
+    def test_lookup_insert_compose_to_get(self):
+        """The split lookup/insert API the two-phase walk uses must be
+        behaviourally identical to the original get()."""
+        gateset = get_gateset("CNOT")
+        swap = standard_gate_unitary("SWAP")
+        split, fused = DecomposeCache(), DecomposeCache()
+        key = cache_key(swap)
+        assert split.lookup(gateset, key, False) is None
+        split.insert(gateset, key, False, gateset.decompose(swap, solve=False))
+        hit = split.lookup(gateset, key, False)
+        assert hit is not None
+        fused.get(gateset, swap, False, 0)
+        fused.get(gateset, swap, False, 0)
+        assert split.stats() == fused.stats()
+
+
+def _two_qubit_circuit():
+    """Repeated and unique blocks interleaved, to exercise dedupe."""
+    c = Circuit(4)
+    hot = pauli_exponential(0.5, 0.3, 0.2)
+    c.append(Gate("APP2Q", (0, 1), matrix=hot))
+    c.append(Gate("APP2Q", (2, 3), matrix=pauli_exponential(0, 0, 0.8)))
+    c.append(Gate("APP2Q", (1, 2), matrix=hot))
+    c.append(Gate("SWAP", (0, 1)))
+    c.append(Gate("APP2Q", (0, 1), matrix=pauli_exponential(0.1, 0.0, 0.4)))
+    c.append(Gate("APP2Q", (2, 3), matrix=hot))
+    c.append(Gate("APP1Q", (0,), matrix=standard_gate_unitary("H")))
+    return c
+
+
+def _circuits_identical(a: Circuit, b: Circuit) -> bool:
+    if len(a.gates) != len(b.gates):
+        return False
+    for ga, gb in zip(a.gates, b.gates):
+        if (ga.name != gb.name or ga.qubits != gb.qubits
+                or ga.params != gb.params):
+            return False
+        ma = None if ga.matrix is None else ga.matrix.tobytes()
+        mb = None if gb.matrix is None else gb.matrix.tobytes()
+        if ma != mb:
+            return False
+    return True
+
+
+class TestTwoPhaseCacheRegimes:
+    """The batched two-phase walk under degenerate cache configurations.
+
+    ``maxsize=0`` stores nothing, so every repeat of a block re-misses;
+    eviction-boundary sizes evict entries *between* the plan and emission
+    phases of a single call.  In both regimes the emitted circuit must
+    stay bit-identical to the scalar reference walk, which hits exactly
+    the same regimes gate by gate.
+    """
+
+    def test_maxsize_zero_matches_reference(self):
+        gateset = get_gateset("CNOT")
+        circuit = _two_qubit_circuit()
+        batched = decompose_circuit(circuit, gateset,
+                                    cache=DecomposeCache(maxsize=0))
+        reference = decompose_circuit_reference(
+            circuit, gateset, cache=DecomposeCache(maxsize=0))
+        assert _circuits_identical(batched, reference)
+
+    def test_maxsize_zero_counts_every_occurrence_as_miss(self):
+        gateset = get_gateset("CNOT")
+        circuit = _two_qubit_circuit()
+        cache = DecomposeCache(maxsize=0)
+        decompose_circuit(circuit, gateset, cache=cache)
+        assert cache.hits == 0
+        assert cache.misses == 6   # all six 2q occurrences re-miss
+        assert len(cache) == 0
+
+    def test_eviction_boundary_sizes_match_reference(self):
+        gateset = get_gateset("CNOT")
+        circuit = _two_qubit_circuit()
+        # 4 unique blocks in the circuit: sizes below, at, and above.
+        for maxsize in (1, 2, 3, 4, 5):
+            batched = decompose_circuit(
+                circuit, gateset, cache=DecomposeCache(maxsize=maxsize))
+            reference = decompose_circuit_reference(
+                circuit, gateset, cache=DecomposeCache(maxsize=maxsize))
+            assert _circuits_identical(batched, reference), maxsize
+
+    def test_second_call_hits_across_phases(self):
+        gateset = get_gateset("CNOT")
+        circuit = _two_qubit_circuit()
+        cache = DecomposeCache()
+        first = decompose_circuit(circuit, gateset, cache=cache)
+        misses_after_first = cache.misses
+        second = decompose_circuit(circuit, gateset, cache=cache)
+        assert cache.misses == misses_after_first  # all blocks now cached
+        assert _circuits_identical(first, second)

@@ -1,0 +1,109 @@
+"""Batched KAK synthesis must match the scalar reference bit for bit.
+
+The batched engine (:mod:`repro.synthesis.batch`) is a pure performance
+rewrite: every stacked stage reproduces the retained scalar path
+(:mod:`repro.synthesis.weyl`, :mod:`repro.quantum.unitaries`) byte for
+byte, falling back per matrix where it cannot.  These tests pin that
+contract on randomized Haar batches and on the Weyl-chamber edge cases
+where the candidate tie-break is most fragile.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.quantum.gates import standard_gate_unitary
+from repro.quantum.unitaries import closest_kron_factors, random_unitary
+from repro.synthesis.batch import (
+    batch_closest_kron_factors,
+    batch_kak_decompose,
+    batch_weyl_coordinates,
+)
+from repro.synthesis.weyl import canonical_gate, kak_decompose, weyl_coordinates
+
+
+def _haar_batch(count: int, seed: int) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [random_unitary(4, rng) for _ in range(count)]
+
+
+def _edge_cases() -> list[np.ndarray]:
+    rng = np.random.default_rng(7)
+    return [
+        canonical_gate(math.pi / 4, 0.3, 0.1),    # x = pi/4 chamber boundary
+        canonical_gate(math.pi / 4, math.pi / 4, 0.2),
+        np.kron(random_unitary(2, rng), random_unitary(2, rng)),  # purely local
+        np.eye(4, dtype=complex),
+        standard_gate_unitary("SWAP"),            # exact SWAP
+        standard_gate_unitary("CNOT"),
+        standard_gate_unitary("CZ"),
+        canonical_gate(0.4, 0.3, -0.2),           # z < 0 before reduction
+        canonical_gate(0.4, 0.4, -0.1),
+        canonical_gate(0.3, 0.0, 0.0),
+    ]
+
+
+def _assert_kak_identical(batched, scalar):
+    assert batched.phase == scalar.phase
+    assert batched.coordinates == scalar.coordinates
+    for factor_b, factor_s in zip((batched.a1, batched.a2,
+                                   batched.b1, batched.b2),
+                                  (scalar.a1, scalar.a2,
+                                   scalar.b1, scalar.b2)):
+        assert factor_b.tobytes() == factor_s.tobytes()
+
+
+class TestBatchWeylCoordinates:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_haar_random_matches_scalar(self, seed):
+        matrices = _haar_batch(24, seed)
+        batched = batch_weyl_coordinates(matrices)
+        for matrix, coords in zip(matrices, batched):
+            assert np.array_equal(coords, weyl_coordinates(matrix))
+
+    def test_chamber_edge_cases_match_scalar(self):
+        matrices = _edge_cases()
+        batched = batch_weyl_coordinates(matrices)
+        for matrix, coords in zip(matrices, batched):
+            assert np.array_equal(coords, weyl_coordinates(matrix))
+
+    def test_mixed_batch_order_independent(self):
+        """Coordinates of a matrix don't depend on its batch neighbours."""
+        matrices = _edge_cases() + _haar_batch(8, 11)
+        alone = [batch_weyl_coordinates([m])[0] for m in matrices]
+        together = batch_weyl_coordinates(matrices)
+        for a, b in zip(alone, together):
+            assert np.array_equal(a, b)
+
+
+class TestBatchKronFactors:
+    @pytest.mark.parametrize("seed", [0, 5, 9])
+    def test_haar_kron_products_match_scalar(self, seed):
+        rng = np.random.default_rng(seed)
+        matrices = [np.kron(random_unitary(2, rng), random_unitary(2, rng))
+                    for _ in range(16)]
+        stack = np.ascontiguousarray(np.stack(matrices))
+        batched_a, batched_b = batch_closest_kron_factors(stack)
+        for i, matrix in enumerate(matrices):
+            scalar_a, scalar_b = closest_kron_factors(matrix)
+            assert batched_a[i].tobytes() == scalar_a.tobytes()
+            assert batched_b[i].tobytes() == scalar_b.tobytes()
+
+
+class TestBatchKAKDecompose:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_haar_random_matches_scalar(self, seed):
+        matrices = _haar_batch(16, seed)
+        for matrix, batched in zip(matrices, batch_kak_decompose(matrices)):
+            _assert_kak_identical(batched, kak_decompose(matrix))
+
+    def test_chamber_edge_cases_match_scalar(self):
+        matrices = _edge_cases()
+        for matrix, batched in zip(matrices, batch_kak_decompose(matrices)):
+            _assert_kak_identical(batched, kak_decompose(matrix))
+
+    def test_reconstruction_is_exact_enough(self):
+        matrices = _haar_batch(8, 3)
+        for matrix, result in zip(matrices, batch_kak_decompose(matrices)):
+            assert np.max(np.abs(result.reconstruct() - matrix)) < 1e-6

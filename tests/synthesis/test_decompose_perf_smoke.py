@@ -1,0 +1,39 @@
+"""The CI decomposition perf smoke stays runnable and honest.
+
+The strict >= 3x timing assertion lives in the dedicated CI job
+(`python -m repro.synthesis.perf_smoke`); here we only pin what must
+never flake: the smoke runs, the batched and scalar paths agree block
+for block, and both timings are real measurements.
+"""
+
+from repro.synthesis import perf_smoke
+
+
+def test_measure_paths_agree_block_for_block():
+    batched_s, scalar_s, identical = perf_smoke.measure(rounds=1)
+    assert identical
+    assert batched_s > 0
+    assert scalar_s > 0
+
+
+def test_main_runs_end_to_end(capsys, monkeypatch):
+    """main() exercised with the timing bar lowered to zero: the strict
+    >= 3x assertion belongs to the dedicated CI job, not to tier-1,
+    where a contended runner could flake it."""
+    monkeypatch.setattr(perf_smoke, "MIN_RATIO", 0.0)
+    assert perf_smoke.main() == 0
+    assert "ratio" in capsys.readouterr().out
+
+
+def test_blocks_identical_rejects_differences():
+    from repro.synthesis.gateset import get_gateset
+
+    gateset = get_gateset("CNOT")
+    matrices = perf_smoke.build_workload()[:2]
+    blocks = gateset.decompose_batch(matrices)
+    assert perf_smoke.blocks_identical(blocks, list(blocks))
+    # A phase perturbation must be caught.
+    circuit, phase = blocks[0]
+    tampered = [(circuit, phase * 1.0000001)] + blocks[1:]
+    assert not perf_smoke.blocks_identical(tampered, blocks)
+    assert not perf_smoke.blocks_identical(blocks[:1], blocks)
