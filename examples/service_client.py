@@ -1,0 +1,118 @@
+"""Compilation as a service: spawn a compile server, drive it end to end.
+
+This example exercises the full serving stack exactly the way the CI
+smoke job does:
+
+1. start ``python -m repro serve`` as a subprocess on an ephemeral port
+   with a disk artifact cache;
+2. fire a mixed batch through the :class:`CompileClient` SDK --
+   duplicates (served from one compile), an alias spelling (dedupes with
+   its canonical name), and two parameterised QAOA variants (sharing one
+   structural compile, bound per angle set);
+3. assert the coalescing counters on ``/metrics`` and re-fire the same
+   batch to show the warm cache: identical responses, no new misses;
+4. shut the server down gracefully and check it drained cleanly.
+
+Run with ``python examples/service_client.py``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.service.client import CompileClient  # noqa: E402
+
+BATCH = [
+    {"compiler": "2qan", "benchmark": "NNN_Ising", "n_qubits": 6,
+     "device": "aspen", "gateset": "CNOT", "seed": 0},
+    {"compiler": "2qan", "benchmark": "NNN_Ising", "n_qubits": 6,
+     "device": "aspen", "gateset": "CNOT", "seed": 0},    # duplicate
+    {"compiler": "order", "benchmark": "NNN_Ising", "n_qubits": 6,
+     "device": "aspen", "gateset": "CNOT", "seed": 0},    # alias of tket
+    {"compiler": "tket", "benchmark": "NNN_Ising", "n_qubits": 6,
+     "device": "aspen", "gateset": "CNOT", "seed": 0},    # dedupes with it
+    {"compiler": "2qan", "benchmark": "QAOA-REG-3", "n_qubits": 6,
+     "device": "aspen", "gateset": "CNOT", "seed": 1,
+     "parameters": {"gamma": 0.4, "beta": 1.1}},
+    {"compiler": "2qan", "benchmark": "QAOA-REG-3", "n_qubits": 6,
+     "device": "aspen", "gateset": "CNOT", "seed": 1,
+     "parameters": {"gamma": 0.7, "beta": 0.2}},          # same structure
+]
+
+
+def start_server(cache_dir: str) -> tuple[subprocess.Popen, int]:
+    """Spawn ``repro serve`` on an ephemeral port; returns the port it
+    announces on stderr."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--jobs", "2", "--cache", cache_dir],
+        stderr=subprocess.PIPE, env=env, text=True)
+    line = process.stderr.readline().strip()    # "serving on host:port"
+    if not line.startswith("serving on "):
+        process.kill()
+        raise RuntimeError(f"unexpected server banner: {line!r}")
+    port = int(line.rsplit(":", 1)[1])
+    # keep draining stderr so the server never blocks on a full pipe
+    threading.Thread(target=process.stderr.read, daemon=True).start()
+    return process, port
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as cache_dir:
+        process, port = start_server(cache_dir)
+        try:
+            client = CompileClient(port=port)
+            print(f"server up on port {port}: {client.healthz()['status']}")
+
+            cold = client.compile_batch(BATCH)
+            keys = [response["request_key"] for response in cold]
+            assert keys[0] == keys[1], "duplicates must share request_key"
+            assert keys[2] == keys[3], "alias must dedupe with canonical"
+            metrics = client.metrics()
+            counters = metrics["requests"]
+            assert counters["deduplicated"] == 2
+            assert counters["structural_compiles"] == 1
+            assert counters["structural_binds"] == 2
+            cold_misses = metrics["cache"]["default"]["misses"]
+            print(f"cold batch: {len(BATCH)} requests -> "
+                  f"{counters['compiled']} compiles "
+                  f"({counters['deduplicated']} deduplicated, "
+                  f"{counters['structural_binds']} bound onto "
+                  f"{counters['structural_compiles']} structural compile)")
+
+            warm = client.compile_batch(BATCH)
+            assert json.dumps(warm) == json.dumps(cold), \
+                "warm responses must be bit-identical to cold"
+            stats = client.metrics()["cache"]["default"]
+            assert stats["misses"] == cold_misses, \
+                "a warm re-run must add no cache misses"
+            print(f"warm batch: identical responses, "
+                  f"{stats['hits']} cache hits, no new misses")
+
+            for response in cold:
+                label = (f"{response['compiler']} {response['benchmark']}"
+                         + (" (bound)" if "parameters" in response else ""))
+                print(f"  {label}: swaps={response['n_swaps']} "
+                      f"2q-depth={response['two_qubit_depth']}")
+
+            print(f"shutdown: {client.shutdown()['status']}")
+            code = process.wait(timeout=60)
+            assert code == 0, f"server exited with {code}"
+            print("server drained and exited cleanly")
+        finally:
+            if process.poll() is None:
+                process.kill()
+
+
+if __name__ == "__main__":
+    main()

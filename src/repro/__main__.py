@@ -13,6 +13,7 @@ Examples::
         --gateset CNOT --sizes 6,8,10 --jobs 4 --store results/store
     python -m repro batch --requests requests.json --jobs 4 \
         --cache results/cache --json
+    python -m repro serve --port 8000 --jobs 2 --cache results/cache
 """
 
 from __future__ import annotations
@@ -61,9 +62,10 @@ def make_parser() -> argparse.ArgumentParser:
                "request speed; 'repro sweep ...' runs a parallel, "
                "resumable (sizes x instances x compilers) sweep; 'repro "
                "batch ...' serves a JSON file of compile requests "
-               "through the content-addressed cache; see 'repro compile "
+               "through the content-addressed cache; 'repro serve ...' "
+               "runs the HTTP compile server; see 'repro compile "
                "--help' / 'repro bind --help' / 'repro sweep --help' / "
-               "'repro batch --help'",
+               "'repro batch --help' / 'repro serve --help'",
     )
     parser.add_argument("--benchmark", default="NNN_Heisenberg",
                         choices=BENCHMARKS,
@@ -578,6 +580,69 @@ def batch_main(argv: list[str]) -> int:
     return exit_code
 
 
+# ----------------------------------------------------------------------
+# repro serve
+# ----------------------------------------------------------------------
+def make_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run the compile server: an HTTP front end with a "
+                    "bounded priority job queue, in-flight request "
+                    "coalescing, per-tenant cache salting, /metrics, "
+                    "and graceful drain on shutdown",
+        epilog="routes: POST /compile (one request), POST /batch (a "
+               "request list; responses match 'repro batch --json'), "
+               "GET /metrics, GET /healthz, POST /shutdown; requests "
+               "may carry 'tenant', 'priority' and 'timeout_s' fields",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address")
+    parser.add_argument("--port", type=int, default=8000,
+                        help="TCP port (0 picks an ephemeral port; the "
+                             "bound port is announced on stderr)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker threads compiling queued requests")
+    parser.add_argument("--queue-depth", type=int, default=64,
+                        help="pending-job bound before 429 backpressure")
+    parser.add_argument("--cache", default=None, metavar="DIR",
+                        help="persist stage artifacts under this "
+                             "directory, salted per tenant and source "
+                             "digest")
+    parser.add_argument("--memory-limit", type=int, default=1024,
+                        help="in-memory artifact entries per tenant")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="default per-request timeout (requests may "
+                             "override with 'timeout_s')")
+    return parser
+
+
+def serve_main(argv: list[str]) -> int:
+    from repro.service.server import ServiceConfig, serve
+
+    args = make_serve_parser().parse_args(argv)
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 1
+    if args.queue_depth < 1:
+        print("error: --queue-depth must be >= 1", file=sys.stderr)
+        return 1
+    if args.port < 0 or args.port > 65535:
+        print("error: --port must be in 0..65535", file=sys.stderr)
+        return 1
+    if args.timeout is not None and args.timeout <= 0:
+        print("error: --timeout must be positive", file=sys.stderr)
+        return 1
+    config = ServiceConfig(
+        jobs=args.jobs,
+        queue_depth=args.queue_depth,
+        cache_dir=args.cache or None,
+        memory_limit=args.memory_limit,
+        default_timeout_s=args.timeout,
+    )
+    return serve(config, host=args.host, port=args.port)
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
@@ -589,6 +654,8 @@ def main(argv: list[str] | None = None) -> int:
         return batch_main(argv[1:])
     if argv and argv[0] == "bind":
         return bind_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     args = make_parser().parse_args(argv)
     step = build_step(args.benchmark, args.qubits, args.seed)
     device = _resolve_device(args.device, args.qubits)

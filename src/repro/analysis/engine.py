@@ -164,6 +164,34 @@ def execute_task(task: SweepTask, device: Device,
     )
 
 
+def aggregate_pass_timings(timings_dicts: Iterable[dict[str, float]],
+                           into: dict[str, dict[str, float]] | None = None,
+                           ) -> dict[str, dict[str, float]]:
+    """Fold per-compile pass-timing dicts into per-pass aggregates.
+
+    Returns ``{pass_name: {"count": n, "total_s": s}}`` in first-seen
+    pass order.  This is the one aggregation path shared by the sweep
+    report (``sweep --pass-timings`` means are ``total_s / count``) and
+    the compile server's ``/metrics`` endpoint, which folds every served
+    response into a running aggregate via ``into``.
+    """
+    aggregates = into if into is not None else {}
+    for timings in timings_dicts:
+        for name, seconds in timings.items():
+            entry = aggregates.setdefault(name,
+                                          {"count": 0, "total_s": 0.0})
+            entry["count"] += 1
+            entry["total_s"] += seconds
+    return aggregates
+
+
+def mean_pass_timings(timings_dicts: Iterable[dict[str, float]],
+                      ) -> dict[str, float]:
+    """Mean seconds per pass across many compiles (report tables)."""
+    return {name: entry["total_s"] / entry["count"]
+            for name, entry in aggregate_pass_timings(timings_dicts).items()}
+
+
 def _edge_map(mapping: dict | None) -> list | None:
     if mapping is None:
         return None

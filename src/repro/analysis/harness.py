@@ -282,13 +282,30 @@ def format_pass_timings(rows: list[BenchmarkRow],
     One line per pipeline pass (in first-seen order), one column per
     compiler; compilers whose pipeline lacks a pass show '-'.  Timings
     are informational (wall time under whatever load the sweep ran
-    with), so no mixed-sweep guard applies.
+    with), so no mixed-sweep guard applies.  Means come from the same
+    :func:`repro.analysis.engine.aggregate_pass_timings` fold the
+    compile server's ``/metrics`` endpoint exports.
     """
-    return _format_per_compiler_table(
-        rows, compilers, "timings", "pass", 14,
-        lambda values: f"{np.mean(values):12.3f}",
-        empty="(no pass timings recorded)",
-    )
+    from repro.analysis.engine import mean_pass_timings
+
+    if not rows:
+        return "(no data)"
+    if compilers is None:
+        compilers = tuple(dict.fromkeys(r.compiler for r in rows))
+    names = list(dict.fromkeys(name for r in rows for name in r.timings))
+    if not names:
+        return "(no pass timings recorded)"
+    means = {compiler: mean_pass_timings(r.timings for r in rows
+                                         if r.compiler == compiler)
+             for compiler in compilers}
+    header = f"{'pass':14s}" + "".join(f"{c:>12s}" for c in compilers)
+    lines = [header]
+    for name in names:
+        cells = [(f"{means[compiler][name]:12.3f}"
+                  if name in means[compiler] else f"{'-':>12s}")
+                 for compiler in compilers]
+        lines.append(f"{name:14s}" + "".join(cells))
+    return "\n".join(lines)
 
 
 def format_cache_stats(rows: list[BenchmarkRow],

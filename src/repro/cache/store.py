@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import threading
 from collections import OrderedDict
 from pathlib import Path
 
@@ -184,7 +185,14 @@ class ArtifactCache:
         events["hits" if hit else "misses"] += 1
 
     def stats(self) -> dict:
-        """Counters snapshot: global hits/misses plus per-pass events."""
+        """Counters snapshot: global hits/misses plus per-pass events.
+
+        The single read path for the counters: the batch service's
+        summary, the server's ``/metrics`` endpoint and the sweep report
+        all consume this plain dict (or deltas of two snapshots via
+        :func:`stats_delta`) instead of poking ``hits``/``misses``
+        directly.
+        """
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -192,6 +200,68 @@ class ArtifactCache:
             "per_pass": {name: dict(events)
                          for name, events in self.pass_events.items()},
         }
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters (entries stay; only accounting
+        resets -- e.g. a metrics scrape-and-reset cycle)."""
+        self.hits = 0
+        self.misses = 0
+        self.pass_events = {}
+
+
+def stats_delta(before: dict, after: dict) -> dict:
+    """What happened between two :meth:`ArtifactCache.stats` snapshots.
+
+    Returns the same shape as ``stats()`` with counters subtracted
+    (``memory_entries`` stays absolute: it is a gauge, not a counter).
+    """
+    per_pass: dict[str, dict[str, int]] = {}
+    for name, events in after["per_pass"].items():
+        prior = before["per_pass"].get(name, {})
+        per_pass[name] = {key: value - prior.get(key, 0)
+                          for key, value in events.items()}
+    return {
+        "hits": after["hits"] - before["hits"],
+        "misses": after["misses"] - before["misses"],
+        "memory_entries": after["memory_entries"],
+        "per_pass": per_pass,
+    }
+
+
+class LockingArtifactCache(ArtifactCache):
+    """An :class:`ArtifactCache` safe to share across threads.
+
+    The compile server's worker pool is thread-based and all workers
+    share one cache per tenant; a reentrant lock around every public
+    operation keeps the LRU order and the counters consistent.  (The
+    process-pool paths don't need this: each process owns its cache and
+    only the lock-free disk layer is shared.)
+    """
+
+    def __init__(self, directory: str | Path | None = None, *,
+                 memory_limit: int = _DEFAULT_MEMORY_LIMIT) -> None:
+        super().__init__(directory, memory_limit=memory_limit)
+        self._lock = threading.RLock()
+
+    def get(self, key: str) -> object | None:
+        with self._lock:
+            return super().get(key)
+
+    def put(self, key: str, value: object) -> None:
+        with self._lock:
+            super().put(key, value)
+
+    def record_event(self, pass_name: str, hit: bool) -> None:
+        with self._lock:
+            super().record_event(pass_name, hit)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return super().stats()
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            super().reset_stats()
 
 
 # ----------------------------------------------------------------------

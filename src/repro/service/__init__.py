@@ -1,13 +1,21 @@
-"""Batch compilation service: the request-serving front end.
+"""Compilation service: batch front end, server, and client SDK.
 
-:mod:`repro.service.batch` turns the compiler registry plus the
-content-addressed cache (:mod:`repro.cache`) into something that serves
-repeated compilation traffic: callers describe work as
-:class:`CompileRequest` values, and a :class:`BatchCompiler`
-deduplicates identical requests, shares one artifact cache across the
-batch, and fans independent requests out over worker processes.
+Three layers over the compiler registry plus the content-addressed
+cache (:mod:`repro.cache`):
 
-CLI: ``python -m repro batch --requests FILE.json --jobs N --cache DIR``.
+* :mod:`repro.service.batch` -- callers describe work as
+  :class:`CompileRequest` values; a :class:`BatchCompiler` deduplicates
+  identical requests, shares one artifact cache across the batch, and
+  fans independent requests out over worker processes.
+* :mod:`repro.service.server` -- compilation as a service: an asyncio
+  HTTP front end over a bounded priority :class:`JobQueue` with
+  in-flight coalescing, per-tenant cache salting, a ``/metrics``
+  endpoint and graceful shutdown.
+* :mod:`repro.service.client` -- :class:`CompileClient`, a retrying
+  stdlib HTTP client for the server.
+
+CLI: ``python -m repro batch --requests FILE.json --jobs N --cache DIR``
+and ``python -m repro serve --port 8000 --jobs 2 --cache DIR``.
 """
 
 from repro.service.batch import (
@@ -15,15 +23,48 @@ from repro.service.batch import (
     BatchSummary,
     CompileRequest,
     CompileResponse,
+    assemble_responses,
+    compute_request_keys,
+    error_response,
     execute_request,
     request_from_dict,
+)
+from repro.service.client import CompileClient, ServiceError
+from repro.service.metrics import ServiceMetrics
+from repro.service.queue import (
+    Job,
+    JobQueue,
+    QueueClosedError,
+    QueueFullError,
+)
+from repro.service.server import (
+    CompileServer,
+    CompileService,
+    ServerThread,
+    ServiceConfig,
+    serve,
 )
 
 __all__ = [
     "BatchCompiler",
     "BatchSummary",
+    "CompileClient",
     "CompileRequest",
     "CompileResponse",
+    "CompileServer",
+    "CompileService",
+    "Job",
+    "JobQueue",
+    "QueueClosedError",
+    "QueueFullError",
+    "ServerThread",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceMetrics",
+    "assemble_responses",
+    "compute_request_keys",
+    "error_response",
     "execute_request",
     "request_from_dict",
+    "serve",
 ]

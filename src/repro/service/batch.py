@@ -241,6 +241,12 @@ class CompileResponse:
     cache_events: dict[str, str] = field(default_factory=dict)
     deduplicated: bool = False
     error: str | None = None
+    #: The request's dedupe key, computed once by the serving layer and
+    #: threaded through (``None`` only when the key itself is
+    #: uncomputable, e.g. an unknown compiler name).  Clients correlate
+    #: coalesced/deduplicated responses on this field instead of
+    #: recomputing ``key()`` themselves.
+    request_key: str | None = None
 
     @property
     def failed(self) -> bool:
@@ -257,9 +263,20 @@ class CompileResponse:
 
         Error responses additionally carry the ``error`` message (which
         is deterministic: the same bad request fails the same way).
+        ``request_key`` is stable too -- it is a content fingerprint of
+        the canonicalised request -- so it survives the cold-vs-warm
+        byte-identity check; a response built outside the batch walk
+        (``request_key`` not threaded in) derives it here once.
         """
+        key = self.request_key
+        if key is None:
+            try:
+                key = self.request.key()
+            except Exception:
+                key = None      # uncomputable (e.g. unknown compiler)
         payload = {
             **self.request.to_dict(),
+            "request_key": key,
             "n_swaps": self.n_swaps,
             "n_dressed": self.n_dressed,
             "n_two_qubit_gates": self.n_two_qubit_gates,
@@ -272,8 +289,8 @@ class CompileResponse:
         return payload
 
 
-def error_response(request: CompileRequest,
-                   exc: BaseException) -> CompileResponse:
+def error_response(request: CompileRequest, exc: BaseException,
+                   request_key: str | None = None) -> CompileResponse:
     """An error-carrying response for a request that failed to compile."""
     return CompileResponse(
         request=request,
@@ -285,12 +302,65 @@ def error_response(request: CompileRequest,
         qap_cost=None,
         seconds=0.0,
         error=f"{type(exc).__name__}: {exc}",
+        request_key=request_key,
     )
+
+
+def compute_request_keys(requests: list[CompileRequest],
+                         ) -> tuple[list[str | None],
+                                    dict[int, CompileResponse]]:
+    """Phase 1 of the batch walk: one ``key()`` computation per request.
+
+    Mirrors the two-phase ``decompose_circuit`` cleanup: the key is
+    computed exactly once here and threaded through dedupe, execution
+    and the response (``CompileResponse.request_key``).  A request whose
+    key cannot be computed (e.g. an unknown compiler name) is already a
+    per-request failure: its slot holds ``None`` and an error response
+    is returned alongside, indexed by position.
+    """
+    keys: list[str | None] = []
+    pre_failed: dict[int, CompileResponse] = {}
+    for index, request in enumerate(requests):
+        try:
+            keys.append(request.key())
+        except Exception as exc:
+            keys.append(None)
+            pre_failed[index] = error_response(request, exc)
+    return keys, pre_failed
+
+
+def assemble_responses(requests: list[CompileRequest],
+                       keys: list[str | None],
+                       computed: dict[str, CompileResponse],
+                       pre_failed: dict[int, CompileResponse],
+                       ) -> list[CompileResponse]:
+    """Phase 3 of the batch walk: responses in request order.
+
+    ``computed`` maps each unique key to its served response; repeats
+    are marked ``deduplicated`` and echo the request as written (an
+    alias-spelled duplicate keeps its own spelling).  Shared between
+    :meth:`BatchCompiler.run` and the server's ``/batch`` route so both
+    produce byte-identical output for the same request list.
+    """
+    responses: list[CompileResponse] = []
+    served: set[str] = set()
+    for index, (request, key) in enumerate(zip(requests, keys)):
+        if key is None:
+            responses.append(pre_failed[index])
+            continue
+        response = computed[key]
+        if key in served:
+            response = dataclasses.replace(response, request=request,
+                                           deduplicated=True)
+        served.add(key)
+        responses.append(response)
+    return responses
 
 
 def execute_request(request: CompileRequest,
                     cache: ArtifactCache | None = None,
-                    structurals: dict | None = None) -> CompileResponse:
+                    structurals: dict | None = None, *,
+                    request_key: str | None = None) -> CompileResponse:
     """Serve one request: resolve, build, compile (through the cache).
 
     A request carrying ``parameters`` compiles the benchmark's *symbolic*
@@ -300,6 +370,8 @@ def execute_request(request: CompileRequest,
     and reused -- the batch compiler's coalescing path.  Without it the
     binding still flows through the cache-aware pipeline, so requests
     sharing a structural prefix reuse it through the artifact cache.
+    ``request_key`` threads the dedupe key the serving layer already
+    computed into the response (so it is never recomputed downstream).
     """
     from repro.analysis.harness import build_step, build_symbolic_step
     from repro.cache.cached import compile_cached
@@ -354,13 +426,14 @@ def execute_request(request: CompileRequest,
         seconds=elapsed,
         timings=dict(result.timings),
         cache_events=dict(result.cache_events),
+        request_key=request_key,
     )
 
 
 _WORKER_MEMORY_CACHE: ArtifactCache | None = None
 
 
-def _execute_in_worker(job: tuple[CompileRequest, str | None, int],
+def _execute_in_worker(job: tuple[CompileRequest, str, str | None, int],
                        ) -> CompileResponse:
     """Pool entry point: workers share one per-process cache per dir.
 
@@ -371,14 +444,14 @@ def _execute_in_worker(job: tuple[CompileRequest, str | None, int],
     global _WORKER_MEMORY_CACHE
     from repro.cache.store import process_cache
 
-    request, cache_dir, memory_limit = job
+    request, request_key, cache_dir, memory_limit = job
     cache = process_cache(cache_dir, memory_limit=memory_limit)
     if cache is None:
         if _WORKER_MEMORY_CACHE is None:
             _WORKER_MEMORY_CACHE = ArtifactCache(
                 memory_limit=memory_limit)
         cache = _WORKER_MEMORY_CACHE
-    return execute_request(request, cache)
+    return execute_request(request, cache, request_key=request_key)
 
 
 @dataclass(frozen=True)
@@ -447,77 +520,63 @@ class BatchCompiler:
         :func:`repro.analysis.engine.run_engine` drains its pool, so
         completed work is never discarded because a sibling failed.
         """
-        start = time.perf_counter()
-        hits_before = self._cache.hits
-        misses_before = self._cache.misses
-        # a request whose dedupe key cannot even be computed (e.g. an
-        # unknown compiler name) is already a per-request failure: serve
-        # it as an error response instead of aborting the batch
-        keys: list[str | None] = []
-        pre_failed: dict[int, CompileResponse] = {}
-        for index, request in enumerate(requests):
-            try:
-                keys.append(request.key())
-            except Exception as exc:
-                keys.append(None)
-                pre_failed[index] = error_response(request, exc)
-        order: dict[str, int] = {}        # key -> index into unique list
-        unique: list[CompileRequest] = []
-        for request, key in zip(requests, keys):
-            if key is not None and key not in order:
-                order[key] = len(unique)
-                unique.append(request)
+        from repro.cache.store import stats_delta
 
+        start = time.perf_counter()
+        stats_before = self._cache.stats()
+        # phase 1: one key() per request; uncomputable keys (e.g. an
+        # unknown compiler name) become per-request failures up front
+        keys, pre_failed = compute_request_keys(requests)
+        unique: list[tuple[CompileRequest, str]] = []
+        seen: set[str] = set()
+        for request, key in zip(requests, keys):
+            if key is not None and key not in seen:
+                seen.add(key)
+                unique.append((request, key))
+
+        computed: dict[str, CompileResponse] = {}
         if self.jobs > 1 and len(unique) > 1:
             cache_dir = (str(self.cache_dir)
                          if self.cache_dir is not None else None)
-            computed = [None] * len(unique)
             with ProcessPoolExecutor(
                     max_workers=min(self.jobs, len(unique))) as pool:
                 futures = {
                     pool.submit(_execute_in_worker,
-                                (request, cache_dir, self.memory_limit)):
-                    index
-                    for index, request in enumerate(unique)
+                                (request, key, cache_dir,
+                                 self.memory_limit)): (request, key)
+                    for request, key in unique
                 }
                 # drain every future even after a failure, so responses
                 # that did complete are served alongside the error ones
                 for future in as_completed(futures):
-                    index = futures[future]
+                    request, key = futures[future]
                     try:
-                        computed[index] = future.result()
+                        computed[key] = future.result()
                     except Exception as exc:
-                        computed[index] = error_response(unique[index], exc)
+                        computed[key] = error_response(request, exc,
+                                                       request_key=key)
             # worker counters stay in the workers; report what is
             # visible batch-wide instead: per-response events
-            hits = sum(r.cache_hits for r in computed)
-            misses = sum(len(r.cache_events) for r in computed) - hits
+            hits = sum(r.cache_hits for r in computed.values())
+            misses = (sum(len(r.cache_events) for r in computed.values())
+                      - hits)
         else:
-            computed = []
             # serial mode coalesces parameterised requests: one
             # structural compile per structural_key, one bind per request
             structurals: dict = {}
-            for request in unique:
+            for request, key in unique:
                 try:
-                    computed.append(execute_request(request, self._cache,
-                                                    structurals))
+                    computed[key] = execute_request(request, self._cache,
+                                                    structurals,
+                                                    request_key=key)
                 except Exception as exc:
-                    computed.append(error_response(request, exc))
-            hits = self._cache.hits - hits_before
-            misses = self._cache.misses - misses_before
+                    computed[key] = error_response(request, exc,
+                                                   request_key=key)
+            delta = stats_delta(stats_before, self._cache.stats())
+            hits = delta["hits"]
+            misses = delta["misses"]
 
-        responses: list[CompileResponse] = []
-        served: set[str] = set()
-        for index, (request, key) in enumerate(zip(requests, keys)):
-            if key is None:
-                responses.append(pre_failed[index])
-                continue
-            response = computed[order[key]]
-            if key in served:
-                response = dataclasses.replace(response, request=request,
-                                               deduplicated=True)
-            served.add(key)
-            responses.append(response)
+        responses = assemble_responses(requests, keys, computed, pre_failed)
         summary = BatchSummary(
             n_requests=len(requests),
             n_unique=len(unique),

@@ -1,0 +1,171 @@
+"""Client SDK for the compile service.
+
+:class:`CompileClient` speaks the server's JSON-over-HTTP protocol with
+stdlib ``http.client`` only.  Transient failures -- connection errors,
+429 backpressure from a full queue, 503 from a draining server -- are
+retried with exponential backoff; anything else raises
+:class:`ServiceError` with the server's status and message.
+
+    client = CompileClient(port=8000)
+    response = client.compile(CompileRequest(benchmark="NNN_Ising", ...))
+    responses = client.compile_batch(requests, tenant="team-a")
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Callable, Iterable, Sequence
+
+from repro.service.batch import CompileRequest
+
+#: HTTP statuses that signal a transient condition worth retrying.
+RETRYABLE_STATUSES = (429, 503)
+
+
+class ServiceError(RuntimeError):
+    """A non-retryable (or retry-exhausted) server response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class CompileClient:
+    """Thin retrying HTTP client for a compile server.
+
+    ``retries`` counts *additional* attempts after the first; attempt
+    ``n`` sleeps ``backoff_s * 2**(n-1)`` beforehand.  ``sleep`` is
+    injectable so tests assert the backoff schedule without waiting.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8000, *,
+                 timeout_s: float = 60.0, retries: int = 3,
+                 backoff_s: float = 0.1,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self._sleep = sleep
+
+    # ------------------------------------------------------------------
+    # transport (the test seam: scripted fakes override _send)
+    # ------------------------------------------------------------------
+    def _send(self, method: str, path: str,
+              payload: object | None = None) -> tuple[int, bytes]:
+        """One HTTP exchange; returns ``(status, body)``."""
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout_s)
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            conn.close()
+
+    def _call(self, method: str, path: str,
+              payload: object | None = None, *,
+              retry: bool = True) -> object:
+        attempts = 1 + (self.retries if retry else 0)
+        last_error: Exception | None = None
+        for attempt in range(1, attempts + 1):
+            if attempt > 1:
+                self._sleep(self.backoff_s * 2 ** (attempt - 2))
+            try:
+                status, body = self._send(method, path, payload)
+            except OSError as exc:       # connection refused/reset/timeout
+                last_error = exc
+                continue
+            if status == 200:
+                return json.loads(body)
+            message = body.decode(errors="replace")
+            try:
+                decoded = json.loads(body)
+                if isinstance(decoded, dict) and "error" in decoded:
+                    message = str(decoded["error"])
+            except ValueError:
+                pass
+            if status in RETRYABLE_STATUSES:
+                last_error = ServiceError(status, message)
+                continue
+            raise ServiceError(status, message)
+        assert last_error is not None
+        if isinstance(last_error, ServiceError):
+            raise last_error
+        raise ServiceError(0, f"cannot reach {self.host}:{self.port} "
+                              f"after {attempts} attempts: {last_error}")
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _envelope(payload: dict, tenant: str | None, priority: int | None,
+                  timeout_s: float | None) -> dict:
+        if tenant is not None:
+            payload["tenant"] = tenant
+        if priority is not None:
+            payload["priority"] = priority
+        if timeout_s is not None:
+            payload["timeout_s"] = timeout_s
+        return payload
+
+    def compile(self, request: CompileRequest | dict, *,
+                tenant: str | None = None, priority: int | None = None,
+                timeout_s: float | None = None) -> dict:
+        """Compile one request; returns the ``CompileResponse`` dict."""
+        payload = (request.to_dict() if isinstance(request, CompileRequest)
+                   else dict(request))
+        payload = self._envelope(payload, tenant, priority, timeout_s)
+        return self._call("POST", "/compile", payload)
+
+    def compile_batch(self, requests: Sequence[CompileRequest | dict], *,
+                      tenant: str | None = None,
+                      priority: int | None = None,
+                      timeout_s: float | None = None,
+                      chunk_size: int | None = None) -> list[dict]:
+        """Compile many requests; returns response dicts in order.
+
+        ``chunk_size`` splits a large batch into several ``/batch``
+        calls so no single batch can occupy the whole server queue;
+        responses are concatenated back into request order.
+        """
+        items = [r.to_dict() if isinstance(r, CompileRequest) else dict(r)
+                 for r in requests]
+        responses: list[dict] = []
+        for chunk in _chunks(items, chunk_size):
+            payload = self._envelope({"requests": chunk}, tenant, priority,
+                                     timeout_s)
+            result = self._call("POST", "/batch", payload)
+            responses.extend(result)
+        return responses
+
+    def metrics(self) -> dict:
+        """The server's ``/metrics`` snapshot."""
+        return self._call("GET", "/metrics")
+
+    def healthz(self) -> dict:
+        return self._call("GET", "/healthz")
+
+    def shutdown(self, drain: bool = True, *, retry: bool = False) -> dict:
+        """Ask the server to exit (gracefully by default)."""
+        return self._call("POST", "/shutdown", {"drain": drain},
+                          retry=retry)
+
+
+def _chunks(items: list, size: int | None) -> Iterable[list]:
+    if size is None or size >= len(items):
+        yield items
+        return
+    if size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {size}")
+    for start in range(0, len(items), size):
+        yield items[start:start + size]

@@ -1,0 +1,114 @@
+"""Service metrics: counters, pass-timing aggregates, latency histograms.
+
+One :class:`ServiceMetrics` instance lives inside the compile service;
+worker threads fold every served response into it and the ``/metrics``
+endpoint snapshots it as plain JSON.  Pass timings aggregate through
+:func:`repro.analysis.engine.aggregate_pass_timings` -- the same fold
+``sweep --pass-timings`` reports -- and cache counters are *not* kept
+here: the server reads them from :meth:`ArtifactCache.stats`, the one
+shared counter snapshot API.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import time
+
+from repro.analysis.engine import aggregate_pass_timings
+
+#: Prometheus-style upper bounds (seconds) for the latency histograms.
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0)
+
+#: Every counter the service increments, so ``/metrics`` always exports
+#: the full schema (zeros included) and clients never need existence
+#: checks.
+COUNTER_NAMES = (
+    "received",            # requests accepted by /compile and /batch
+    "submitted",           # jobs actually enqueued
+    "coalesced",           # requests attached to an in-flight identical job
+    "deduplicated",        # batch-internal repeats served from one compile
+    "compiled",            # jobs executed by a worker
+    "failed",              # error-carrying responses produced
+    "timed_out",           # jobs cancelled by queue or waiter timeout
+    "rejected_queue_full", # requests refused with backpressure (429)
+    "cancelled",           # jobs discarded by a hard (non-drain) shutdown
+    "structural_compiles", # structural prefixes compiled for bound requests
+    "structural_binds",    # parameterised requests served by binding
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram (cumulative, Prometheus-style)."""
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.buckets = tuple(buckets)
+        self._counts = [0] * (len(self.buckets) + 1)   # +1: overflow
+        self.count = 0
+        self.total_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self._counts[bisect.bisect_left(self.buckets, seconds)] += 1
+        self.count += 1
+        self.total_s += seconds
+
+    def snapshot(self) -> dict:
+        """``{"count", "total_s", "buckets": {"le_0.001": n, ...}}``.
+
+        Bucket values are cumulative; ``le_inf`` always equals
+        ``count``.
+        """
+        buckets: dict[str, int] = {}
+        running = 0
+        for upper, n in zip(self.buckets, self._counts):
+            running += n
+            buckets[f"le_{upper:g}"] = running
+        buckets["le_inf"] = self.count
+        return {"count": self.count, "total_s": self.total_s,
+                "buckets": buckets}
+
+
+class ServiceMetrics:
+    """Thread-safe counters + aggregates behind ``/metrics``."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.started_at = time.monotonic()
+        self.counters = {name: 0 for name in COUNTER_NAMES}
+        self.passes: dict[str, dict[str, float]] = {}
+        self.request_latency = LatencyHistogram()
+        self.queue_wait = LatencyHistogram()
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self.counters[name] += amount
+
+    def observe_response(self, response, queue_wait_s: float,
+                         service_s: float) -> None:
+        """Fold one executed job's response into the aggregates."""
+        with self._lock:
+            self.counters["compiled"] += 1
+            if response.error is not None:
+                self.counters["failed"] += 1
+            aggregate_pass_timings([response.timings], into=self.passes)
+            self.queue_wait.observe(queue_wait_s)
+            self.request_latency.observe(queue_wait_s + service_s)
+
+    def snapshot(self) -> dict:
+        """The JSON payload core (the service adds queue/cache views)."""
+        with self._lock:
+            passes = {
+                name: {"count": entry["count"],
+                       "total_s": entry["total_s"],
+                       "mean_s": entry["total_s"] / entry["count"]}
+                for name, entry in self.passes.items()
+            }
+            return {
+                "uptime_s": time.monotonic() - self.started_at,
+                "requests": dict(self.counters),
+                "passes": passes,
+                "latency": {
+                    "request": self.request_latency.snapshot(),
+                    "queue_wait": self.queue_wait.snapshot(),
+                },
+            }

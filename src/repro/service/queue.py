@@ -1,0 +1,166 @@
+"""The compile server's priority job queue.
+
+A :class:`Job` is one pending compilation: the request, its dedupe key
+(computed once by the submitter and threaded through), a priority, an
+optional timeout and a ``concurrent.futures.Future`` that every waiter
+-- including waiters *coalesced* onto the job after submission -- blocks
+on.  The :class:`JobQueue` orders jobs by priority (higher first, FIFO
+within a priority level), bounds its depth so the server can return
+backpressure instead of buffering unboundedly, and supports a drain-or-
+discard close for graceful shutdown.
+
+The queue is thread-safe: the asyncio front end submits from the event
+loop, worker threads pop concurrently, and tests pause/resume it to
+freeze scheduling deterministically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro.service.batch import CompileRequest
+
+
+class QueueFullError(RuntimeError):
+    """The queue is at capacity; the caller should apply backpressure."""
+
+
+class QueueClosedError(RuntimeError):
+    """The queue no longer accepts jobs (the server is shutting down)."""
+
+
+@dataclass(eq=False)
+class Job:
+    """One queued compilation and the future its waiters share."""
+
+    request: CompileRequest
+    key: str
+    tenant: str = ""
+    priority: int = 0
+    timeout_s: float | None = None
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = field(default_factory=time.monotonic)
+    cancelled: bool = False
+    started: bool = False
+
+    @property
+    def deadline(self) -> float | None:
+        """Monotonic instant after which the job must not start."""
+        if self.timeout_s is None:
+            return None
+        return self.enqueued_at + self.timeout_s
+
+    @property
+    def expired(self) -> bool:
+        deadline = self.deadline
+        return deadline is not None and time.monotonic() > deadline
+
+    def cancel(self) -> None:
+        """Mark the job dead-on-arrival; a worker popping it resolves
+        the shared future with a timeout response without compiling."""
+        self.cancelled = True
+
+    def resolve(self, response) -> None:
+        """Complete the shared future exactly once (later calls no-op)."""
+        if not self.future.done():
+            self.future.set_result(response)
+
+
+class JobQueue:
+    """Bounded, thread-safe priority queue of :class:`Job` values.
+
+    Higher ``priority`` pops first; jobs of equal priority pop in
+    submission order.  ``put`` never blocks: a full queue raises
+    :class:`QueueFullError` immediately (the server turns that into an
+    HTTP 429) and a closed queue raises :class:`QueueClosedError` (503).
+    ``get`` blocks until a job is available; after :meth:`close` it
+    drains the remaining jobs and then returns ``None``, the worker
+    exit sentinel.
+    """
+
+    def __init__(self, maxsize: int = 64) -> None:
+        if maxsize < 1:
+            raise ValueError(f"queue maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._heap: list[tuple[int, int, Job]] = []
+        self._seq = itertools.count()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._paused = False
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._heap)
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def put(self, job: Job) -> None:
+        with self._cond:
+            if self._closed:
+                raise QueueClosedError("job queue is closed")
+            if len(self._heap) >= self.maxsize:
+                raise QueueFullError(
+                    f"job queue is full ({self.maxsize} pending jobs)")
+            heapq.heappush(self._heap, (-job.priority, next(self._seq), job))
+            self._cond.notify()
+
+    def get(self, timeout: float | None = None) -> Job | None:
+        """Pop the highest-priority job; ``None`` means shut down.
+
+        Blocks while the queue is empty or paused (closing overrides a
+        pause, so shutdown always drains).  With ``timeout`` set, raises
+        :class:`TimeoutError` if nothing became available in time.
+        """
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        with self._cond:
+            while True:
+                if self._heap and (not self._paused or self._closed):
+                    return heapq.heappop(self._heap)[2]
+                if self._closed:
+                    return None
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TimeoutError("no job within the timeout")
+                self._cond.wait(remaining)
+
+    def close(self) -> list[Job]:
+        """Stop accepting jobs; wake every waiter.  Idempotent.
+
+        Pending jobs stay queued for workers to drain (the graceful
+        path).  Use :meth:`drain` first for a hard stop that hands the
+        pending jobs back instead of running them.
+        """
+        with self._cond:
+            self._closed = True
+            self._paused = False
+            self._cond.notify_all()
+            return [entry[2] for entry in self._heap]
+
+    def drain(self) -> list[Job]:
+        """Remove and return every pending job (hard-stop path)."""
+        with self._cond:
+            jobs = [entry[2] for entry in sorted(self._heap)]
+            self._heap.clear()
+            self._cond.notify_all()
+            return jobs
+
+    def pause(self) -> None:
+        """Hold jobs back from ``get`` (tests freeze scheduling here)."""
+        with self._cond:
+            self._paused = True
+
+    def resume(self) -> None:
+        with self._cond:
+            self._paused = False
+            self._cond.notify_all()

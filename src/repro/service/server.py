@@ -1,0 +1,743 @@
+"""Compilation-as-a-service: an asyncio HTTP front end over a job queue.
+
+Two layers:
+
+* :class:`CompileService` -- the protocol-free core: a bounded priority
+  :class:`~repro.service.queue.JobQueue`, a pool of worker threads
+  reusing the batch executor (:func:`repro.service.batch
+  .execute_request`), in-flight *coalescing* (concurrent identical
+  requests -- same ``CompileRequest.key()``, same tenant -- share one
+  compilation), *structural coalescing* (parameterised requests that
+  differ only in angle values share one structural compile and bind
+  per-request), per-tenant salted artifact caches, and a
+  :class:`~repro.service.metrics.ServiceMetrics` aggregate.
+
+* :class:`CompileServer` -- a minimal HTTP/1.1 handler on
+  ``asyncio.start_server`` (stdlib only) routing::
+
+      POST /compile   one CompileRequest JSON -> CompileResponse JSON
+      POST /batch     a request list -> response list, byte-identical
+                      to ``python -m repro batch --json``
+      GET  /metrics   cache hit/miss, per-pass timings, queue depth,
+                      latency histograms
+      GET  /healthz   liveness + drain state
+      POST /shutdown  graceful drain-and-exit
+
+Backpressure: a full queue answers 429, a draining server 503 -- the
+client SDK (:mod:`repro.service.client`) retries both with backoff.
+
+Request JSON carries the :class:`CompileRequest` fields plus an optional
+*envelope*: ``tenant`` (isolates the artifact cache under
+``cache_dir/<tenant>`` composed through ``salted_directory``),
+``priority`` (higher pops first) and ``timeout_s`` (the job is cancelled
+with an error response if it cannot start in time).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+import signal
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.cache.store import (
+    ArtifactCache,
+    LockingArtifactCache,
+    salted_directory,
+)
+from repro.service.batch import (
+    CompileRequest,
+    CompileResponse,
+    assemble_responses,
+    compute_request_keys,
+    error_response,
+    execute_request,
+    request_from_dict,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.service.queue import (
+    Job,
+    JobQueue,
+    QueueClosedError,
+    QueueFullError,
+)
+
+_TENANT_RE = re.compile(r"^[A-Za-z0-9._-]{0,64}$")
+_MAX_BODY_BYTES = 16 * 1024 * 1024
+_STATUS_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+#: Envelope fields the service consumes before request parsing.
+ENVELOPE_FIELDS = ("tenant", "priority", "timeout_s")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of one compile service instance."""
+
+    jobs: int = 2
+    queue_depth: int = 64
+    cache_dir: str | Path | None = None
+    memory_limit: int = 1024
+    default_timeout_s: float | None = None
+    max_structurals: int = 128
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """Service-level request fields, split off before request parsing."""
+
+    tenant: str = ""
+    priority: int = 0
+    timeout_s: float | None = None
+
+
+def split_envelope(payload: dict, defaults: Envelope = Envelope(),
+                   ) -> tuple[dict, Envelope]:
+    """Separate envelope fields from the request payload, validating.
+
+    Returns the remaining request fields (for ``request_from_dict``) and
+    the envelope; unset fields inherit ``defaults`` (the batch-level
+    envelope, or the server defaults).
+    """
+    payload = dict(payload)
+    tenant = payload.pop("tenant", defaults.tenant)
+    priority = payload.pop("priority", defaults.priority)
+    timeout_s = payload.pop("timeout_s", defaults.timeout_s)
+    if not isinstance(tenant, str) or not _TENANT_RE.fullmatch(tenant) \
+            or ".." in tenant:
+        raise ValueError(
+            f"field 'tenant' must be a short name of letters, digits, "
+            f"'.', '_' or '-', got {tenant!r}")
+    if isinstance(priority, bool) or not isinstance(priority, int):
+        raise ValueError(f"field 'priority' must be an integer, "
+                         f"got {priority!r}")
+    if timeout_s is not None and (
+            isinstance(timeout_s, bool)
+            or not isinstance(timeout_s, (int, float))
+            or timeout_s <= 0):
+        raise ValueError(f"field 'timeout_s' must be a positive number, "
+                         f"got {timeout_s!r}")
+    envelope = Envelope(tenant=tenant, priority=priority,
+                        timeout_s=None if timeout_s is None
+                        else float(timeout_s))
+    return payload, envelope
+
+
+class CompileService:
+    """Queue + worker pool + coalescing + tenant caches (no HTTP)."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.queue = JobQueue(self.config.queue_depth)
+        self.metrics = ServiceMetrics()
+        self._lock = threading.Lock()
+        self._caches: dict[str, ArtifactCache] = {}
+        self._structurals: dict[str, dict] = {}
+        self._structural_locks: dict[tuple[str, str], threading.Lock] = {}
+        self._inflight: dict[tuple[str, str], Job] = {}
+        self._workers: list[threading.Thread] = []
+        self._running = 0
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._workers:
+            raise RuntimeError("service already started")
+        for index in range(self.config.jobs):
+            worker = threading.Thread(target=self._worker_loop,
+                                      name=f"compile-worker-{index}",
+                                      daemon=True)
+            worker.start()
+            self._workers.append(worker)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def shutdown(self, drain: bool = True) -> int:
+        """Stop accepting work; returns the number of pending jobs.
+
+        ``drain=True`` (graceful) leaves queued jobs for the workers to
+        finish; ``drain=False`` resolves them immediately with error
+        responses.  Idempotent.
+        """
+        with self._lock:
+            self._draining = True
+        if not drain:
+            for job in self.queue.drain():
+                self.metrics.increment("cancelled")
+                job.resolve(error_response(
+                    job.request,
+                    QueueClosedError("server stopped before the job ran"),
+                    request_key=job.key))
+        return len(self.queue.close())
+
+    def join(self, timeout: float | None = None) -> None:
+        """Wait for the workers to drain the queue and exit."""
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        for worker in self._workers:
+            remaining = (None if deadline is None
+                         else max(0.0, deadline - time.monotonic()))
+            worker.join(remaining)
+
+    # ------------------------------------------------------------------
+    # caches
+    # ------------------------------------------------------------------
+    def cache_for(self, tenant: str = "") -> ArtifactCache:
+        """The tenant's shared (thread-safe) artifact cache.
+
+        With a ``cache_dir``, each tenant's artifacts live under
+        ``cache_dir/<tenant>`` composed through ``salted_directory`` --
+        so tenants never read each other's artifacts and a source change
+        starts every tenant on a fresh cache.  Without one, each tenant
+        keeps a private in-memory cache.
+        """
+        with self._lock:
+            cache = self._caches.get(tenant)
+            if cache is None:
+                directory = None
+                if self.config.cache_dir is not None:
+                    root = Path(self.config.cache_dir)
+                    directory = salted_directory(root / tenant if tenant
+                                                 else root)
+                cache = LockingArtifactCache(
+                    directory, memory_limit=self.config.memory_limit)
+                self._caches[tenant] = cache
+            return cache
+
+    def _structurals_for(self, tenant: str) -> dict:
+        with self._lock:
+            return self._structurals.setdefault(tenant, {})
+
+    def _structural_lock(self, tenant: str, skey: str) -> threading.Lock:
+        with self._lock:
+            return self._structural_locks.setdefault(
+                (tenant, skey), threading.Lock())
+
+    # ------------------------------------------------------------------
+    # submission & coalescing
+    # ------------------------------------------------------------------
+    def submit(self, request: CompileRequest, key: str, *,
+               tenant: str = "", priority: int = 0,
+               timeout_s: float | None = None) -> tuple[Job, bool]:
+        """Enqueue a request, coalescing onto an in-flight twin.
+
+        Returns ``(job, coalesced)``: when an identical request (same
+        key, same tenant) is already queued or running, the caller
+        attaches to its job -- one compilation serves every waiter.
+        Raises :class:`QueueFullError` (backpressure) or
+        :class:`QueueClosedError` (draining).
+        """
+        if timeout_s is None:
+            timeout_s = self.config.default_timeout_s
+        slot = (tenant, key)
+        with self._lock:
+            if self._draining:
+                raise QueueClosedError("server is draining")
+            job = self._inflight.get(slot)
+            if job is not None and not job.future.done():
+                self.metrics.increment("coalesced")
+                return job, True
+            job = Job(request=request, key=key, tenant=tenant,
+                      priority=priority, timeout_s=timeout_s)
+            self._inflight[slot] = job
+            job.future.add_done_callback(
+                lambda _future, slot=slot, job=job: self._forget(slot, job))
+            try:
+                self.queue.put(job)
+            except Exception:
+                self._inflight.pop(slot, None)
+                raise
+            self.metrics.increment("submitted")
+            return job, False
+
+    def _forget(self, slot: tuple[str, str], job: Job) -> None:
+        with self._lock:
+            if self._inflight.get(slot) is job:
+                del self._inflight[slot]
+
+    def timeout_response(self, job: Job) -> CompileResponse:
+        limit = job.timeout_s
+        message = ("cancelled before the job could run" if limit is None
+                   else f"request timed out after {limit:g}s in the queue")
+        return error_response(job.request, TimeoutError(message),
+                              request_key=job.key)
+
+    # ------------------------------------------------------------------
+    # workers
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            job = self.queue.get()
+            if job is None:
+                return
+            with self._lock:
+                self._running += 1
+            try:
+                self._serve_job(job)
+            finally:
+                with self._lock:
+                    self._running -= 1
+
+    def _serve_job(self, job: Job) -> None:
+        if job.cancelled:
+            # whoever cancelled already counted the timeout
+            job.resolve(self.timeout_response(job))
+            return
+        if job.expired:
+            self.metrics.increment("timed_out")
+            job.resolve(self.timeout_response(job))
+            return
+        job.started = True
+        queue_wait = time.monotonic() - job.enqueued_at
+        start = time.perf_counter()
+        try:
+            response = self._execute(job)
+        except Exception as exc:
+            response = error_response(job.request, exc, request_key=job.key)
+        # record before resolving: a waiter that reads /metrics right
+        # after its response must already see this job counted
+        self.metrics.observe_response(response, queue_wait,
+                                      time.perf_counter() - start)
+        job.resolve(response)
+
+    def _execute(self, job: Job) -> CompileResponse:
+        cache = self.cache_for(job.tenant)
+        if not job.request.parameters:
+            return execute_request(job.request, cache, request_key=job.key)
+        # structural coalescing: requests differing only in angle values
+        # share one structural compile; the per-structure lock makes
+        # concurrent first arrivals compile it exactly once
+        skey = job.request.structural_key()
+        structurals = self._structurals_for(job.tenant)
+        with self._structural_lock(job.tenant, skey):
+            known = skey in structurals
+            response = execute_request(job.request, cache, structurals,
+                                       request_key=job.key)
+            if not known and skey in structurals:
+                self.metrics.increment("structural_compiles")
+            while len(structurals) > self.config.max_structurals:
+                structurals.pop(next(iter(structurals)), None)
+        self.metrics.increment("structural_binds")
+        return response
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def health_payload(self) -> dict:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "queue_depth": len(self.queue),
+            "workers": len(self._workers),
+        }
+
+    def metrics_payload(self) -> dict:
+        payload = self.metrics.snapshot()
+        with self._lock:
+            caches = dict(self._caches)
+            running = self._running
+        payload["queue"] = {
+            "depth": len(self.queue),
+            "capacity": self.queue.maxsize,
+            "workers": len(self._workers),
+            "running": running,
+            "draining": self._draining,
+        }
+        payload["cache"] = {tenant or "default": cache.stats()
+                            for tenant, cache in sorted(caches.items())}
+        return payload
+
+
+# ----------------------------------------------------------------------
+# HTTP front end
+# ----------------------------------------------------------------------
+class _BadRequest(ValueError):
+    pass
+
+
+async def _read_request(reader: asyncio.StreamReader,
+                        ) -> tuple[str, str, dict, bytes]:
+    line = await reader.readline()
+    if not line:
+        raise ConnectionResetError("client closed the connection")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise _BadRequest(f"malformed request line {line!r}")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise _BadRequest("bad Content-Length header") from None
+    if length > _MAX_BODY_BYTES:
+        raise _BadRequest(f"body exceeds {_MAX_BODY_BYTES} bytes")
+    body = await reader.readexactly(length) if length else b""
+    return method, target, headers, body
+
+
+async def _write_response(writer: asyncio.StreamWriter, status: int,
+                          payload: object) -> None:
+    # indent=2 keeps /batch output byte-identical to the CLI's stdout
+    body = json.dumps(payload, indent=2).encode()
+    reason = _STATUS_REASONS.get(status, "Unknown")
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n")
+    writer.write(head.encode("latin-1") + body)
+    await writer.drain()
+
+
+class CompileServer:
+    """Asyncio HTTP/1.1 front end around a :class:`CompileService`."""
+
+    def __init__(self, service: CompileService, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._closed: asyncio.Event | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._shutdown_started = False
+
+    async def start(self) -> None:
+        """Bind the listener (port 0 picks an ephemeral port) and start
+        the service workers."""
+        self._loop = asyncio.get_running_loop()
+        self._closed = asyncio.Event()
+        if not self.service._workers:
+            self.service.start()
+        self._server = await asyncio.start_server(self._handle, self.host,
+                                                  self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a shutdown (signal or ``POST /shutdown``) drains."""
+        await self._closed.wait()
+
+    def begin_shutdown(self, drain: bool = True) -> None:
+        """Start the graceful exit; safe to call from the loop thread
+        (signal handlers, the /shutdown route).  Idempotent."""
+        if self._shutdown_started:
+            return
+        self._shutdown_started = True
+        self._loop.create_task(self._shutdown_task(drain))
+
+    def begin_shutdown_threadsafe(self, drain: bool = True) -> None:
+        """Like :meth:`begin_shutdown`, callable from any thread."""
+        try:
+            self._loop.call_soon_threadsafe(self.begin_shutdown, drain)
+        except RuntimeError:
+            pass    # loop already closed: shutdown has happened
+
+    async def _shutdown_task(self, drain: bool) -> None:
+        loop = asyncio.get_running_loop()
+        self.service.shutdown(drain=drain)
+        # the queue drains on worker threads; don't block the loop --
+        # in-flight handlers still need it to deliver their responses
+        await loop.run_in_executor(None, self.service.join)
+        current = asyncio.current_task()
+        pending = [task for task in self._conn_tasks
+                   if task is not current and not task.done()]
+        if pending:
+            await asyncio.wait(pending, timeout=5.0)
+        self._server.close()
+        await self._server.wait_closed()
+        self._closed.set()
+
+    # ------------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        try:
+            try:
+                method, target, _headers, body = await _read_request(reader)
+            except _BadRequest as exc:
+                await _write_response(writer, 400, {"error": str(exc)})
+                return
+            except (ConnectionError, asyncio.IncompleteReadError):
+                return
+            try:
+                status, payload = await self._dispatch(method, target, body)
+            except Exception as exc:      # one broken handler must not
+                status = 500              # take the server down
+                payload = {"error": f"{type(exc).__name__}: {exc}"}
+            await _write_response(writer, status, payload)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _dispatch(self, method: str, target: str,
+                        body: bytes) -> tuple[int, object]:
+        path = target.split("?", 1)[0]
+        routes = {"/healthz": "GET", "/metrics": "GET", "/compile": "POST",
+                  "/batch": "POST", "/shutdown": "POST"}
+        expected = routes.get(path)
+        if expected is None:
+            return 404, {"error": f"no route {path}"}
+        if method != expected:
+            return 405, {"error": f"{path} expects {expected}"}
+        if path == "/healthz":
+            return 200, self.service.health_payload()
+        if path == "/metrics":
+            return 200, self.service.metrics_payload()
+        if path == "/shutdown":
+            return self._shutdown_route(body)
+        if path == "/compile":
+            return await self._compile_route(body)
+        return await self._batch_route(body)
+
+    def _shutdown_route(self, body: bytes) -> tuple[int, object]:
+        drain = True
+        if body:
+            try:
+                payload = json.loads(body)
+            except ValueError:
+                return 400, {"error": "shutdown body must be JSON"}
+            if not isinstance(payload, dict) \
+                    or not isinstance(payload.get("drain", True), bool):
+                return 400, {"error": "shutdown body must be an object "
+                                      "with an optional boolean 'drain'"}
+            drain = payload.get("drain", True)
+        pending = len(self.service.queue)
+        self.begin_shutdown(drain=drain)
+        return 200, {"status": "draining" if drain else "stopping",
+                     "pending": pending}
+
+    # ------------------------------------------------------------------
+    def _default_envelope(self) -> Envelope:
+        return Envelope(timeout_s=self.service.config.default_timeout_s)
+
+    async def _await_job(self, job: Job,
+                         timeout_s: float | None) -> CompileResponse:
+        # shield: a waiter timing out must not cancel the shared future
+        # other coalesced waiters (and the cache) still want
+        future = asyncio.wrap_future(job.future)
+        try:
+            return await asyncio.wait_for(asyncio.shield(future), timeout_s)
+        except asyncio.TimeoutError:
+            if not job.started:
+                job.cancel()
+            self.service.metrics.increment("timed_out")
+            return self.service.timeout_response(job)
+
+    async def _compile_route(self, body: bytes) -> tuple[int, object]:
+        try:
+            payload = json.loads(body)
+        except ValueError:
+            return 400, {"error": "request body must be JSON"}
+        if not isinstance(payload, dict):
+            return 400, {"error": "request body must be a JSON object"}
+        try:
+            request_payload, envelope = split_envelope(
+                payload, self._default_envelope())
+            request = request_from_dict(request_payload)
+        except ValueError as exc:
+            return 400, {"error": str(exc)}
+        self.service.metrics.increment("received")
+        try:
+            key = request.key()
+        except Exception as exc:
+            self.service.metrics.increment("failed")
+            return 200, error_response(request, exc).to_dict()
+        try:
+            job, _coalesced = self.service.submit(
+                request, key, tenant=envelope.tenant,
+                priority=envelope.priority, timeout_s=envelope.timeout_s)
+        except QueueFullError as exc:
+            self.service.metrics.increment("rejected_queue_full")
+            return 429, {"error": str(exc),
+                         "queue_depth": len(self.service.queue)}
+        except QueueClosedError as exc:
+            return 503, {"error": str(exc)}
+        response = await self._await_job(job, envelope.timeout_s)
+        return 200, response.to_dict()
+
+    async def _batch_route(self, body: bytes) -> tuple[int, object]:
+        try:
+            payload = json.loads(body)
+        except ValueError:
+            return 400, {"error": "request body must be JSON"}
+        defaults = self._default_envelope()
+        if isinstance(payload, dict):
+            items = payload.get("requests")
+            extra = set(payload) - {"requests", *ENVELOPE_FIELDS}
+            if not isinstance(items, list) or extra:
+                return 400, {"error": "batch object must hold 'requests' "
+                                      "(a list) plus optional "
+                                      f"{sorted(ENVELOPE_FIELDS)}"}
+            try:
+                _, defaults = split_envelope(
+                    {k: v for k, v in payload.items() if k != "requests"},
+                    defaults)
+            except ValueError as exc:
+                return 400, {"error": str(exc)}
+        elif isinstance(payload, list):
+            items = payload
+        else:
+            return 400, {"error": "batch body must be a JSON list or an "
+                                  "object with a 'requests' list"}
+        requests: list[CompileRequest] = []
+        envelopes: list[Envelope] = []
+        for index, item in enumerate(items):
+            if not isinstance(item, dict):
+                return 400, {"error": f"request #{index} must be a JSON "
+                                      f"object"}
+            try:
+                request_payload, envelope = split_envelope(item, defaults)
+                requests.append(request_from_dict(request_payload))
+            except ValueError as exc:
+                return 400, {"error": f"request #{index}: {exc}"}
+            envelopes.append(envelope)
+        self.service.metrics.increment("received", len(requests))
+        keys, pre_failed = compute_request_keys(requests)
+        if pre_failed:
+            self.service.metrics.increment("failed", len(pre_failed))
+        jobs: dict[str, tuple[Job, Envelope]] = {}
+        duplicates = 0
+        for request, key, envelope in zip(requests, keys, envelopes):
+            if key is None:
+                continue
+            if key in jobs:
+                duplicates += 1
+                continue
+            try:
+                job, _coalesced = self.service.submit(
+                    request, key, tenant=envelope.tenant,
+                    priority=envelope.priority,
+                    timeout_s=envelope.timeout_s)
+            except QueueFullError as exc:
+                # all-or-nothing: the client retries the whole batch;
+                # jobs already submitted keep running and warm the cache
+                self.service.metrics.increment("rejected_queue_full")
+                return 429, {"error": str(exc),
+                             "queue_depth": len(self.service.queue)}
+            except QueueClosedError as exc:
+                return 503, {"error": str(exc)}
+            jobs[key] = (job, envelope)
+        if duplicates:
+            self.service.metrics.increment("deduplicated", duplicates)
+        results = await asyncio.gather(*(
+            self._await_job(job, envelope.timeout_s)
+            for job, envelope in jobs.values()))
+        computed = dict(zip(jobs.keys(), results))
+        responses = assemble_responses(requests, keys, computed, pre_failed)
+        return 200, [response.to_dict() for response in responses]
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+def serve(config: ServiceConfig | None = None, host: str = "127.0.0.1",
+          port: int = 8000, *, install_signals: bool = True) -> int:
+    """Run a compile server in the foreground (the CLI entry point).
+
+    Prints ``serving on HOST:PORT`` to stderr once the listener is bound
+    (with ``--port 0`` this is how callers learn the ephemeral port) and
+    blocks until SIGINT/SIGTERM or ``POST /shutdown`` drains the queue.
+    """
+    service = CompileService(config)
+    server = CompileServer(service, host, port)
+
+    async def _main() -> None:
+        await server.start()
+        print(f"serving on {server.host}:{server.port}", file=sys.stderr,
+              flush=True)
+        if install_signals:
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(signum, server.begin_shutdown)
+                except (NotImplementedError, RuntimeError):
+                    pass   # non-main thread or unsupported platform
+        await server.serve_until_shutdown()
+
+    asyncio.run(_main())
+    return 0
+
+
+class ServerThread:
+    """A compile server on a background thread (tests and examples).
+
+    Usage::
+
+        with ServerThread(CompileService(config)) as handle:
+            client = CompileClient(port=handle.port)
+            ...
+
+    The context exit performs a graceful drain.
+    """
+
+    def __init__(self, service: CompileService | None = None,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service or CompileService()
+        self.server = CompileServer(self.service, host, port)
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(target=self._run,
+                                        name="compile-server", daemon=True)
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def _run(self) -> None:
+        async def _main() -> None:
+            await self.server.start()
+            self._ready.set()
+            await self.server.serve_until_shutdown()
+
+        try:
+            asyncio.run(_main())
+        except BaseException as exc:
+            self._error = exc
+            self._ready.set()
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        self._ready.wait(10.0)
+        if self._error is not None:
+            raise RuntimeError("server failed to start") from self._error
+        if not self._ready.is_set():
+            raise RuntimeError("server did not start within 10s")
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Graceful drain; idempotent (a /shutdown-stopped server is
+        already gone)."""
+        if self._thread.is_alive():
+            self.server.begin_shutdown_threadsafe()
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -151,3 +151,77 @@ class TestSaltedDirectory:
         once = salted_directory(tmp_path)
         assert salted_directory(once) == once
         assert salted_directory(str(once)) == once
+
+
+class TestCounterSnapshots:
+    """stats()/reset_stats()/stats_delta: the one counter read path
+    shared by 'sweep --pass-timings', BatchCompiler summaries and the
+    compile server's /metrics endpoint."""
+
+    def test_reset_stats_zeroes_counters(self):
+        cache = ArtifactCache()
+        cache.put("k", {})
+        cache.get("k")
+        cache.get("missing")
+        cache.record_event("mapping", hit=True)
+        cache.reset_stats()
+        stats = cache.stats()
+        assert stats["hits"] == 0
+        assert stats["misses"] == 0
+        assert stats["per_pass"] == {}
+        # entries survive a counter reset: only accounting is cleared
+        assert cache.get("k") == {}
+
+    def test_stats_delta_subtracts_counters(self):
+        from repro.cache.store import stats_delta
+
+        cache = ArtifactCache()
+        cache.put("k", {})
+        cache.get("k")
+        before = cache.stats()
+        cache.get("k")
+        cache.get("missing")
+        cache.record_event("routing", hit=False)
+        delta = stats_delta(before, cache.stats())
+        assert delta["hits"] == 1
+        assert delta["misses"] == 1
+        assert delta["per_pass"] == {"routing": {"hits": 0, "misses": 1}}
+        # memory_entries is a gauge, not a counter: reported absolute
+        assert delta["memory_entries"] == cache.stats()["memory_entries"]
+
+
+class TestLockingArtifactCache:
+    def test_behaves_like_plain_cache(self, tmp_path):
+        from repro.cache.store import LockingArtifactCache
+
+        cache = LockingArtifactCache(tmp_path)
+        cache.put("abcd", {"n": 1})
+        assert cache.get("abcd") == {"n": 1}
+        assert cache.stats()["hits"] == 1
+        cache.reset_stats()
+        assert cache.stats()["hits"] == 0
+
+    def test_concurrent_access_keeps_counters_consistent(self):
+        import threading
+
+        from repro.cache.store import LockingArtifactCache
+
+        cache = LockingArtifactCache()
+        cache.put("k", {})
+        rounds = 200
+
+        def worker():
+            for _ in range(rounds):
+                cache.get("k")
+                cache.get("missing")
+                cache.record_event("mapping", hit=True)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stats = cache.stats()
+        assert stats["hits"] == 4 * rounds
+        assert stats["misses"] == 4 * rounds
+        assert stats["per_pass"]["mapping"]["hits"] == 4 * rounds

@@ -140,6 +140,32 @@ class TestExecuteRequest:
         assert "timings" not in payload
         assert payload["n_qubits"] == 6
 
+    def test_to_dict_carries_request_key(self):
+        """Clients correlate responses on request_key instead of
+        recomputing key() themselves."""
+        payload = execute_request(REQS[0]).to_dict()
+        assert payload["request_key"] == REQS[0].key()
+
+    def test_request_key_threaded_through_is_not_recomputed(self):
+        response = execute_request(REQS[0], request_key="precomputed")
+        assert response.to_dict()["request_key"] == "precomputed"
+
+    def test_batch_duplicates_share_request_key(self):
+        responses, _ = BatchCompiler().run([REQS[0], REQS[0]])
+        first, second = [r.to_dict() for r in responses]
+        assert first["request_key"] == second["request_key"]
+        assert responses[1].deduplicated
+
+    def test_uncomputable_key_serialises_as_none(self):
+        from repro.service.batch import error_response
+
+        bogus = CompileRequest(compiler="bogus")
+        responses, summary = BatchCompiler().run([bogus])
+        assert summary.n_failed == 1
+        assert responses[0].to_dict()["request_key"] is None
+        assert error_response(bogus, ValueError("x")).to_dict()[
+            "request_key"] is None
+
 
 class TestBatchCompiler:
     def test_responses_in_request_order(self):

@@ -1,0 +1,107 @@
+"""Tests for the client SDK's retry/backoff and batching behaviour.
+
+The transport seam (:meth:`CompileClient._send`) is replaced with a
+scripted fake, so these tests assert the retry schedule without a
+network or a clock.
+"""
+
+import json
+
+import pytest
+
+from repro.service.batch import CompileRequest
+from repro.service.client import CompileClient, ServiceError
+
+
+class ScriptedClient(CompileClient):
+    """A client whose transport replays a scripted exchange list."""
+
+    def __init__(self, script, **kwargs):
+        self.sleeps = []
+        super().__init__(port=1, sleep=self.sleeps.append, **kwargs)
+        self.script = list(script)
+        self.calls = []
+
+    def _send(self, method, path, payload=None):
+        self.calls.append((method, path, payload))
+        step = self.script.pop(0)
+        if isinstance(step, Exception):
+            raise step
+        status, body = step
+        return status, json.dumps(body).encode()
+
+
+class TestRetry:
+    def test_retries_backpressure_with_exponential_backoff(self):
+        client = ScriptedClient([
+            (429, {"error": "full"}),
+            (503, {"error": "draining"}),
+            (200, {"ok": True}),
+        ], retries=3, backoff_s=0.1)
+        assert client.healthz() == {"ok": True}
+        assert client.sleeps == [0.1, 0.2]
+
+    def test_retries_connection_errors(self):
+        client = ScriptedClient([
+            ConnectionRefusedError("nope"),
+            (200, {"ok": True}),
+        ])
+        assert client.healthz() == {"ok": True}
+
+    def test_exhausted_retries_raise_last_service_error(self):
+        client = ScriptedClient([(429, {"error": "full"})] * 3, retries=2)
+        with pytest.raises(ServiceError, match="429") as excinfo:
+            client.healthz()
+        assert excinfo.value.status == 429
+        assert client.sleeps == [0.1, 0.2]
+
+    def test_exhausted_connection_retries_raise(self):
+        client = ScriptedClient([ConnectionRefusedError("nope")] * 2,
+                                retries=1)
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.healthz()
+
+    def test_client_errors_never_retry(self):
+        client = ScriptedClient([(400, {"error": "bad field"})])
+        with pytest.raises(ServiceError, match="bad field") as excinfo:
+            client.compile({"compiler": "2qan"})
+        assert excinfo.value.status == 400
+        assert client.sleeps == []
+
+    def test_retries_zero_is_single_attempt(self):
+        client = ScriptedClient([(503, {"error": "draining"})], retries=0)
+        with pytest.raises(ServiceError, match="503"):
+            client.healthz()
+
+
+class TestApi:
+    def test_compile_sends_envelope_fields(self):
+        client = ScriptedClient([(200, {"n_swaps": 1})])
+        client.compile(CompileRequest(), tenant="team-a", priority=3,
+                       timeout_s=2.5)
+        method, path, payload = client.calls[0]
+        assert (method, path) == ("POST", "/compile")
+        assert payload["tenant"] == "team-a"
+        assert payload["priority"] == 3
+        assert payload["timeout_s"] == 2.5
+        assert payload["compiler"] == "2qan"
+
+    def test_compile_batch_chunks_preserve_order(self):
+        client = ScriptedClient([
+            (200, [{"i": 0}, {"i": 1}]),
+            (200, [{"i": 2}]),
+        ])
+        out = client.compile_batch(
+            [{"seed": i} for i in range(3)], chunk_size=2)
+        assert out == [{"i": 0}, {"i": 1}, {"i": 2}]
+        assert [len(c[2]["requests"]) for c in client.calls] == [2, 1]
+
+    def test_compile_batch_rejects_bad_chunk_size(self):
+        client = ScriptedClient([])
+        with pytest.raises(ValueError, match="chunk_size"):
+            client.compile_batch([{}, {}], chunk_size=0)
+
+    def test_shutdown_defaults_to_drain_without_retry(self):
+        client = ScriptedClient([(200, {"status": "draining"})])
+        assert client.shutdown()["status"] == "draining"
+        assert client.calls[0] == ("POST", "/shutdown", {"drain": True})

@@ -1,0 +1,138 @@
+"""Tests for the compile server's priority job queue."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service.batch import CompileRequest
+from repro.service.queue import (
+    Job,
+    JobQueue,
+    QueueClosedError,
+    QueueFullError,
+)
+
+
+def make_job(priority=0, timeout_s=None, key="k"):
+    return Job(request=CompileRequest(), key=key, priority=priority,
+               timeout_s=timeout_s)
+
+
+class TestJob:
+    def test_no_timeout_never_expires(self):
+        job = make_job()
+        assert job.deadline is None
+        assert not job.expired
+
+    def test_expired_after_deadline(self):
+        job = make_job(timeout_s=0.001)
+        time.sleep(0.01)
+        assert job.expired
+
+    def test_cancel_marks_without_resolving(self):
+        job = make_job()
+        job.cancel()
+        assert job.cancelled
+        assert not job.future.done()
+
+    def test_resolve_is_first_writer_wins(self):
+        job = make_job()
+        job.resolve("first")
+        job.resolve("second")
+        assert job.future.result() == "first"
+
+
+class TestJobQueue:
+    def test_fifo_within_priority(self):
+        queue = JobQueue()
+        jobs = [make_job(key=str(i)) for i in range(3)]
+        for job in jobs:
+            queue.put(job)
+        assert [queue.get() for _ in range(3)] == jobs
+
+    def test_higher_priority_pops_first(self):
+        queue = JobQueue()
+        low, high = make_job(priority=0), make_job(priority=5)
+        queue.put(low)
+        queue.put(high)
+        assert queue.get() is high
+        assert queue.get() is low
+
+    def test_full_queue_raises_not_blocks(self):
+        queue = JobQueue(maxsize=2)
+        queue.put(make_job())
+        queue.put(make_job())
+        with pytest.raises(QueueFullError, match="full"):
+            queue.put(make_job())
+        assert len(queue) == 2
+
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            JobQueue(maxsize=0)
+
+    def test_put_after_close_raises(self):
+        queue = JobQueue()
+        queue.close()
+        with pytest.raises(QueueClosedError):
+            queue.put(make_job())
+
+    def test_get_returns_sentinel_after_close_drains(self):
+        """Workers run the pending backlog, then see the None sentinel."""
+        queue = JobQueue()
+        job = make_job()
+        queue.put(job)
+        queue.close()
+        assert queue.get() is job
+        assert queue.get() is None
+        assert queue.get() is None    # every worker gets one
+
+    def test_close_reports_pending_and_is_idempotent(self):
+        queue = JobQueue()
+        queue.put(make_job())
+        assert len(queue.close()) == 1
+        assert len(queue.close()) == 1
+
+    def test_get_timeout(self):
+        queue = JobQueue()
+        with pytest.raises(TimeoutError):
+            queue.get(timeout=0.01)
+
+    def test_get_blocks_until_put(self):
+        queue = JobQueue()
+        job = make_job()
+        results = []
+        waiter = threading.Thread(target=lambda: results.append(queue.get()))
+        waiter.start()
+        time.sleep(0.02)
+        queue.put(job)
+        waiter.join(2.0)
+        assert results == [job]
+
+    def test_pause_holds_jobs_resume_releases(self):
+        queue = JobQueue()
+        queue.pause()
+        job = make_job()
+        queue.put(job)
+        with pytest.raises(TimeoutError):
+            queue.get(timeout=0.01)
+        queue.resume()
+        assert queue.get() is job
+
+    def test_close_overrides_pause(self):
+        """Shutdown must drain even a queue a test left paused."""
+        queue = JobQueue()
+        queue.pause()
+        job = make_job()
+        queue.put(job)
+        queue.close()
+        assert queue.get() is job
+        assert queue.get() is None
+
+    def test_drain_empties_in_priority_order(self):
+        queue = JobQueue()
+        low, high = make_job(priority=0), make_job(priority=9)
+        queue.put(low)
+        queue.put(high)
+        assert queue.drain() == [high, low]
+        assert len(queue) == 0
