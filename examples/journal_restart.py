@@ -1,0 +1,150 @@
+"""Fault tolerance end to end: kill a serving process, replay its journal.
+
+The durability guarantee behind ``repro serve --journal``: an accepted
+job is never silently lost.  This example proves it the hard way,
+exactly like the CI chaos smoke job:
+
+1. run a batch against an uninterrupted server -- the reference output;
+2. start a fresh server with ``--journal`` armed and a fault plan that
+   stalls every compile at the routing pass, fire the same batch, and
+   ``SIGKILL`` the server once the journal shows the accepted jobs --
+   mid-compile, nothing answered;
+3. restart a server on the same journal (faults cleared): startup
+   replay re-executes the orphaned jobs until the journal drains;
+4. re-fire the batch and assert the responses are byte-identical to the
+   uninterrupted run -- a crash plus a replay changes nothing the
+   client can observe.
+
+Run with ``python examples/journal_restart.py``.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.service.client import CompileClient  # noqa: E402
+from repro.service.faults import ENV_VAR, FaultPlan  # noqa: E402
+from repro.service.journal import JobJournal  # noqa: E402
+
+BATCH = [
+    {"compiler": "2qan", "benchmark": "NNN_Ising", "n_qubits": 6,
+     "device": "aspen", "gateset": "CNOT", "seed": seed}
+    for seed in range(4)
+]
+
+
+def start_server(journal: Path, cache_dir: str,
+                 fault_env: str | None = None,
+                 ) -> tuple[subprocess.Popen, int]:
+    """Spawn ``repro serve --journal`` on an ephemeral port."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    env.pop(ENV_VAR, None)
+    if fault_env is not None:
+        env[ENV_VAR] = fault_env
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--jobs", "2", "--cache", cache_dir, "--journal", str(journal)],
+        stderr=subprocess.PIPE, env=env, text=True)
+    line = process.stderr.readline().strip()    # "serving on host:port"
+    if not line.startswith("serving on "):
+        process.kill()
+        raise RuntimeError(f"unexpected server banner: {line!r}")
+    port = int(line.rsplit(":", 1)[1])
+    # keep draining stderr so the server never blocks on a full pipe
+    threading.Thread(target=process.stderr.read, daemon=True).start()
+    return process, port
+
+
+def wait_until(predicate, timeout: float, what: str) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    raise RuntimeError(f"timed out waiting for {what}")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = Path(tmp) / "journal.jsonl"
+        cache_dir = str(Path(tmp) / "cache")
+
+        # -- 1. the uninterrupted reference run ------------------------
+        process, port = start_server(journal, cache_dir)
+        try:
+            client = CompileClient(port=port)
+            reference = client.compile_batch(BATCH)
+            assert all(r.get("error") is None for r in reference)
+            client.shutdown()
+            process.wait(timeout=60)
+        finally:
+            if process.poll() is None:
+                process.kill()
+        print(f"reference run: {len(reference)} responses")
+        assert JobJournal(journal).pending() == [], \
+            "a cleanly drained server leaves no pending journal records"
+
+        # -- 2. accept the batch, then die mid-compile -----------------
+        stall = FaultPlan(slow_pass="routing", slow_seconds=30.0).to_env()
+        process, port = start_server(journal, cache_dir, fault_env=stall)
+        try:
+            # the batch call never returns (its server dies); fire and
+            # forget from a background thread
+            def doomed_call():
+                try:
+                    CompileClient(port=port, retries=0,
+                                  timeout_s=120).compile_batch(BATCH)
+                except Exception:
+                    pass        # expected: the server is about to die
+
+            threading.Thread(target=doomed_call, daemon=True).start()
+            wait_until(lambda: len(JobJournal(journal).pending())
+                       == len(BATCH),
+                       timeout=60, what="journal to show accepted jobs")
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=60)
+        finally:
+            if process.poll() is None:
+                process.kill()
+        orphaned = len(JobJournal(journal).pending())
+        print(f"killed mid-compile with {orphaned} accepted, "
+              f"unanswered jobs journalled")
+        assert orphaned == len(BATCH)
+
+        # -- 3. restart on the same journal: replay drains it ----------
+        process, port = start_server(journal, cache_dir)
+        try:
+            wait_until(lambda: JobJournal(journal).pending() == [],
+                       timeout=300, what="startup replay to drain")
+            print("restarted server replayed every orphaned job")
+
+            # -- 4. the crash was invisible to the next client ---------
+            client = CompileClient(port=port)
+            replayed = client.compile_batch(BATCH)
+            counters = client.metrics()["requests"]
+            assert counters["journal_replayed"] == len(BATCH)
+            client.shutdown()
+            process.wait(timeout=60)
+        finally:
+            if process.poll() is None:
+                process.kill()
+        assert json.dumps(replayed) == json.dumps(reference), \
+            "post-replay responses must be byte-identical to the " \
+            "uninterrupted run"
+        print(f"post-replay batch is byte-identical to the reference "
+              f"({len(replayed)} responses)")
+
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,7 @@ import argparse
 import json
 import math
 import sys
+from pathlib import Path
 
 from repro.analysis.harness import (
     SweepConfig,
@@ -614,6 +615,24 @@ def make_serve_parser() -> argparse.ArgumentParser:
                         metavar="SECONDS",
                         help="default per-request timeout (requests may "
                              "override with 'timeout_s')")
+    parser.add_argument("--workers", choices=("thread", "process"),
+                        default="thread",
+                        help="where compiles execute: 'thread' (default) "
+                             "or 'process' (a supervised process pool: "
+                             "crash isolation, bounded retries, poison-"
+                             "job quarantine)")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        help="re-runs of a worker-crashing job before it "
+                             "is quarantined (process mode)")
+    parser.add_argument("--journal", nargs="?", const="auto", default=None,
+                        metavar="FILE",
+                        help="write-ahead log of accepted jobs, replayed "
+                             "on restart; without FILE it lives at "
+                             "CACHE/journal.jsonl (requires --cache)")
+    parser.add_argument("--idle-timeout", type=float, default=60.0,
+                        metavar="SECONDS",
+                        help="how long an idle keep-alive connection is "
+                             "held open")
     return parser
 
 
@@ -633,12 +652,29 @@ def serve_main(argv: list[str]) -> int:
     if args.timeout is not None and args.timeout <= 0:
         print("error: --timeout must be positive", file=sys.stderr)
         return 1
+    if args.max_retries < 0:
+        print("error: --max-retries must be >= 0", file=sys.stderr)
+        return 1
+    if args.idle_timeout <= 0:
+        print("error: --idle-timeout must be positive", file=sys.stderr)
+        return 1
+    journal_path = args.journal
+    if journal_path == "auto":
+        if not args.cache:
+            print("error: --journal without a FILE requires --cache",
+                  file=sys.stderr)
+            return 1
+        journal_path = str(Path(args.cache) / "journal.jsonl")
     config = ServiceConfig(
         jobs=args.jobs,
         queue_depth=args.queue_depth,
         cache_dir=args.cache or None,
         memory_limit=args.memory_limit,
         default_timeout_s=args.timeout,
+        worker_mode=args.workers,
+        max_retries=args.max_retries,
+        journal_path=journal_path,
+        idle_timeout_s=args.idle_timeout,
     )
     return serve(config, host=args.host, port=args.port)
 

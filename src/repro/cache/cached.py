@@ -136,7 +136,8 @@ class CachedPipeline(PassPipeline):
 
 
 def compile_cached(compiler, step, cache: ArtifactCache,
-                   initial=None, binding=None) -> CompilationResult:
+                   initial=None, binding=None,
+                   cancel=None) -> CompilationResult:
     """Compile one step through ``compiler``'s pipeline with caching.
 
     ``compiler`` is any :class:`~repro.core.pipeline.PipelineCompiler`
@@ -159,4 +160,5 @@ def compile_cached(compiler, step, cache: ArtifactCache,
         cache=getattr(compiler, "cache", None),
         initial=initial,
         binding=binding,
+        cancel=cancel,
     )

@@ -22,6 +22,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.core.cancel import CancelToken
 from repro.core.pipeline import (
     CompilationContext,
     CompilationResult,
@@ -128,12 +129,16 @@ class StructuralCompilation:
 
 def compile_structural(compiler, step,
                        initial: np.ndarray | None = None,
+                       cancel: CancelToken | None = None,
                        ) -> StructuralCompilation:
     """Run a compiler's structural prefix (everything before binding).
 
     ``compiler`` is any :class:`~repro.core.pipeline.PipelineCompiler`
     whose pipeline contains a pass named ``"binding"``; the step may be
-    symbolic or concrete.
+    symbolic or concrete.  ``cancel`` governs only the prefix run; the
+    stored structural context carries no token (each bind supplies its
+    own), so one request's cancellation never poisons a structural twin
+    compiled on its behalf.
     """
     pipeline = compiler.build_pipeline()
     names = pipeline.names()
@@ -152,8 +157,10 @@ def compile_structural(compiler, step,
         seed=compiler.seed,
         cache=compiler.cache,
         initial=initial,
+        cancel=cancel,
     )
     ctx = prefix.run(ctx)
+    ctx.cancel = None
     return StructuralCompilation(
         suffix=suffix,
         ctx=ctx,
@@ -164,18 +171,22 @@ def compile_structural(compiler, step,
 
 def bind_structural(structural: StructuralCompilation,
                     binding: dict[str, float] | None = None,
+                    cancel: CancelToken | None = None,
                     ) -> CompilationResult:
     """Bind one angle set into a structural compilation.
 
     Replays only the pipeline suffix (binding + decomposition) on a copy
     of the structural context; the structural artifacts are shared, not
-    mutated, so a compilation binds any number of angle sets.
+    mutated, so a compilation binds any number of angle sets.  Each bind
+    carries its own ``cancel`` token (the structural context stores
+    none).
     """
     ctx = replace(
         structural.ctx,
         binding=dict(binding) if binding else None,
         timings=dict(structural.ctx.timings),
         cache_events=dict(structural.ctx.cache_events),
+        cancel=cancel,
     )
     ctx = structural.suffix.run(ctx)
     return result_from_context(ctx)

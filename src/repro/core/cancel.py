@@ -1,0 +1,79 @@
+"""Cooperative cancellation for in-flight compilations.
+
+A :class:`CancelToken` travels down the compilation stack (service job ->
+``execute_request`` -> pipeline context) and is *checked at pass
+boundaries*: :meth:`~repro.core.pipeline.PassPipeline.run` calls
+:meth:`CancelToken.checkpoint` before each stage, so a cancelled or
+deadline-expired compilation stops at the next boundary instead of
+running the remaining passes to completion.  Cancellation is cooperative
+-- a pass already executing finishes its stage -- which keeps the
+pipeline free of locks and the artifacts free of half-written state.
+
+The token is deliberately stdlib-only and import-light: the serving
+layer (``repro.service``) creates tokens without importing numpy, and
+the pipeline consumes them without importing the service.
+
+``on_checkpoint`` is an instrumentation seam: the fault-injection
+harness (:mod:`repro.service.faults`) hooks it to stall a named pass,
+and tests hook it to observe boundary crossings.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class CompilationCancelled(Exception):
+    """Raised at a pass boundary when the compilation's token fired.
+
+    Carries a plain message only, so it pickles cleanly across the
+    process-pool boundary in ``--workers process`` mode.
+    """
+
+
+class CancelToken:
+    """A thread-safe cancellation flag with an optional deadline.
+
+    ``deadline`` is a :func:`time.monotonic` timestamp; ``checkpoint``
+    raises once it has passed.  ``cancel()`` may be called from any
+    thread (e.g. the asyncio front end observing a client disconnect)
+    while the compilation runs in a worker.
+    """
+
+    __slots__ = ("_event", "deadline", "on_checkpoint")
+
+    def __init__(self, deadline: float | None = None) -> None:
+        self._event = threading.Event()
+        self.deadline = deadline
+        self.on_checkpoint = None
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def expired(self) -> bool:
+        return self.deadline is not None and time.monotonic() >= self.deadline
+
+    def checkpoint(self, where: str = "") -> None:
+        """Raise :class:`CompilationCancelled` if the token has fired.
+
+        ``where`` names the boundary (the pass about to run) for the
+        error message and the ``on_checkpoint`` hook.
+        """
+        hook = self.on_checkpoint
+        if hook is not None:
+            hook(where)
+        if self._event.is_set():
+            raise CompilationCancelled(
+                f"compilation cancelled before pass {where or '<start>'!r}"
+            )
+        if self.expired:
+            raise CompilationCancelled(
+                f"compilation deadline exceeded before pass "
+                f"{where or '<start>'!r}"
+            )

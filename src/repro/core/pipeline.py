@@ -36,6 +36,7 @@ from typing import ClassVar, Protocol, runtime_checkable
 
 import numpy as np
 
+from repro.core.cancel import CancelToken
 from repro.core.decompose import DecomposeCache, decompose_circuit
 from repro.core.metrics import CircuitMetrics
 from repro.core.routing import QubitMap, RoutedProblem, route
@@ -80,6 +81,7 @@ class CompilationContext:
     cache: DecomposeCache | None = None
     initial: np.ndarray | None = None
     binding: dict[str, float] | None = None
+    cancel: CancelToken | None = None
 
     working: TrotterStep | None = None
     assignment: np.ndarray | None = None
@@ -140,6 +142,8 @@ class PassPipeline:
 
     def run(self, ctx: CompilationContext) -> CompilationContext:
         for stage in self.passes:
+            if ctx.cancel is not None:
+                ctx.cancel.checkpoint(stage.name)
             start = time.perf_counter()
             result = stage.run(ctx)
             elapsed = time.perf_counter() - start
@@ -225,6 +229,7 @@ def run_pipeline(pipeline: PassPipeline, step: TrotterStep, *,
                  seed: int = 0, cache: DecomposeCache | None = None,
                  initial: np.ndarray | None = None,
                  binding: dict[str, float] | None = None,
+                 cancel: CancelToken | None = None,
                  ) -> CompilationResult:
     """Build a context, run ``pipeline`` over it, package the result."""
     ctx = CompilationContext(
@@ -235,6 +240,7 @@ def run_pipeline(pipeline: PassPipeline, step: TrotterStep, *,
         cache=cache if cache is not None else DecomposeCache(),
         initial=initial,
         binding=dict(binding) if binding else None,
+        cancel=cancel,
     )
     return result_from_context(pipeline.run(ctx))
 
@@ -511,16 +517,19 @@ class PipelineCompiler:
     def compile(self, step: TrotterStep,
                 initial: np.ndarray | None = None,
                 binding: dict[str, float] | None = None,
+                cancel: CancelToken | None = None,
                 ) -> CompilationResult:
         """Compile one Trotter step / QAOA layer through the pipeline.
 
         ``binding`` maps symbolic parameter names to angles; it is
         required exactly when ``step`` is symbolic (the pipeline's bind
-        pass resolves it before decomposition).
+        pass resolves it before decomposition).  ``cancel`` is checked
+        at every pass boundary; a fired token aborts the compilation
+        with :class:`~repro.core.cancel.CompilationCancelled`.
         """
         return run_pipeline(
             self.build_pipeline(), step,
             gateset=self.gateset, device=getattr(self, "device", None),
             seed=self.seed, cache=self.cache, initial=initial,
-            binding=binding,
+            binding=binding, cancel=cancel,
         )

@@ -14,6 +14,11 @@ cache (:mod:`repro.cache`):
 * :mod:`repro.service.client` -- :class:`CompileClient`, a retrying
   stdlib HTTP client for the server.
 
+Fault tolerance lives in two side modules: :mod:`repro.service.journal`
+(the accepted-job write-ahead log behind ``repro serve --journal``) and
+:mod:`repro.service.faults` (the injectable failure hooks the chaos
+tests drive).
+
 CLI: ``python -m repro batch --requests FILE.json --jobs N --cache DIR``
 and ``python -m repro serve --port 8000 --jobs 2 --cache DIR``.
 """
@@ -30,6 +35,8 @@ from repro.service.batch import (
     request_from_dict,
 )
 from repro.service.client import CompileClient, ServiceError
+from repro.service.faults import FaultPlan
+from repro.service.journal import JobJournal
 from repro.service.metrics import ServiceMetrics
 from repro.service.queue import (
     Job,
@@ -53,7 +60,9 @@ __all__ = [
     "CompileResponse",
     "CompileServer",
     "CompileService",
+    "FaultPlan",
     "Job",
+    "JobJournal",
     "JobQueue",
     "QueueClosedError",
     "QueueFullError",

@@ -39,6 +39,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.cache.store import ArtifactCache
+from repro.core.cancel import CancelToken
+from repro.service import faults
 
 _REQUEST_DEFAULTS = {
     "compiler": "2qan",
@@ -360,7 +362,8 @@ def assemble_responses(requests: list[CompileRequest],
 def execute_request(request: CompileRequest,
                     cache: ArtifactCache | None = None,
                     structurals: dict | None = None, *,
-                    request_key: str | None = None) -> CompileResponse:
+                    request_key: str | None = None,
+                    cancel: CancelToken | None = None) -> CompileResponse:
     """Serve one request: resolve, build, compile (through the cache).
 
     A request carrying ``parameters`` compiles the benchmark's *symbolic*
@@ -372,6 +375,9 @@ def execute_request(request: CompileRequest,
     sharing a structural prefix reuse it through the artifact cache.
     ``request_key`` threads the dedupe key the serving layer already
     computed into the response (so it is never recomputed downstream).
+    ``cancel`` rides into the pipeline context and is checked at every
+    pass boundary; a fired token raises
+    :class:`~repro.core.cancel.CompilationCancelled` out of this call.
     """
     from repro.analysis.harness import build_step, build_symbolic_step
     from repro.cache.cached import compile_cached
@@ -399,19 +405,22 @@ def execute_request(request: CompileRequest,
                           request.qaoa_degree)
     compiler = get_compiler(spec.name, device=device,
                             gateset=request.gateset, seed=request.seed)
+    if cancel is not None:
+        faults.instrument(cancel)
     start = time.perf_counter()
     if binding and structurals is not None:
         skey = request.structural_key()
         structural = structurals.get(skey)
         if structural is None:
-            structural = compile_structural(compiler, step)
+            structural = compile_structural(compiler, step, cancel=cancel)
             structurals[skey] = structural
-        result = bind_structural(structural, binding)
+        result = bind_structural(structural, binding, cancel=cancel)
     elif cache is not None:
         result = compile_cached(compiler, step, cache,
-                                binding=binding or None)
+                                binding=binding or None, cancel=cancel)
     else:
-        result = compiler.compile(step, binding=binding or None)
+        result = compiler.compile(step, binding=binding or None,
+                                  cancel=cancel)
     elapsed = time.perf_counter() - start
     metrics = result.metrics
     return CompileResponse(
@@ -433,25 +442,35 @@ def execute_request(request: CompileRequest,
 _WORKER_MEMORY_CACHE: ArtifactCache | None = None
 
 
-def _execute_in_worker(job: tuple[CompileRequest, str, str | None, int],
+def _execute_in_worker(job: tuple[CompileRequest, str, str | None, int,
+                                  float | None],
                        ) -> CompileResponse:
     """Pool entry point: workers share one per-process cache per dir.
 
     Without a directory each worker process still keeps a private
     in-memory cache, so requests served by the same worker reuse each
     other's artifacts across the whole pool lifetime.
+
+    The last tuple slot is the seconds remaining until the request's
+    deadline (``None`` = unbounded): cancel tokens do not cross the
+    process boundary, so the child rebuilds one from the relative
+    budget and enforces the deadline at its own pass boundaries.
     """
     global _WORKER_MEMORY_CACHE
     from repro.cache.store import process_cache
 
-    request, request_key, cache_dir, memory_limit = job
+    request, request_key, cache_dir, memory_limit, remaining_s = job
+    faults.maybe_crash(hard=True)
     cache = process_cache(cache_dir, memory_limit=memory_limit)
     if cache is None:
         if _WORKER_MEMORY_CACHE is None:
             _WORKER_MEMORY_CACHE = ArtifactCache(
                 memory_limit=memory_limit)
         cache = _WORKER_MEMORY_CACHE
-    return execute_request(request, cache, request_key=request_key)
+    cancel = CancelToken(deadline=None if remaining_s is None
+                         else time.monotonic() + remaining_s)
+    return execute_request(request, cache, request_key=request_key,
+                           cancel=cancel)
 
 
 @dataclass(frozen=True)
@@ -543,7 +562,7 @@ class BatchCompiler:
                 futures = {
                     pool.submit(_execute_in_worker,
                                 (request, key, cache_dir,
-                                 self.memory_limit)): (request, key)
+                                 self.memory_limit, None)): (request, key)
                     for request, key in unique
                 }
                 # drain every future even after a failure, so responses

@@ -1,20 +1,26 @@
 """Client SDK for the compile service.
 
 :class:`CompileClient` speaks the server's JSON-over-HTTP protocol with
-stdlib ``http.client`` only.  Transient failures -- connection errors,
+stdlib ``http.client`` only.  Connections are kept alive and reused
+across calls (one persistent connection per thread; a stale socket is
+retried once on a fresh one).  Transient failures -- connection errors,
 429 backpressure from a full queue, 503 from a draining server -- are
-retried with exponential backoff; anything else raises
-:class:`ServiceError` with the server's status and message.
+retried; when the server supplies a ``Retry-After`` header the client
+sleeps exactly that long, otherwise it falls back to exponential
+backoff.  Anything else raises :class:`ServiceError` with the server's
+status and message.
 
     client = CompileClient(port=8000)
     response = client.compile(CompileRequest(benchmark="NNN_Ising", ...))
     responses = client.compile_batch(requests, tenant="team-a")
+    client.close()          # or: with CompileClient(...) as client: ...
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import threading
 import time
 from typing import Callable, Iterable, Sequence
 
@@ -34,11 +40,16 @@ class ServiceError(RuntimeError):
 
 
 class CompileClient:
-    """Thin retrying HTTP client for a compile server.
+    """Retrying keep-alive HTTP client for a compile server.
 
     ``retries`` counts *additional* attempts after the first; attempt
-    ``n`` sleeps ``backoff_s * 2**(n-1)`` beforehand.  ``sleep`` is
-    injectable so tests assert the backoff schedule without waiting.
+    ``n`` sleeps the server's ``Retry-After`` when the previous answer
+    carried one, else ``backoff_s * 2**(n-1)``.  ``sleep`` is injectable
+    so tests assert the backoff schedule without waiting.
+
+    One ``http.client.HTTPConnection`` persists per calling thread, so
+    a client shared across threads never interleaves two exchanges on
+    one socket.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8000, *,
@@ -51,38 +62,117 @@ class CompileClient:
         self.retries = retries
         self.backoff_s = backoff_s
         self._sleep = sleep
+        self._local = threading.local()
+        self._conns_lock = threading.Lock()
+        self._conns: list[http.client.HTTPConnection] = []
 
     # ------------------------------------------------------------------
     # transport (the test seam: scripted fakes override _send)
     # ------------------------------------------------------------------
-    def _send(self, method: str, path: str,
-              payload: object | None = None) -> tuple[int, bytes]:
-        """One HTTP exchange; returns ``(status, body)``."""
+    def _connection(self) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(self.host, self.port,
+                                              timeout=self.timeout_s)
+            self._local.conn = conn
+            with self._conns_lock:
+                self._conns.append(conn)
+        return conn
+
+    def _drop_connection(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            return
+        self._local.conn = None
+        with self._conns_lock:
+            if conn in self._conns:
+                self._conns.remove(conn)
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        """Close every pooled connection (all threads)."""
+        with self._conns_lock:
+            conns, self._conns = list(self._conns), []
+        self._local.conn = None
+        for conn in conns:
+            try:
+                conn.close()
+            except Exception:
+                pass
+
+    def __enter__(self) -> "CompileClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _send(self, method: str, path: str, payload: object | None = None,
+              ) -> tuple[int, bytes, dict[str, str]]:
+        """One HTTP exchange; returns ``(status, body, headers)``.
+
+        The thread's connection is reused across calls; a keep-alive
+        socket the server has since closed (idle timeout, restart)
+        surfaces as ``OSError``/``BadStatusLine`` -- retried exactly
+        once on a fresh connection before the error propagates.
+        """
         body = None
         headers = {}
         if payload is not None:
             body = json.dumps(payload).encode()
             headers["Content-Type"] = "application/json"
-        conn = http.client.HTTPConnection(self.host, self.port,
-                                          timeout=self.timeout_s)
+        fresh = getattr(self._local, "conn", None) is None
+        for _ in range(2):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+                response_headers = {name.lower(): value
+                                    for name, value in
+                                    response.getheaders()}
+                if response.will_close:
+                    self._drop_connection()
+                return response.status, data, response_headers
+            except (OSError, http.client.HTTPException):
+                self._drop_connection()
+                if fresh:
+                    raise       # a brand-new socket failing is real
+                fresh = True    # reused socket went stale: one more try
+        raise AssertionError("unreachable")
+
+    @staticmethod
+    def _retry_after(headers: dict[str, str]) -> float | None:
+        """Parse a ``Retry-After`` delay in seconds, if usable."""
+        value = headers.get("retry-after")
+        if value is None:
+            return None
         try:
-            conn.request(method, path, body=body, headers=headers)
-            response = conn.getresponse()
-            return response.status, response.read()
-        finally:
-            conn.close()
+            delay = float(value)
+        except ValueError:
+            return None       # HTTP-date form: fall back to backoff
+        return delay if delay >= 0 else None
 
     def _call(self, method: str, path: str,
               payload: object | None = None, *,
               retry: bool = True) -> object:
         attempts = 1 + (self.retries if retry else 0)
         last_error: Exception | None = None
+        retry_after: float | None = None
         for attempt in range(1, attempts + 1):
             if attempt > 1:
-                self._sleep(self.backoff_s * 2 ** (attempt - 2))
+                if retry_after is not None:
+                    self._sleep(retry_after)
+                else:
+                    self._sleep(self.backoff_s * 2 ** (attempt - 2))
+            retry_after = None
             try:
-                status, body = self._send(method, path, payload)
-            except OSError as exc:       # connection refused/reset/timeout
+                status, body, headers = self._send(method, path, payload)
+            except (OSError, http.client.HTTPException) as exc:
+                # connection refused/reset/timeout, or a socket that died
+                # mid-response (e.g. a crashing server)
                 last_error = exc
                 continue
             if status == 200:
@@ -96,6 +186,7 @@ class CompileClient:
                 pass
             if status in RETRYABLE_STATUSES:
                 last_error = ServiceError(status, message)
+                retry_after = self._retry_after(headers)
                 continue
             raise ServiceError(status, message)
         assert last_error is not None

@@ -1,0 +1,172 @@
+"""Fault injection for the serving stack.
+
+Production hardening is only as good as its tests, and the failure
+modes worth testing -- a worker segfaulting mid-compile, the journal
+disk filling up, a client vanishing while its job runs -- do not occur
+naturally in CI.  This module makes them injectable:
+
+* :class:`FaultPlan` describes *which* faults to inject.  It serialises
+  to the ``REPRO_SERVICE_FAULTS`` environment variable, so a plan set in
+  a test (or in a CI driver script) is visible to pool children and to
+  ``repro serve`` subprocesses alike.
+* Counted faults ("crash the first N executions") coordinate across
+  processes through *marker files* claimed with ``O_CREAT | O_EXCL``:
+  each injection atomically claims one marker, so exactly N faults fire
+  no matter how many workers race for them and no shared counter is
+  needed.
+* The hooks are no-ops when no plan is active; the production code
+  paths call them unconditionally.
+
+Hooks and where the serving stack calls them:
+
+* :func:`maybe_crash` -- worker entry points.  In a process child
+  (``hard=True``) the injected crash is ``os._exit``, indistinguishable
+  from a segfault to the supervisor; in a thread worker it raises
+  :class:`InjectedWorkerCrash`.
+* :func:`instrument` -- ``execute_request`` hooks the cancel token's
+  ``on_checkpoint`` so a named pass boundary stalls for
+  ``slow_seconds`` (giving disconnect/cancellation tests a window).
+* :func:`journal_should_fail` -- :meth:`JobJournal.append
+  <repro.service.journal.JobJournal.append>` turns a claimed marker
+  into an ``OSError``, exercising the degrade-gracefully path.
+* :func:`drop_connection` -- a client-side helper that sends a request
+  and slams the socket shut, for disconnect-detection tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+ENV_VAR = "REPRO_SERVICE_FAULTS"
+
+_PLAN: "FaultPlan | None" = None
+
+
+class InjectedWorkerCrash(RuntimeError):
+    """The thread-mode stand-in for a worker process dying."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Which faults to inject, serialisable across process boundaries.
+
+    ``marker_dir`` hosts the claim markers for every counted fault; it
+    must be shared by all participating processes (a tmp dir in tests).
+    Counted faults with no ``marker_dir`` never fire.
+    """
+
+    marker_dir: str | None = None
+    crash_times: int = 0            # first N executions die
+    slow_pass: str | None = None    # stall at the boundary before this pass
+    slow_seconds: float = 0.0
+    journal_fail_times: int = 0     # first N journal appends raise OSError
+
+    def to_env(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_env(cls, text: str) -> "FaultPlan":
+        payload = json.loads(text)
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+def install(plan: FaultPlan | None) -> None:
+    """Activate ``plan`` in this process (tests; ``None`` clears it)."""
+    global _PLAN
+    _PLAN = plan
+
+
+def active() -> FaultPlan | None:
+    """The in-process plan, else the one in the environment, else None."""
+    if _PLAN is not None:
+        return _PLAN
+    text = os.environ.get(ENV_VAR)
+    if not text:
+        return None
+    try:
+        return FaultPlan.from_env(text)
+    except (json.JSONDecodeError, TypeError, ValueError):
+        return None
+
+
+def _claim(plan: FaultPlan, prefix: str, times: int) -> bool:
+    """Atomically claim one of ``times`` markers; True exactly N times
+    across every process sharing ``marker_dir``."""
+    if times <= 0 or plan.marker_dir is None:
+        return False
+    directory = Path(plan.marker_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    for index in range(times):
+        try:
+            fd = os.open(directory / f"{prefix}-{index}",
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            continue
+        except OSError:
+            return False
+        os.close(fd)
+        return True
+    return False
+
+
+def maybe_crash(*, hard: bool) -> None:
+    """Die here if the active plan still owes a worker crash.
+
+    ``hard=True`` (process children) exits the interpreter without
+    cleanup -- to the parent this is exactly a native crash.
+    ``hard=False`` (thread workers) raises instead, since ``os._exit``
+    would take the whole server down.
+    """
+    plan = active()
+    if plan is None or not _claim(plan, "crash", plan.crash_times):
+        return
+    if hard:
+        os._exit(3)
+    raise InjectedWorkerCrash("injected worker crash")
+
+
+def instrument(token) -> None:
+    """Attach the plan's slow-pass stall to a cancel token, if any."""
+    plan = active()
+    if plan is None or not plan.slow_pass or plan.slow_seconds <= 0:
+        return
+    target, seconds = plan.slow_pass, plan.slow_seconds
+    previous = token.on_checkpoint
+
+    def _stall(where: str) -> None:
+        if previous is not None:
+            previous(where)
+        if where == target:
+            time.sleep(seconds)
+
+    token.on_checkpoint = _stall
+
+
+def journal_should_fail() -> bool:
+    """True if the active plan still owes a journal write failure."""
+    plan = active()
+    return plan is not None and _claim(plan, "journal",
+                                       plan.journal_fail_times)
+
+
+def drop_connection(host: str, port: int, payload: dict,
+                    path: str = "/compile") -> None:
+    """POST a request and close the socket without reading the response.
+
+    Simulates a client that gives up (or dies) while its compile runs;
+    the server's disconnect monitor should observe EOF and cancel the
+    job on behalf of its last waiter.
+    """
+    body = json.dumps(payload).encode()
+    head = (f"POST {path} HTTP/1.1\r\nHost: {host}:{port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n").encode()
+    with socket.create_connection((host, port), timeout=5.0) as sock:
+        sock.sendall(head + body)
+    # context exit closes the socket: the server sees EOF immediately

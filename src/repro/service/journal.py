@@ -1,0 +1,157 @@
+"""Durable job journal: a write-ahead log for accepted compile jobs.
+
+The serving guarantee this file backs: **an accepted job is never
+silently lost**.  `CompileService` appends an ``accepted`` record the
+moment a job is enqueued and a ``completed`` record the moment its
+future resolves (success, typed error, or timeout -- anything that sent
+the client a response).  On restart, ``accepted`` records with no
+matching ``completed`` are replayed into the queue, so a crash between
+acceptance and response costs a re-execution, not the job.
+
+Format and crash discipline mirror :class:`repro.analysis.store
+.ResultStore`: an append-only JSON-lines file where
+
+* appends repair a torn tail first (a writer killed mid-record leaves a
+  partial line; the next append inserts a newline so the two records
+  never fuse),
+* reads skip unparseable lines instead of failing,
+* :meth:`compact` rewrites the file atomically (tmp + ``os.replace``),
+  keeping only still-pending ``accepted`` records.
+
+Pending-ness is *order-aware*: one key may legitimately cycle through
+``accepted``/``completed`` several times in one file (a client
+resubmitting yesterday's request), so replay state is the last
+unmatched ``accepted`` per key, not a set difference.  Duplicate
+``accepted`` records for one key (journal replayed twice, client
+retried) collapse to a single pending entry, which is what makes
+replay idempotent end to end: the replayed submit coalesces on the
+same ``request_key`` the journal deduped on.
+
+The journal lives at an explicit path (default: ``journal.jsonl`` at
+the cache-dir root), deliberately *not* salted by the source digest the
+per-tenant artifact caches use: accepted work must survive a code
+deploy -- the replay recomputes results with the new code, which is the
+point of replaying rather than restoring cached responses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+
+from repro.service import faults
+
+
+class JobJournal:
+    """Append-only accepted/completed log with torn-tail tolerance.
+
+    Thread-safe: the service appends from worker threads and the
+    asyncio thread concurrently.  Append failures (disk full, injected)
+    raise ``OSError`` to the caller -- the service degrades to serving
+    without durability rather than refusing traffic.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+
+    # -- writing -------------------------------------------------------
+    def record_accepted(self, key: str, request_payload: dict, *,
+                        tenant: str = "", priority: int = 0,
+                        timeout_s: float | None = None) -> None:
+        """Journal a job the service has committed to answering."""
+        self._append({
+            "event": "accepted",
+            "key": key,
+            "tenant": tenant,
+            "priority": priority,
+            "timeout_s": timeout_s,
+            "request": request_payload,
+        })
+
+    def record_completed(self, key: str, *, failed: bool = False) -> None:
+        """Journal that ``key``'s waiters got a response (of any kind)."""
+        self._append({"event": "completed", "key": key, "failed": failed})
+
+    def _append(self, entry: dict) -> None:
+        if faults.journal_should_fail():
+            raise OSError("injected journal write failure")
+        line = json.dumps(entry, sort_keys=True)
+        with self._lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            needs_newline = False
+            try:
+                with self.path.open("rb") as handle:
+                    handle.seek(-1, 2)
+                    needs_newline = handle.read(1) != b"\n"
+            except (OSError, ValueError):
+                pass                     # missing or empty file
+            with self.path.open("a") as handle:
+                if needs_newline:
+                    handle.write("\n")
+                handle.write(line + "\n")
+                handle.flush()
+
+    # -- reading -------------------------------------------------------
+    def load(self) -> list[dict]:
+        """Every parseable record, in file order; torn lines skipped."""
+        entries: list[dict] = []
+        if not self.path.exists():
+            return entries
+        with self.path.open() as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(entry, dict) and "event" in entry and \
+                        "key" in entry:
+                    entries.append(entry)
+        return entries
+
+    def pending(self) -> list[dict]:
+        """Accepted records not yet completed, one per key, file order.
+
+        The replay set: walking the file, a ``completed`` record
+        retires the key's open ``accepted``; a re-``accepted`` key
+        replaces its earlier open record (last spelling wins).
+        """
+        return self._pending_of(self.load())
+
+    # -- maintenance ---------------------------------------------------
+    def compact(self) -> int:
+        """Rewrite the file with only pending records; returns the
+        number of records dropped.  Atomic: readers of the old path see
+        either the full file or the compacted one, never a partial."""
+        with self._lock:
+            if not self.path.exists():
+                return 0
+            entries = self.load()
+            keep = self._pending_of(entries)
+            dropped = len(entries) - len(keep)
+            if dropped <= 0:
+                return 0
+            tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+            with tmp.open("w") as handle:
+                for entry in keep:
+                    handle.write(json.dumps(entry, sort_keys=True) + "\n")
+                handle.flush()
+            os.replace(tmp, self.path)
+            return dropped
+
+    @staticmethod
+    def _pending_of(entries: list[dict]) -> list[dict]:
+        open_by_key: dict[str, dict] = {}
+        for entry in entries:
+            key = entry["key"]
+            if entry["event"] == "accepted" and "request" in entry:
+                open_by_key.pop(key, None)
+                open_by_key[key] = entry
+            elif entry["event"] == "completed":
+                open_by_key.pop(key, None)
+        return list(open_by_key.values())

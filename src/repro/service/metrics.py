@@ -35,6 +35,16 @@ COUNTER_NAMES = (
     "cancelled",           # jobs discarded by a hard (non-drain) shutdown
     "structural_compiles", # structural prefixes compiled for bound requests
     "structural_binds",    # parameterised requests served by binding
+    "worker_crashes",      # process children that died mid-compile
+    "pool_restarts",       # process pools replaced after a crash
+    "requeued",            # crashed jobs resubmitted within the retry budget
+    "poisoned",            # jobs quarantined after exhausting retries
+    "poison_rejected",     # requests fast-failed against the quarantine
+    "cancelled_running",   # running compiles stopped at a pass boundary
+    "disconnected",        # waiters lost to a client disconnect
+    "journal_write_errors",# journal appends that failed (served anyway)
+    "journal_replayed",    # jobs resubmitted from the journal on startup
+    "journal_replay_skipped",  # journal records that could not be replayed
 )
 
 
@@ -94,6 +104,17 @@ class ServiceMetrics:
             self.queue_wait.observe(queue_wait_s)
             self.request_latency.observe(queue_wait_s + service_s)
 
+    def mean_request_s(self) -> float | None:
+        """Mean end-to-end request latency, or None before any request.
+
+        The server's ``Retry-After`` estimate: queue depth times this,
+        divided by the worker count.
+        """
+        with self._lock:
+            if self.request_latency.count == 0:
+                return None
+            return self.request_latency.total_s / self.request_latency.count
+
     def snapshot(self) -> dict:
         """The JSON payload core (the service adds queue/cache views)."""
         with self._lock:
@@ -112,3 +133,86 @@ class ServiceMetrics:
                     "queue_wait": self.queue_wait.snapshot(),
                 },
             }
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition (format 0.0.4) over the JSON snapshot
+# ----------------------------------------------------------------------
+_LABEL_ESCAPES = str.maketrans({"\\": r"\\", '"': r"\"", "\n": r"\n"})
+
+
+def _label(value: str) -> str:
+    return '"' + str(value).translate(_LABEL_ESCAPES) + '"'
+
+
+def _histogram_lines(name: str, snap: dict) -> list[str]:
+    """Render one :meth:`LatencyHistogram.snapshot` as a histogram."""
+    lines = [f"# TYPE {name} histogram"]
+    for bucket, count in snap.get("buckets", {}).items():
+        upper = bucket[len("le_"):]
+        le = "+Inf" if upper == "inf" else upper
+        lines.append(f"{name}_bucket{{le={_label(le)}}} {count}")
+    lines.append(f"{name}_sum {snap.get('total_s', 0.0):.9g}")
+    lines.append(f"{name}_count {snap.get('count', 0)}")
+    return lines
+
+
+def prometheus_text(payload: dict) -> str:
+    """Render a ``/metrics`` JSON payload as Prometheus text exposition.
+
+    An adapter, not a second registry: it walks the exact dict
+    :meth:`ServiceMetrics.snapshot` (plus the service's queue/cache
+    sections) already exports, so the two formats can never disagree.
+    Served by ``GET /metrics?format=prometheus``.
+    """
+    lines: list[str] = []
+    lines.append("# TYPE repro_uptime_seconds gauge")
+    lines.append(f"repro_uptime_seconds {payload.get('uptime_s', 0.0):.9g}")
+    lines.append("# TYPE repro_requests_total counter")
+    for kind, count in sorted(payload.get("requests", {}).items()):
+        lines.append(f"repro_requests_total{{kind={_label(kind)}}} {count}")
+    queue = payload.get("queue", {})
+    if queue:
+        for gauge in ("depth", "capacity", "workers", "running"):
+            if gauge in queue:
+                lines.append(f"# TYPE repro_queue_{gauge} gauge")
+                lines.append(f"repro_queue_{gauge} {queue[gauge]}")
+        if "draining" in queue:
+            lines.append("# TYPE repro_queue_draining gauge")
+            lines.append(f"repro_queue_draining "
+                         f"{1 if queue['draining'] else 0}")
+    passes = payload.get("passes", {})
+    if passes:
+        lines.append("# TYPE repro_pass_runs_total counter")
+        for name, entry in sorted(passes.items()):
+            lines.append(f"repro_pass_runs_total"
+                         f"{{pass={_label(name)}}} {entry['count']}")
+        lines.append("# TYPE repro_pass_seconds_total counter")
+        for name, entry in sorted(passes.items()):
+            lines.append(f"repro_pass_seconds_total"
+                         f"{{pass={_label(name)}}} {entry['total_s']:.9g}")
+    latency = payload.get("latency", {})
+    if "request" in latency:
+        lines.extend(_histogram_lines("repro_request_latency_seconds",
+                                      latency["request"]))
+    if "queue_wait" in latency:
+        lines.extend(_histogram_lines("repro_queue_wait_seconds",
+                                      latency["queue_wait"]))
+    cache = payload.get("cache", {})
+    if cache:
+        lines.append("# TYPE repro_cache_hits_total counter")
+        for tenant, stats in sorted(cache.items()):
+            lines.append(f"repro_cache_hits_total"
+                         f"{{tenant={_label(tenant)}}} "
+                         f"{stats.get('hits', 0)}")
+        lines.append("# TYPE repro_cache_misses_total counter")
+        for tenant, stats in sorted(cache.items()):
+            lines.append(f"repro_cache_misses_total"
+                         f"{{tenant={_label(tenant)}}} "
+                         f"{stats.get('misses', 0)}")
+        lines.append("# TYPE repro_cache_memory_entries gauge")
+        for tenant, stats in sorted(cache.items()):
+            lines.append(f"repro_cache_memory_entries"
+                         f"{{tenant={_label(tenant)}}} "
+                         f"{stats.get('memory_entries', 0)}")
+    return "\n".join(lines) + "\n"

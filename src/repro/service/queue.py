@@ -23,6 +23,7 @@ import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 
+from repro.core.cancel import CancelToken
 from repro.service.batch import CompileRequest
 
 
@@ -36,7 +37,17 @@ class QueueClosedError(RuntimeError):
 
 @dataclass(eq=False)
 class Job:
-    """One queued compilation and the future its waiters share."""
+    """One queued compilation and the future its waiters share.
+
+    ``cancel_token`` rides into the pipeline (checked at every pass
+    boundary), so :meth:`cancel` stops a *running* compile at its next
+    boundary, not just a queued one.  ``waiters`` counts the clients
+    blocked on the shared future -- submission and coalescing each add
+    one -- so a disconnecting or timing-out client only cancels the
+    compile when it was the last one interested (:meth:`release_waiter`).
+    ``attempts`` counts executions for the process-worker supervisor's
+    bounded retry / poison-quarantine policy.
+    """
 
     request: CompileRequest
     key: str
@@ -47,6 +58,15 @@ class Job:
     enqueued_at: float = field(default_factory=time.monotonic)
     cancelled: bool = False
     started: bool = False
+    attempts: int = 0
+    cancel_token: CancelToken = field(default_factory=CancelToken, repr=False)
+    waiters: int = 0
+    _waiter_lock: threading.Lock = field(default_factory=threading.Lock,
+                                         repr=False)
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None:
+            self.cancel_token.deadline = self.enqueued_at + self.timeout_s
 
     @property
     def deadline(self) -> float | None:
@@ -61,9 +81,23 @@ class Job:
         return deadline is not None and time.monotonic() > deadline
 
     def cancel(self) -> None:
-        """Mark the job dead-on-arrival; a worker popping it resolves
-        the shared future with a timeout response without compiling."""
+        """Stop the job: dead-on-arrival if still queued (a worker
+        popping it resolves the shared future without compiling), and
+        the cancel token aborts a running compile at its next pass
+        boundary."""
         self.cancelled = True
+        self.cancel_token.cancel()
+
+    def add_waiter(self) -> None:
+        with self._waiter_lock:
+            self.waiters += 1
+
+    def release_waiter(self) -> bool:
+        """Drop one waiter; True when nobody is left listening (the
+        caller should then :meth:`cancel` the now-abandoned job)."""
+        with self._waiter_lock:
+            self.waiters -= 1
+            return self.waiters <= 0
 
     def resolve(self, response) -> None:
         """Complete the shared future exactly once (later calls no-op)."""

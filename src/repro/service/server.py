@@ -19,12 +19,26 @@ Two layers:
       POST /batch     a request list -> response list, byte-identical
                       to ``python -m repro batch --json``
       GET  /metrics   cache hit/miss, per-pass timings, queue depth,
-                      latency histograms
+                      latency histograms (``?format=prometheus`` for
+                      text exposition)
       GET  /healthz   liveness + drain state
       POST /shutdown  graceful drain-and-exit
 
-Backpressure: a full queue answers 429, a draining server 503 -- the
-client SDK (:mod:`repro.service.client`) retries both with backoff.
+Backpressure: a full queue answers 429, a draining server 503, both
+with a ``Retry-After`` estimated from queue depth -- the client SDK
+(:mod:`repro.service.client`) honours it (falling back to exponential
+backoff).  Connections are keep-alive by default (HTTP/1.1 semantics,
+with an idle timeout); while a compile is in flight the handler watches
+the socket, so a client that disconnects releases its job -- the last
+waiter's departure cancels the running compile at its next pass
+boundary.
+
+Fault tolerance (see ``docs/architecture.md``, "Failure modes &
+recovery"): ``worker_mode="process"`` executes compiles in a supervised
+``ProcessPoolExecutor`` -- a dying child restarts the pool and requeues
+the job up to ``max_retries`` before quarantining it as a poison job --
+and ``journal_path`` arms a write-ahead log replayed on startup, so a
+server crash never silently drops an accepted job.
 
 Request JSON carries the :class:`CompileRequest` fields plus an optional
 *envelope*: ``tenant`` (isolates the artifact cache under
@@ -42,6 +56,9 @@ import signal
 import sys
 import threading
 import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -50,16 +67,19 @@ from repro.cache.store import (
     LockingArtifactCache,
     salted_directory,
 )
+from repro.core.cancel import CompilationCancelled
 from repro.service.batch import (
     CompileRequest,
     CompileResponse,
+    _execute_in_worker,
     assemble_responses,
     compute_request_keys,
     error_response,
     execute_request,
     request_from_dict,
 )
-from repro.service.metrics import ServiceMetrics
+from repro.service.journal import JobJournal
+from repro.service.metrics import ServiceMetrics, prometheus_text
 from repro.service.queue import (
     Job,
     JobQueue,
@@ -81,7 +101,17 @@ ENVELOPE_FIELDS = ("tenant", "priority", "timeout_s")
 
 @dataclass(frozen=True)
 class ServiceConfig:
-    """Knobs of one compile service instance."""
+    """Knobs of one compile service instance.
+
+    ``worker_mode`` selects where compiles execute: ``"thread"`` (the
+    default; cheap, shares the GIL) or ``"process"`` (a supervised
+    ``ProcessPoolExecutor``: crash isolation plus real parallelism for
+    concurrent cold compiles).  ``max_retries`` bounds how many times a
+    crashed job is re-run before it is quarantined as a poison job.
+    ``journal_path`` arms the accepted-job write-ahead log (replayed by
+    :meth:`CompileService.recover` on startup).  ``idle_timeout_s`` is
+    how long the HTTP front end keeps an idle keep-alive connection.
+    """
 
     jobs: int = 2
     queue_depth: int = 64
@@ -89,6 +119,14 @@ class ServiceConfig:
     memory_limit: int = 1024
     default_timeout_s: float | None = None
     max_structurals: int = 128
+    worker_mode: str = "thread"
+    max_retries: int = 2
+    journal_path: str | Path | None = None
+    idle_timeout_s: float = 60.0
+
+
+class PoisonJobError(RuntimeError):
+    """A job that crashed its worker on every allowed attempt."""
 
 
 @dataclass(frozen=True)
@@ -135,10 +173,19 @@ def split_envelope(payload: dict, defaults: Envelope = Envelope(),
 class CompileService:
     """Queue + worker pool + coalescing + tenant caches (no HTTP)."""
 
+    #: How many quarantined keys the poison set remembers.
+    MAX_POISONED = 256
+
     def __init__(self, config: ServiceConfig | None = None) -> None:
         self.config = config or ServiceConfig()
+        if self.config.worker_mode not in ("thread", "process"):
+            raise ValueError(
+                f"worker_mode must be 'thread' or 'process', "
+                f"got {self.config.worker_mode!r}")
         self.queue = JobQueue(self.config.queue_depth)
         self.metrics = ServiceMetrics()
+        self.journal = (JobJournal(self.config.journal_path)
+                        if self.config.journal_path is not None else None)
         self._lock = threading.Lock()
         self._caches: dict[str, ArtifactCache] = {}
         self._structurals: dict[str, dict] = {}
@@ -147,6 +194,10 @@ class CompileService:
         self._workers: list[threading.Thread] = []
         self._running = 0
         self._draining = False
+        self._poisoned: OrderedDict[str, str] = OrderedDict()
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_generation = 0
+        self._pool_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -160,6 +211,8 @@ class CompileService:
                                       daemon=True)
             worker.start()
             self._workers.append(worker)
+        if self.journal is not None:
+            self.recover()
 
     @property
     def draining(self) -> bool:
@@ -191,6 +244,11 @@ class CompileService:
             remaining = (None if deadline is None
                          else max(0.0, deadline - time.monotonic()))
             worker.join(remaining)
+        if all(not worker.is_alive() for worker in self._workers):
+            with self._pool_lock:
+                pool, self._pool = self._pool, None
+            if pool is not None:
+                pool.shutdown(wait=False)
 
     # ------------------------------------------------------------------
     # caches
@@ -231,7 +289,8 @@ class CompileService:
     # ------------------------------------------------------------------
     def submit(self, request: CompileRequest, key: str, *,
                tenant: str = "", priority: int = 0,
-               timeout_s: float | None = None) -> tuple[Job, bool]:
+               timeout_s: float | None = None,
+               record: bool = True) -> tuple[Job, bool]:
         """Enqueue a request, coalescing onto an in-flight twin.
 
         Returns ``(job, coalesced)``: when an identical request (same
@@ -239,6 +298,11 @@ class CompileService:
         attaches to its job -- one compilation serves every waiter.
         Raises :class:`QueueFullError` (backpressure) or
         :class:`QueueClosedError` (draining).
+
+        Every call adds one waiter to the job; callers that stop
+        listening early (timeout, disconnect) must balance it with
+        :meth:`Job.release_waiter`.  ``record=False`` skips the journal
+        ``accepted`` entry (the replay path: the record already exists).
         """
         if timeout_s is None:
             timeout_s = self.config.default_timeout_s
@@ -246,12 +310,23 @@ class CompileService:
         with self._lock:
             if self._draining:
                 raise QueueClosedError("server is draining")
+            poisoned = self._poisoned.get(key)
+            if poisoned is not None:
+                self.metrics.increment("poison_rejected")
+                job = Job(request=request, key=key, tenant=tenant,
+                          priority=priority, timeout_s=timeout_s)
+                job.add_waiter()
+                job.resolve(error_response(
+                    request, PoisonJobError(poisoned), request_key=key))
+                return job, False
             job = self._inflight.get(slot)
             if job is not None and not job.future.done():
                 self.metrics.increment("coalesced")
+                job.add_waiter()
                 return job, True
             job = Job(request=request, key=key, tenant=tenant,
                       priority=priority, timeout_s=timeout_s)
+            job.add_waiter()
             self._inflight[slot] = job
             job.future.add_done_callback(
                 lambda _future, slot=slot, job=job: self._forget(slot, job))
@@ -261,12 +336,92 @@ class CompileService:
                 self._inflight.pop(slot, None)
                 raise
             self.metrics.increment("submitted")
-            return job, False
+        if record:
+            self._journal_accepted(job)
+        return job, False
 
     def _forget(self, slot: tuple[str, str], job: Job) -> None:
         with self._lock:
             if self._inflight.get(slot) is job:
                 del self._inflight[slot]
+        self._journal_completed(job)
+
+    # ------------------------------------------------------------------
+    # durability (the accepted-job write-ahead log)
+    # ------------------------------------------------------------------
+    def _journal_accepted(self, job: Job) -> None:
+        if self.journal is None:
+            return
+        try:
+            self.journal.record_accepted(
+                job.key, job.request.to_dict(), tenant=job.tenant,
+                priority=job.priority, timeout_s=job.timeout_s)
+        except OSError:
+            # durability degrades, serving does not
+            self.metrics.increment("journal_write_errors")
+
+    def _journal_completed(self, job: Job) -> None:
+        if self.journal is None:
+            return
+        response = job.future.result() if job.future.done() else None
+        failed = bool(getattr(response, "failed", False))
+        try:
+            self.journal.record_completed(job.key, failed=failed)
+        except OSError:
+            self.metrics.increment("journal_write_errors")
+
+    def recover(self) -> int:
+        """Replay journal records accepted but never answered.
+
+        Called by :meth:`start` when a journal is armed: compacts the
+        file (dropping answered pairs), then resubmits every still-open
+        ``accepted`` record.  Replayed jobs re-execute with the current
+        code -- the artifact cache absorbs whatever is still valid.
+        Returns the number of jobs resubmitted.
+        """
+        if self.journal is None:
+            return 0
+        try:
+            self.journal.compact()
+            pending = self.journal.pending()
+        except OSError:
+            self.metrics.increment("journal_write_errors")
+            return 0
+        replayed = 0
+        for entry in pending:
+            try:
+                request = request_from_dict(entry["request"])
+                key = request.key()
+                if key != entry["key"]:
+                    # the key algorithm changed underneath the record:
+                    # retire the stale spelling so it never re-replays,
+                    # and journal the job afresh under its current key
+                    self.journal.record_completed(entry["key"])
+                record = key != entry["key"]
+                _job, coalesced = self.submit(
+                    request, key,
+                    tenant=entry.get("tenant", "") or "",
+                    priority=int(entry.get("priority", 0) or 0),
+                    timeout_s=entry.get("timeout_s"),
+                    record=record)
+            except (QueueFullError, QueueClosedError):
+                # still journalled as accepted; the next restart retries
+                self.metrics.increment("journal_replay_skipped")
+                continue
+            except Exception:
+                # unreadable record (old schema, corrupt values): count
+                # it, retire it, keep replaying the rest
+                self.metrics.increment("journal_replay_skipped")
+                try:
+                    self.journal.record_completed(entry["key"], failed=True)
+                except OSError:
+                    self.metrics.increment("journal_write_errors")
+                continue
+            if not coalesced:
+                replayed += 1
+        if replayed:
+            self.metrics.increment("journal_replayed", replayed)
+        return replayed
 
     def timeout_response(self, job: Job) -> CompileResponse:
         limit = job.timeout_s
@@ -293,7 +448,7 @@ class CompileService:
 
     def _serve_job(self, job: Job) -> None:
         if job.cancelled:
-            # whoever cancelled already counted the timeout
+            # whoever cancelled already counted the timeout/disconnect
             job.resolve(self.timeout_response(job))
             return
         if job.expired:
@@ -301,22 +456,36 @@ class CompileService:
             job.resolve(self.timeout_response(job))
             return
         job.started = True
+        job.attempts += 1
         queue_wait = time.monotonic() - job.enqueued_at
         start = time.perf_counter()
         try:
             response = self._execute(job)
+        except CompilationCancelled as exc:
+            # the compile stopped at a pass boundary (cancel/deadline);
+            # the worker is free well before pipeline completion
+            self.metrics.increment("cancelled_running")
+            response = error_response(job.request, exc, request_key=job.key)
         except Exception as exc:
             response = error_response(job.request, exc, request_key=job.key)
+        if response is None:
+            return      # the supervisor requeued the job; not done yet
         # record before resolving: a waiter that reads /metrics right
         # after its response must already see this job counted
         self.metrics.observe_response(response, queue_wait,
                                       time.perf_counter() - start)
         job.resolve(response)
 
-    def _execute(self, job: Job) -> CompileResponse:
+    def _execute(self, job: Job) -> CompileResponse | None:
+        if self.config.worker_mode == "process":
+            return self._execute_in_pool(job)
+        from repro.service import faults
+
+        faults.maybe_crash(hard=False)
         cache = self.cache_for(job.tenant)
         if not job.request.parameters:
-            return execute_request(job.request, cache, request_key=job.key)
+            return execute_request(job.request, cache, request_key=job.key,
+                                   cancel=job.cancel_token)
         # structural coalescing: requests differing only in angle values
         # share one structural compile; the per-structure lock makes
         # concurrent first arrivals compile it exactly once
@@ -325,13 +494,98 @@ class CompileService:
         with self._structural_lock(job.tenant, skey):
             known = skey in structurals
             response = execute_request(job.request, cache, structurals,
-                                       request_key=job.key)
+                                       request_key=job.key,
+                                       cancel=job.cancel_token)
             if not known and skey in structurals:
                 self.metrics.increment("structural_compiles")
             while len(structurals) > self.config.max_structurals:
                 structurals.pop(next(iter(structurals)), None)
         self.metrics.increment("structural_binds")
         return response
+
+    # ------------------------------------------------------------------
+    # process-isolated execution (the supervisor)
+    # ------------------------------------------------------------------
+    def _current_pool(self) -> tuple[ProcessPoolExecutor, int]:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.config.jobs)
+            return self._pool, self._pool_generation
+
+    def _restart_pool(self, generation: int) -> None:
+        """Replace a broken pool; generation-guarded so concurrent
+        workers observing the same crash restart it exactly once."""
+        stale = None
+        with self._pool_lock:
+            if generation == self._pool_generation:
+                stale, self._pool = self._pool, None
+                self._pool_generation += 1
+                self.metrics.increment("pool_restarts")
+        if stale is not None:
+            stale.shutdown(wait=False)
+
+    def _execute_in_pool(self, job: Job) -> CompileResponse | None:
+        """Run one job in the supervised process pool.
+
+        A child dying mid-compile surfaces as ``BrokenProcessPool``:
+        the supervisor restarts the pool and requeues the job until its
+        ``attempts`` exhaust ``max_retries``, then quarantines the key
+        (poison job) and answers with a typed error.  Returns ``None``
+        when the job went back to the queue (no response yet).
+
+        Only the *deadline* crosses the process boundary (as a relative
+        budget); a disconnect-driven cancel cannot reach a busy child,
+        so thread mode is where mid-compile disconnect cancellation is
+        exact.
+        """
+        cache = self.cache_for(job.tenant)
+        cache_dir = (str(cache.directory)
+                     if getattr(cache, "directory", None) is not None
+                     else None)
+        deadline = job.deadline
+        remaining = (None if deadline is None
+                     else max(0.01, deadline - time.monotonic()))
+        payload = (job.request, job.key, cache_dir,
+                   self.config.memory_limit, remaining)
+        while True:
+            pool, generation = self._current_pool()
+            try:
+                future = pool.submit(_execute_in_worker, payload)
+            except RuntimeError:
+                # a sibling worker replaced the pool under us; not a
+                # crash of *this* job -- grab the fresh pool and resubmit
+                continue
+            try:
+                return future.result()
+            except BrokenProcessPool:
+                self.metrics.increment("worker_crashes")
+                self._restart_pool(generation)
+                if job.cancelled or job.expired:
+                    return self.timeout_response(job)
+                if job.attempts > self.config.max_retries:
+                    message = (f"job crashed its worker "
+                               f"{job.attempts} time(s); quarantined")
+                    self._quarantine(job.key, message)
+                    self.metrics.increment("poisoned")
+                    return error_response(job.request,
+                                          PoisonJobError(message),
+                                          request_key=job.key)
+                try:
+                    self.queue.put(job)
+                except (QueueFullError, QueueClosedError):
+                    # no room to requeue: retry inline instead; this is
+                    # a fresh attempt, so count it like a re-pop would
+                    job.attempts += 1
+                    continue
+                self.metrics.increment("requeued")
+                return None
+
+    def _quarantine(self, key: str, message: str) -> None:
+        with self._lock:
+            self._poisoned[key] = message
+            while len(self._poisoned) > self.MAX_POISONED:
+                self._poisoned.popitem(last=False)
 
     # ------------------------------------------------------------------
     # introspection
@@ -341,6 +595,8 @@ class CompileService:
             "status": "draining" if self._draining else "ok",
             "queue_depth": len(self.queue),
             "workers": len(self._workers),
+            "worker_mode": self.config.worker_mode,
+            "journal": self.journal is not None,
         }
 
     def metrics_payload(self) -> dict:
@@ -352,12 +608,27 @@ class CompileService:
             "depth": len(self.queue),
             "capacity": self.queue.maxsize,
             "workers": len(self._workers),
+            "worker_mode": self.config.worker_mode,
             "running": running,
             "draining": self._draining,
         }
         payload["cache"] = {tenant or "default": cache.stats()
                             for tenant, cache in sorted(caches.items())}
         return payload
+
+    def retry_after_s(self) -> float:
+        """How long a backpressured client should wait before retrying.
+
+        Queue depth times the observed mean request latency, spread
+        over the workers; clamped to [0.1s, 30s].  Before any request
+        has completed the estimate falls back to one second.
+        """
+        mean = self.metrics.mean_request_s()
+        if mean is None:
+            return 1.0
+        depth = max(1, len(self.queue))
+        workers = max(1, len(self._workers) or self.config.jobs)
+        return min(30.0, max(0.1, depth * mean / workers))
 
 
 # ----------------------------------------------------------------------
@@ -367,18 +638,73 @@ class _BadRequest(ValueError):
     pass
 
 
-async def _read_request(reader: asyncio.StreamReader,
-                        ) -> tuple[str, str, dict, bytes]:
-    line = await reader.readline()
+class _ConnectionReader:
+    """A buffered reader that can *watch* the socket between requests.
+
+    Disconnect detection needs someone reading the socket while a
+    compile runs; a plain ``StreamReader`` cannot serve both that
+    monitor and the next pipelined request without the two corrupting
+    each other's view of the stream.  This wrapper owns a single buffer:
+    :meth:`wait_disconnect` pulls bytes into it until EOF (anything a
+    pipelining client sent early is kept, in order, for the next
+    :meth:`readline`), and the parsing methods consume from the buffer
+    first.  The monitor and the parser never run concurrently -- the
+    handler reads requests between dispatches and watches only during
+    them.
+    """
+
+    #: Stop buffering a misbehaving client beyond one max-size request.
+    MAX_BUFFER = _MAX_BODY_BYTES + 65536
+
+    def __init__(self, reader: asyncio.StreamReader) -> None:
+        self._reader = reader
+        self._buffer = b""
+        self._eof = False
+
+    async def _fill(self) -> None:
+        chunk = await self._reader.read(65536)
+        if not chunk:
+            self._eof = True
+        else:
+            self._buffer += chunk
+
+    async def readline(self) -> bytes:
+        while b"\n" not in self._buffer and not self._eof:
+            await self._fill()
+        index = self._buffer.find(b"\n")
+        if index < 0:
+            line, self._buffer = self._buffer, b""
+            return line
+        line = self._buffer[:index + 1]
+        self._buffer = self._buffer[index + 1:]
+        return line
+
+    async def readexactly(self, n: int) -> bytes:
+        while len(self._buffer) < n and not self._eof:
+            await self._fill()
+        if len(self._buffer) < n:
+            raise asyncio.IncompleteReadError(self._buffer, n)
+        data, self._buffer = self._buffer[:n], self._buffer[n:]
+        return data
+
+    async def wait_disconnect(self) -> None:
+        """Return when the peer closes (or floods) the connection."""
+        while not self._eof and len(self._buffer) < self.MAX_BUFFER:
+            await self._fill()
+
+
+async def _read_request(conn: _ConnectionReader,
+                        ) -> tuple[str, str, str, dict, bytes]:
+    line = await conn.readline()
     if not line:
         raise ConnectionResetError("client closed the connection")
     parts = line.decode("latin-1").strip().split()
     if len(parts) != 3:
         raise _BadRequest(f"malformed request line {line!r}")
-    method, target, _version = parts
+    method, target, version = parts
     headers: dict[str, str] = {}
     while True:
-        line = await reader.readline()
+        line = await conn.readline()
         if line in (b"\r\n", b"\n", b""):
             break
         name, _, value = line.decode("latin-1").partition(":")
@@ -389,20 +715,36 @@ async def _read_request(reader: asyncio.StreamReader,
         raise _BadRequest("bad Content-Length header") from None
     if length > _MAX_BODY_BYTES:
         raise _BadRequest(f"body exceeds {_MAX_BODY_BYTES} bytes")
-    body = await reader.readexactly(length) if length else b""
-    return method, target, headers, body
+    body = await conn.readexactly(length) if length else b""
+    return method, target, version, headers, body
+
+
+def _wants_keep_alive(version: str, headers: dict[str, str]) -> bool:
+    """HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close."""
+    connection = headers.get("connection", "").lower()
+    if version == "HTTP/1.0":
+        return connection == "keep-alive"
+    return connection != "close"
 
 
 async def _write_response(writer: asyncio.StreamWriter, status: int,
-                          payload: object) -> None:
-    # indent=2 keeps /batch output byte-identical to the CLI's stdout
-    body = json.dumps(payload, indent=2).encode()
+                          payload: object, *, keep_alive: bool = False,
+                          extra_headers: dict[str, str] | None = None,
+                          ) -> None:
+    if isinstance(payload, str):          # pre-rendered (e.g. prometheus)
+        body = payload.encode()
+        content_type = "text/plain; charset=utf-8"
+    else:
+        # indent=2 keeps /batch output byte-identical to the CLI's stdout
+        body = json.dumps(payload, indent=2).encode()
+        content_type = "application/json"
+    headers = {"Content-Type": content_type, **(extra_headers or {})}
     reason = _STATUS_REASONS.get(status, "Unknown")
-    head = (f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: application/json\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: close\r\n\r\n")
-    writer.write(head.encode("latin-1") + body)
+    head = [f"HTTP/1.1 {status} {reason}"]
+    head.extend(f"{name}: {value}" for name, value in headers.items())
+    head.append(f"Content-Length: {len(body)}")
+    head.append("Connection: " + ("keep-alive" if keep_alive else "close"))
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body)
     await writer.drain()
 
 
@@ -418,6 +760,7 @@ class CompileServer:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._closed: asyncio.Event | None = None
         self._conn_tasks: set[asyncio.Task] = set()
+        self._busy: set[asyncio.Task] = set()
         self._shutdown_started = False
 
     async def start(self) -> None:
@@ -457,6 +800,12 @@ class CompileServer:
         # in-flight handlers still need it to deliver their responses
         await loop.run_in_executor(None, self.service.join)
         current = asyncio.current_task()
+        # keep-alive connections waiting for their *next* request would
+        # stall the drain; only handlers mid-request deserve the grace
+        for task in list(self._conn_tasks):
+            if task is not current and not task.done() \
+                    and task not in self._busy:
+                task.cancel()
         pending = [task for task in self._conn_tasks
                    if task is not current and not task.done()]
         if pending:
@@ -470,23 +819,57 @@ class CompileServer:
                       writer: asyncio.StreamWriter) -> None:
         task = asyncio.current_task()
         self._conn_tasks.add(task)
+        conn = _ConnectionReader(reader)
         try:
-            try:
-                method, target, _headers, body = await _read_request(reader)
-            except _BadRequest as exc:
-                await _write_response(writer, 400, {"error": str(exc)})
-                return
-            except (ConnectionError, asyncio.IncompleteReadError):
-                return
-            try:
-                status, payload = await self._dispatch(method, target, body)
-            except Exception as exc:      # one broken handler must not
-                status = 500              # take the server down
-                payload = {"error": f"{type(exc).__name__}: {exc}"}
-            await _write_response(writer, status, payload)
+            while True:     # one iteration per request on the connection
+                try:
+                    method, target, version, headers, body = \
+                        await asyncio.wait_for(
+                            _read_request(conn),
+                            self.service.config.idle_timeout_s)
+                except asyncio.TimeoutError:
+                    return                 # idle keep-alive connection
+                except _BadRequest as exc:
+                    await _write_response(writer, 400, {"error": str(exc)})
+                    return
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    return
+                keep_alive = _wants_keep_alive(version, headers)
+                self._busy.add(task)
+                path = target.split("?", 1)[0]
+                # watch the socket while a compile is in flight: a
+                # vanishing client should free its worker, not burn it
+                monitor = (asyncio.ensure_future(conn.wait_disconnect())
+                           if path in ("/compile", "/batch") else None)
+                try:
+                    try:
+                        status, payload, extra = await self._dispatch(
+                            method, target, body, monitor)
+                    except Exception as exc:  # one broken handler must
+                        status = 500          # not take the server down
+                        payload = {"error": f"{type(exc).__name__}: {exc}"}
+                        extra = {}
+                    if monitor is not None and not monitor.done():
+                        monitor.cancel()
+                        try:
+                            await monitor
+                        except asyncio.CancelledError:
+                            pass
+                    elif monitor is not None:
+                        return  # client gone; nothing to answer to
+                    if status is None:
+                        return  # route observed the disconnect itself
+                    await _write_response(writer, status, payload,
+                                          keep_alive=keep_alive,
+                                          extra_headers=extra)
+                finally:
+                    self._busy.discard(task)
+                if not keep_alive:
+                    return
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
+            self._busy.discard(task)
             self._conn_tasks.discard(task)
             try:
                 writer.close()
@@ -494,25 +877,45 @@ class CompileServer:
             except Exception:
                 pass
 
-    async def _dispatch(self, method: str, target: str,
-                        body: bytes) -> tuple[int, object]:
-        path = target.split("?", 1)[0]
+    async def _dispatch(self, method: str, target: str, body: bytes,
+                        monitor: "asyncio.Future | None" = None,
+                        ) -> tuple[int | None, object, dict[str, str]]:
+        """Route one request; ``(None, ...)`` means "client gone, write
+        nothing".  The third element is extra response headers."""
+        path, _, query = target.partition("?")
         routes = {"/healthz": "GET", "/metrics": "GET", "/compile": "POST",
                   "/batch": "POST", "/shutdown": "POST"}
         expected = routes.get(path)
         if expected is None:
-            return 404, {"error": f"no route {path}"}
+            return 404, {"error": f"no route {path}"}, {}
         if method != expected:
-            return 405, {"error": f"{path} expects {expected}"}
+            return 405, {"error": f"{path} expects {expected}"}, {}
         if path == "/healthz":
-            return 200, self.service.health_payload()
+            return 200, self.service.health_payload(), {}
         if path == "/metrics":
-            return 200, self.service.metrics_payload()
+            return self._metrics_route(query)
         if path == "/shutdown":
-            return self._shutdown_route(body)
+            status, payload = self._shutdown_route(body)
+            return status, payload, {}
         if path == "/compile":
-            return await self._compile_route(body)
-        return await self._batch_route(body)
+            return await self._compile_route(body, monitor)
+        return await self._batch_route(body, monitor)
+
+    def _metrics_route(self, query: str,
+                       ) -> tuple[int, object, dict[str, str]]:
+        payload = self.service.metrics_payload()
+        params = dict(
+            pair.partition("=")[::2] for pair in query.split("&") if pair)
+        if params.get("format") == "prometheus":
+            return 200, prometheus_text(payload), {
+                "Content-Type": "text/plain; version=0.0.4; charset=utf-8"}
+        if "format" in params and params["format"] != "json":
+            return 400, {"error": f"unknown metrics format "
+                                  f"{params['format']!r}"}, {}
+        return 200, payload, {}
+
+    def _backpressure_headers(self) -> dict[str, str]:
+        return {"Retry-After": f"{self.service.retry_after_s():.2f}"}
 
     def _shutdown_route(self, body: bytes) -> tuple[int, object]:
         drain = True
@@ -535,38 +938,64 @@ class CompileServer:
     def _default_envelope(self) -> Envelope:
         return Envelope(timeout_s=self.service.config.default_timeout_s)
 
-    async def _await_job(self, job: Job,
-                         timeout_s: float | None) -> CompileResponse:
-        # shield: a waiter timing out must not cancel the shared future
-        # other coalesced waiters (and the cache) still want
-        future = asyncio.wrap_future(job.future)
-        try:
-            return await asyncio.wait_for(asyncio.shield(future), timeout_s)
-        except asyncio.TimeoutError:
-            if not job.started:
-                job.cancel()
-            self.service.metrics.increment("timed_out")
-            return self.service.timeout_response(job)
+    def _release(self, job: Job) -> None:
+        """One waiter stopped listening; the last one out cancels the
+        job (dead-on-arrival if queued, pass-boundary stop if running)."""
+        if job.release_waiter():
+            job.cancel()
 
-    async def _compile_route(self, body: bytes) -> tuple[int, object]:
+    async def _await_job(self, job: Job, timeout_s: float | None,
+                         monitor: "asyncio.Future | None" = None,
+                         ) -> CompileResponse | None:
+        """Wait on the job's shared future; ``None`` = client vanished.
+
+        The future is shielded -- a waiter timing out or disconnecting
+        must not cancel the result other coalesced waiters (and the
+        cache) still want; it *releases its waiter slot* instead, and
+        only the last departure cancels the compile itself.
+        """
+        future = asyncio.wrap_future(job.future)
+        shielded = asyncio.ensure_future(asyncio.shield(future))
+        waiting = {shielded} if monitor is None else {shielded, monitor}
+        try:
+            done, _ = await asyncio.wait(waiting, timeout=timeout_s,
+                                         return_when=asyncio.FIRST_COMPLETED)
+        except asyncio.CancelledError:
+            shielded.cancel()
+            self._release(job)
+            raise
+        if shielded in done:
+            return shielded.result()
+        shielded.cancel()
+        if monitor is not None and monitor in done:
+            self.service.metrics.increment("disconnected")
+            self._release(job)
+            return None
+        self.service.metrics.increment("timed_out")
+        self._release(job)
+        return self.service.timeout_response(job)
+
+    async def _compile_route(self, body: bytes,
+                             monitor: "asyncio.Future | None" = None,
+                             ) -> tuple[int | None, object, dict[str, str]]:
         try:
             payload = json.loads(body)
         except ValueError:
-            return 400, {"error": "request body must be JSON"}
+            return 400, {"error": "request body must be JSON"}, {}
         if not isinstance(payload, dict):
-            return 400, {"error": "request body must be a JSON object"}
+            return 400, {"error": "request body must be a JSON object"}, {}
         try:
             request_payload, envelope = split_envelope(
                 payload, self._default_envelope())
             request = request_from_dict(request_payload)
         except ValueError as exc:
-            return 400, {"error": str(exc)}
+            return 400, {"error": str(exc)}, {}
         self.service.metrics.increment("received")
         try:
             key = request.key()
         except Exception as exc:
             self.service.metrics.increment("failed")
-            return 200, error_response(request, exc).to_dict()
+            return 200, error_response(request, exc).to_dict(), {}
         try:
             job, _coalesced = self.service.submit(
                 request, key, tenant=envelope.tenant,
@@ -574,17 +1003,22 @@ class CompileServer:
         except QueueFullError as exc:
             self.service.metrics.increment("rejected_queue_full")
             return 429, {"error": str(exc),
-                         "queue_depth": len(self.service.queue)}
+                         "queue_depth": len(self.service.queue)}, \
+                self._backpressure_headers()
         except QueueClosedError as exc:
-            return 503, {"error": str(exc)}
-        response = await self._await_job(job, envelope.timeout_s)
-        return 200, response.to_dict()
+            return 503, {"error": str(exc)}, self._backpressure_headers()
+        response = await self._await_job(job, envelope.timeout_s, monitor)
+        if response is None:
+            return None, None, {}
+        return 200, response.to_dict(), {}
 
-    async def _batch_route(self, body: bytes) -> tuple[int, object]:
+    async def _batch_route(self, body: bytes,
+                           monitor: "asyncio.Future | None" = None,
+                           ) -> tuple[int | None, object, dict[str, str]]:
         try:
             payload = json.loads(body)
         except ValueError:
-            return 400, {"error": "request body must be JSON"}
+            return 400, {"error": "request body must be JSON"}, {}
         defaults = self._default_envelope()
         if isinstance(payload, dict):
             items = payload.get("requests")
@@ -592,29 +1026,29 @@ class CompileServer:
             if not isinstance(items, list) or extra:
                 return 400, {"error": "batch object must hold 'requests' "
                                       "(a list) plus optional "
-                                      f"{sorted(ENVELOPE_FIELDS)}"}
+                                      f"{sorted(ENVELOPE_FIELDS)}"}, {}
             try:
                 _, defaults = split_envelope(
                     {k: v for k, v in payload.items() if k != "requests"},
                     defaults)
             except ValueError as exc:
-                return 400, {"error": str(exc)}
+                return 400, {"error": str(exc)}, {}
         elif isinstance(payload, list):
             items = payload
         else:
             return 400, {"error": "batch body must be a JSON list or an "
-                                  "object with a 'requests' list"}
+                                  "object with a 'requests' list"}, {}
         requests: list[CompileRequest] = []
         envelopes: list[Envelope] = []
         for index, item in enumerate(items):
             if not isinstance(item, dict):
                 return 400, {"error": f"request #{index} must be a JSON "
-                                      f"object"}
+                                      f"object"}, {}
             try:
                 request_payload, envelope = split_envelope(item, defaults)
                 requests.append(request_from_dict(request_payload))
             except ValueError as exc:
-                return 400, {"error": f"request #{index}: {exc}"}
+                return 400, {"error": f"request #{index}: {exc}"}, {}
             envelopes.append(envelope)
         self.service.metrics.increment("received", len(requests))
         keys, pre_failed = compute_request_keys(requests)
@@ -637,19 +1071,27 @@ class CompileServer:
                 # all-or-nothing: the client retries the whole batch;
                 # jobs already submitted keep running and warm the cache
                 self.service.metrics.increment("rejected_queue_full")
+                for pending_job, _envelope in jobs.values():
+                    self._release(pending_job)
                 return 429, {"error": str(exc),
-                             "queue_depth": len(self.service.queue)}
+                             "queue_depth": len(self.service.queue)}, \
+                    self._backpressure_headers()
             except QueueClosedError as exc:
-                return 503, {"error": str(exc)}
+                for pending_job, _envelope in jobs.values():
+                    self._release(pending_job)
+                return 503, {"error": str(exc)}, \
+                    self._backpressure_headers()
             jobs[key] = (job, envelope)
         if duplicates:
             self.service.metrics.increment("deduplicated", duplicates)
         results = await asyncio.gather(*(
-            self._await_job(job, envelope.timeout_s)
+            self._await_job(job, envelope.timeout_s, monitor)
             for job, envelope in jobs.values()))
+        if any(result is None for result in results):
+            return None, None, {}  # the client disconnected mid-batch
         computed = dict(zip(jobs.keys(), results))
         responses = assemble_responses(requests, keys, computed, pre_failed)
-        return 200, [response.to_dict() for response in responses]
+        return 200, [response.to_dict() for response in responses], {}
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,246 @@
+"""Chaos tests: the serving stack under injected failures.
+
+Every failure mode the fault harness (:mod:`repro.service.faults`) can
+inject is exercised against the real service:
+
+* a process worker dying mid-compile (supervised restart, bounded
+  retries, poison quarantine),
+* a thread worker raising the injected crash (typed error response,
+  server survives),
+* a client vanishing while its job is queued or running (the last
+  waiter's departure cancels the compile at a pass boundary),
+* the journal disk failing (durability degrades, serving does not),
+* a server "crash" between acceptance and response (journal replay on
+  a fresh service: no accepted job lost, duplicate records collapse).
+
+Each path must also be *visible*: the assertions pin the metrics
+counters so no failure is ever silent.
+"""
+
+import socket
+import time
+
+import pytest
+
+from repro.service import faults
+from repro.service.batch import request_from_dict
+from repro.service.client import CompileClient
+from repro.service.faults import FaultPlan
+from repro.service.journal import JobJournal
+from repro.service.server import CompileService, ServerThread, ServiceConfig
+
+BASE = {"compiler": "2qan", "benchmark": "NNN_Ising", "n_qubits": 6,
+        "device": "aspen", "gateset": "CNOT", "seed": 0}
+
+
+@pytest.fixture(autouse=True)
+def clear_faults(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.install(None)
+    yield
+    faults.install(None)
+
+
+def wait_until(predicate, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+def running_service(config):
+    service = CompileService(config)
+    service.start()
+    return service
+
+
+class TestProcessWorkerCrash:
+    def test_crashed_job_is_requeued_and_recovers(self, tmp_path,
+                                                  monkeypatch):
+        plan = FaultPlan(marker_dir=str(tmp_path / "m"), crash_times=1)
+        # the env route: pool children (forked) see the same plan
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_env())
+        service = running_service(ServiceConfig(
+            jobs=1, worker_mode="process", max_retries=2))
+        try:
+            request = request_from_dict(BASE)
+            job, _ = service.submit(request, request.key())
+            response = job.future.result(timeout=180)
+            assert response.error is None
+            counters = service.metrics.counters
+            assert counters["worker_crashes"] == 1
+            assert counters["pool_restarts"] == 1
+            assert counters["requeued"] == 1
+            assert counters["compiled"] == 1
+            assert counters["poisoned"] == 0
+        finally:
+            service.shutdown()
+            service.join(30.0)
+
+    def test_repeat_offender_is_quarantined_as_poison(self, tmp_path,
+                                                      monkeypatch):
+        # exactly the poison job's two allowed runs crash; later jobs
+        # find every marker claimed and run clean
+        plan = FaultPlan(marker_dir=str(tmp_path / "m"), crash_times=2)
+        monkeypatch.setenv(faults.ENV_VAR, plan.to_env())
+        service = running_service(ServiceConfig(
+            jobs=1, worker_mode="process", max_retries=1))
+        try:
+            request = request_from_dict(BASE)
+            key = request.key()
+            job, _ = service.submit(request, key)
+            response = job.future.result(timeout=180)
+            assert "quarantined" in response.error
+            counters = service.metrics.counters
+            assert counters["worker_crashes"] == 2   # max_retries=1 -> 2 runs
+            assert counters["poisoned"] == 1
+            # the quarantine fast-fails resubmissions without burning
+            # another worker
+            retry_job, coalesced = service.submit(request, key)
+            assert not coalesced
+            retry_response = retry_job.future.result(timeout=10)
+            assert "quarantined" in retry_response.error
+            assert counters["poison_rejected"] == 1
+            assert counters["worker_crashes"] == 2   # unchanged
+            # unrelated work still compiles
+            other = request_from_dict({**BASE, "seed": 1})
+            other_job, _ = service.submit(other, other.key())
+            assert other_job.future.result(timeout=180).error is None
+        finally:
+            service.shutdown()
+            service.join(30.0)
+
+
+class TestThreadWorkerCrash:
+    def test_injected_crash_becomes_typed_error_response(self, tmp_path):
+        faults.install(FaultPlan(marker_dir=str(tmp_path / "m"),
+                                 crash_times=1))
+        service = running_service(ServiceConfig(jobs=1))
+        try:
+            request = request_from_dict(BASE)
+            job, _ = service.submit(request, request.key())
+            response = job.future.result(timeout=180)
+            assert "injected worker crash" in response.error
+            # the worker thread survived: the next job compiles
+            other = request_from_dict({**BASE, "seed": 1})
+            other_job, _ = service.submit(other, other.key())
+            assert other_job.future.result(timeout=180).error is None
+        finally:
+            service.shutdown()
+            service.join(30.0)
+
+
+class TestDisconnect:
+    def test_queued_job_of_a_vanished_client_never_compiles(self):
+        config = ServiceConfig(jobs=1)
+        with ServerThread(CompileService(config)) as handle:
+            service = handle.service
+            service.queue.pause()
+            faults.drop_connection("127.0.0.1", handle.port, BASE)
+            # the monitor sees EOF while the job is still queued; the
+            # sole waiter's departure cancels it dead-on-arrival
+            assert wait_until(
+                lambda: service.metrics.counters["disconnected"] == 1)
+            service.queue.resume()
+            assert wait_until(lambda: len(service.queue) == 0
+                              and service._running == 0)
+            assert service.metrics.counters["compiled"] == 0
+
+    def test_running_compile_cancels_at_pass_boundary(self, tmp_path):
+        """The acceptance gate: a disconnected request frees its worker
+        *before* pipeline completion, visibly (cancelled_running)."""
+        faults.install(FaultPlan(marker_dir=str(tmp_path / "m"),
+                                 slow_pass="routing", slow_seconds=1.5))
+        config = ServiceConfig(jobs=1)
+        with ServerThread(CompileService(config)) as handle:
+            service = handle.service
+            import json as _json
+            body = _json.dumps(BASE).encode()
+            head = (f"POST /compile HTTP/1.1\r\nHost: x\r\n"
+                    f"Content-Type: application/json\r\n"
+                    f"Content-Length: {len(body)}\r\n\r\n").encode()
+            sock = socket.create_connection(("127.0.0.1", handle.port),
+                                            timeout=10)
+            sock.sendall(head + body)
+            # wait for the worker to pick the job up (it then stalls at
+            # the routing boundary), *then* vanish
+            assert wait_until(lambda: service._running == 1)
+            time.sleep(0.2)
+            sock.close()
+            assert wait_until(
+                lambda: service.metrics.counters["disconnected"] == 1)
+            assert wait_until(
+                lambda: service.metrics.counters["cancelled_running"] == 1)
+            # the worker is free again: a live client gets served
+            client = CompileClient(port=handle.port)
+            assert client.compile({**BASE, "seed": 1}).get("error") is None
+            client.close()
+
+
+class TestJournalDurability:
+    def test_accepted_jobs_survive_a_server_crash(self, tmp_path):
+        journal_path = tmp_path / "journal.jsonl"
+        crashed = running_service(ServiceConfig(
+            jobs=1, journal_path=journal_path))
+        # freeze the worker, accept three jobs, then "crash": the
+        # service object is abandoned without shutdown, exactly as if
+        # the process had died with the queue full
+        crashed.queue.pause()
+        requests = [request_from_dict({**BASE, "seed": seed})
+                    for seed in range(3)]
+        for request in requests:
+            crashed.submit(request, request.key())
+        assert len(JobJournal(journal_path).pending()) == 3
+
+        revived = running_service(ServiceConfig(
+            jobs=1, journal_path=journal_path))
+        try:
+            assert revived.metrics.counters["journal_replayed"] == 3
+            assert wait_until(
+                lambda: revived.metrics.counters["compiled"] == 3, 180)
+            # every replayed job completed -> the journal drains
+            assert wait_until(
+                lambda: JobJournal(journal_path).pending() == [])
+        finally:
+            revived.shutdown()
+            revived.join(30.0)
+
+    def test_duplicate_journal_records_replay_once(self, tmp_path):
+        journal_path = tmp_path / "journal.jsonl"
+        journal = JobJournal(journal_path)
+        request = request_from_dict(BASE)
+        key = request.key()
+        # a journal replayed twice before compaction, or a client retry
+        # racing the crash: the same acceptance recorded twice
+        journal.record_accepted(key, request.to_dict())
+        journal.record_accepted(key, request.to_dict())
+        service = running_service(ServiceConfig(
+            jobs=1, journal_path=journal_path))
+        try:
+            assert service.metrics.counters["journal_replayed"] == 1
+            assert wait_until(
+                lambda: service.metrics.counters["compiled"] == 1, 180)
+            time.sleep(0.2)     # would-be second execution window
+            assert service.metrics.counters["compiled"] == 1
+            assert service.metrics.counters["submitted"] == 1
+        finally:
+            service.shutdown()
+            service.join(30.0)
+
+    def test_journal_write_failure_degrades_not_refuses(self, tmp_path):
+        faults.install(FaultPlan(marker_dir=str(tmp_path / "m"),
+                                 journal_fail_times=1))
+        service = running_service(ServiceConfig(
+            jobs=1, journal_path=tmp_path / "journal.jsonl"))
+        try:
+            request = request_from_dict(BASE)
+            job, _ = service.submit(request, request.key())
+            response = job.future.result(timeout=180)
+            # the append failed, the compile did not
+            assert response.error is None
+            assert service.metrics.counters["journal_write_errors"] >= 1
+        finally:
+            service.shutdown()
+            service.join(30.0)

@@ -27,8 +27,9 @@ class ScriptedClient(CompileClient):
         step = self.script.pop(0)
         if isinstance(step, Exception):
             raise step
-        status, body = step
-        return status, json.dumps(body).encode()
+        status, body, *rest = step
+        headers = rest[0] if rest else {}
+        return status, json.dumps(body).encode(), headers
 
 
 class TestRetry:
@@ -72,6 +73,36 @@ class TestRetry:
         client = ScriptedClient([(503, {"error": "draining"})], retries=0)
         with pytest.raises(ServiceError, match="503"):
             client.healthz()
+
+    def test_retry_after_header_overrides_backoff(self):
+        client = ScriptedClient([
+            (429, {"error": "full"}, {"retry-after": "0.7"}),
+            (200, {"ok": True}),
+        ], retries=3, backoff_s=0.1)
+        assert client.healthz() == {"ok": True}
+        # the server's estimate wins over the exponential schedule
+        assert client.sleeps == [0.7]
+
+    def test_unparseable_retry_after_falls_back_to_backoff(self):
+        client = ScriptedClient([
+            (429, {"error": "full"},
+             {"retry-after": "Fri, 31 Dec 1999 23:59:59 GMT"}),
+            (429, {"error": "full"}, {"retry-after": "-3"}),
+            (200, {"ok": True}),
+        ], retries=3, backoff_s=0.1)
+        assert client.healthz() == {"ok": True}
+        assert client.sleeps == [0.1, 0.2]
+
+    def test_retry_after_only_applies_to_the_next_attempt(self):
+        # a hint on attempt 1 must not leak into the delay before
+        # attempt 3 when attempt 2's answer carried none
+        client = ScriptedClient([
+            (429, {"error": "full"}, {"retry-after": "0.5"}),
+            (503, {"error": "draining"}),
+            (200, {"ok": True}),
+        ], retries=3, backoff_s=0.1)
+        assert client.healthz() == {"ok": True}
+        assert client.sleeps == [0.5, 0.2]
 
 
 class TestApi:

@@ -1,0 +1,155 @@
+"""Tests for the durable job journal: the write-ahead log behind
+``repro serve --journal``.
+
+Crash discipline mirrors ``tests/analysis`` ``TestCrashRecovery`` for
+the result store: a torn final record must neither corrupt the file nor
+fuse with the next append, and replaying the same journal twice must
+not double any work (the pending walk collapses duplicate ``accepted``
+records per key).
+"""
+
+import json
+
+import pytest
+
+from repro.service import faults
+from repro.service.journal import JobJournal
+
+REQUEST = {"compiler": "2qan", "benchmark": "NNN_Ising", "n_qubits": 6,
+           "device": "aspen", "gateset": "CNOT", "seed": 0}
+
+
+@pytest.fixture(autouse=True)
+def clear_faults():
+    faults.install(None)
+    yield
+    faults.install(None)
+
+
+def journal_at(tmp_path):
+    return JobJournal(tmp_path / "journal.jsonl")
+
+
+class TestRoundTrip:
+    def test_accepted_then_completed_leaves_nothing_pending(self, tmp_path):
+        journal = journal_at(tmp_path)
+        journal.record_accepted("k1", REQUEST, tenant="t", priority=2,
+                                timeout_s=1.5)
+        assert [e["key"] for e in journal.pending()] == ["k1"]
+        journal.record_completed("k1")
+        assert journal.pending() == []
+
+    def test_pending_preserves_envelope_fields(self, tmp_path):
+        journal = journal_at(tmp_path)
+        journal.record_accepted("k1", REQUEST, tenant="team-a", priority=3,
+                                timeout_s=2.0)
+        entry = journal.pending()[0]
+        assert entry["request"] == REQUEST
+        assert entry["tenant"] == "team-a"
+        assert entry["priority"] == 3
+        assert entry["timeout_s"] == 2.0
+
+    def test_key_may_cycle_accepted_completed_accepted(self, tmp_path):
+        """Replay state is order-aware, not a set difference: a key
+        resubmitted after completing is pending again."""
+        journal = journal_at(tmp_path)
+        journal.record_accepted("k1", REQUEST)
+        journal.record_completed("k1")
+        journal.record_accepted("k1", {**REQUEST, "seed": 1})
+        pending = journal.pending()
+        assert len(pending) == 1
+        assert pending[0]["request"]["seed"] == 1
+
+    def test_duplicate_accepted_records_collapse(self, tmp_path):
+        """A journal replayed twice (or a retrying client) must not
+        double the work: one pending entry per key, last spelling wins."""
+        journal = journal_at(tmp_path)
+        journal.record_accepted("k1", REQUEST)
+        journal.record_accepted("k1", REQUEST)
+        journal.record_accepted("k2", REQUEST)
+        assert [e["key"] for e in journal.pending()] == ["k1", "k2"]
+
+
+class TestCrashRecovery:
+    def test_torn_final_record_is_skipped(self, tmp_path):
+        journal = journal_at(tmp_path)
+        journal.record_accepted("k1", REQUEST)
+        journal.record_accepted("k2", REQUEST)
+        # a writer killed mid-append leaves a partial last line
+        with journal.path.open("rb+") as handle:
+            handle.seek(-20, 2)
+            handle.truncate()
+        assert [e["key"] for e in journal.load()] == ["k1"]
+        assert [e["key"] for e in journal.pending()] == ["k1"]
+
+    def test_append_after_torn_tail_preserves_both_records(self, tmp_path):
+        journal = journal_at(tmp_path)
+        journal.record_accepted("k1", REQUEST)
+        with journal.path.open("rb+") as handle:
+            handle.seek(-5, 2)
+            handle.truncate()        # torn tail, no trailing newline
+        journal.record_accepted("k2", REQUEST)
+        # the repair newline keeps the torn line and the new record
+        # from fusing into one unparseable line
+        assert [e["key"] for e in journal.load()] == ["k2"]
+        lines = journal.path.read_text().splitlines()
+        assert len(lines) == 2
+
+    def test_garbage_lines_are_skipped_not_fatal(self, tmp_path):
+        journal = journal_at(tmp_path)
+        journal.record_accepted("k1", REQUEST)
+        with journal.path.open("a") as handle:
+            handle.write("not json\n")
+            handle.write(json.dumps({"no": "event field"}) + "\n")
+        journal.record_accepted("k2", REQUEST)
+        assert [e["key"] for e in journal.load()] == ["k1", "k2"]
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        journal = journal_at(tmp_path)
+        assert journal.load() == []
+        assert journal.pending() == []
+        assert journal.compact() == 0
+
+
+class TestCompaction:
+    def test_compact_drops_answered_pairs(self, tmp_path):
+        journal = journal_at(tmp_path)
+        for index in range(5):
+            journal.record_accepted(f"k{index}", REQUEST)
+        for index in range(4):
+            journal.record_completed(f"k{index}")
+        dropped = journal.compact()
+        assert dropped == 8          # 4 accepted + 4 completed retired
+        assert [e["key"] for e in journal.load()] == ["k4"]
+        assert [e["key"] for e in journal.pending()] == ["k4"]
+
+    def test_compact_is_idempotent(self, tmp_path):
+        journal = journal_at(tmp_path)
+        journal.record_accepted("k1", REQUEST)
+        journal.record_completed("k1")
+        journal.record_accepted("k2", REQUEST)
+        assert journal.compact() > 0
+        before = journal.path.read_text()
+        assert journal.compact() == 0
+        assert journal.path.read_text() == before
+
+    def test_compacted_file_still_replays(self, tmp_path):
+        journal = journal_at(tmp_path)
+        journal.record_accepted("k1", REQUEST, tenant="t")
+        journal.record_completed("k0")       # stray completion
+        journal.compact()
+        entry = journal.pending()[0]
+        assert entry["key"] == "k1"
+        assert entry["tenant"] == "t"
+
+
+class TestInjectedFailure:
+    def test_injected_write_failure_raises_oserror(self, tmp_path):
+        journal = journal_at(tmp_path)
+        faults.install(faults.FaultPlan(marker_dir=str(tmp_path / "m"),
+                                        journal_fail_times=1))
+        with pytest.raises(OSError, match="injected"):
+            journal.record_accepted("k1", REQUEST)
+        # exactly one failure: the next append goes through
+        journal.record_accepted("k1", REQUEST)
+        assert [e["key"] for e in journal.pending()] == ["k1"]

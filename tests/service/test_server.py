@@ -103,9 +103,9 @@ class TestRoutes:
     def test_batch_accepts_wrapped_object_with_envelope(self):
         with serving() as handle:
             client = CompileClient(port=handle.port)
-            status, body = client._send("POST", "/batch",
-                                        {"requests": [BASE],
-                                         "priority": 1})
+            status, body, _headers = client._send("POST", "/batch",
+                                                  {"requests": [BASE],
+                                                   "priority": 1})
             assert status == 200
             assert json.loads(body)[0]["n_swaps"] is not None
 
@@ -126,7 +126,8 @@ class TestRoutes:
             conn.request("POST", "/compile", body=b"{not json")
             assert conn.getresponse().status == 400
             conn.close()
-            status, _body = client._send("POST", "/compile", "not an object")
+            status, _body, _headers = client._send("POST", "/compile",
+                                                   "not an object")
             assert status == 400
             with pytest.raises(ServiceError, match="qubits") as excinfo:
                 client.compile({"qubits": 6})
@@ -200,10 +201,15 @@ class TestConcurrency:
                 target=lambda: client.compile(BASE))
             holder.start()
             assert wait_until(lambda: len(service.queue) == 1)
+            status, _body, headers = client._send(
+                "POST", "/compile", {**BASE, "seed": 1})
+            assert status == 429
+            # backpressure comes with a machine-readable wait hint
+            assert float(headers["retry-after"]) > 0
             with pytest.raises(ServiceError, match="full") as excinfo:
                 client.compile({**BASE, "seed": 1})
             assert excinfo.value.status == 429
-            assert service.metrics.counters["rejected_queue_full"] == 1
+            assert service.metrics.counters["rejected_queue_full"] == 2
             service.queue.resume()
             holder.join(30.0)
 
@@ -265,6 +271,73 @@ class TestConcurrency:
         assert metrics["cache"]["team-b"]["hits"] == 0
         assert metrics["cache"]["team-b"]["misses"] == \
             metrics["cache"]["team-a"]["misses"]
+
+
+class TestHttpFrontEnd:
+    def test_connection_reused_across_requests(self):
+        with serving() as handle:
+            client = CompileClient(port=handle.port)
+            client.healthz()
+            first = client._connection()
+            client.compile(BASE)
+            client.metrics()
+            # three exchanges, one socket: the server kept it alive
+            assert client._connection() is first
+            client.close()
+
+    def test_connection_close_header_honoured(self):
+        import http.client
+
+        with serving() as handle:
+            conn = http.client.HTTPConnection("127.0.0.1", handle.port,
+                                              timeout=10)
+            conn.request("GET", "/healthz",
+                         headers={"Connection": "close"})
+            response = conn.getresponse()
+            assert response.status == 200
+            assert response.getheader("Connection") == "close"
+            assert response.will_close
+            response.read()
+            conn.close()
+
+    def test_idle_keep_alive_connection_times_out(self):
+        import socket
+
+        config = ServiceConfig(jobs=1, idle_timeout_s=0.1)
+        with serving(config) as handle:
+            sock = socket.create_connection(("127.0.0.1", handle.port),
+                                            timeout=10)
+            sock.settimeout(10.0)
+            sock.sendall(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            chunks = []
+            # the server answers, then -- with no follow-up request --
+            # closes the idle connection; recv drains to EOF
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+            sock.close()
+        data = b"".join(chunks)
+        assert b"200 OK" in data
+        assert b"Connection: keep-alive" in data
+
+    def test_metrics_prometheus_exposition(self):
+        with serving() as handle:
+            client = CompileClient(port=handle.port)
+            client.compile(BASE)
+            status, body, headers = client._send(
+                "GET", "/metrics?format=prometheus")
+            assert status == 200
+            assert headers["content-type"].startswith("text/plain")
+            text = body.decode()
+            assert 'repro_requests_total{kind="compiled"} 1' in text
+            assert "repro_request_latency_seconds_bucket" in text
+            assert 'le="+Inf"' in text
+            assert 'repro_cache_misses_total{tenant="default"}' in text
+            status, _body, _headers = client._send(
+                "GET", "/metrics?format=weird")
+            assert status == 400
 
 
 class TestShutdown:
