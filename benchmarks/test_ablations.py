@@ -60,7 +60,7 @@ def test_ablation_passes(benchmark, results_dir):
             f"{variants[v].two_qubit_depth:11d}" for v in names))
     write_result(results_dir, "ablation_passes", "\n".join(lines))
 
-    for n, variants in table.items():
+    for variants in table.values():
         full = variants["full"]
         # dressing saves gates
         assert full.n_two_qubit_gates <= variants["no_dress"].n_two_qubit_gates

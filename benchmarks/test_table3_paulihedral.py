@@ -87,7 +87,7 @@ def test_table3_heisenberg(benchmark, results_dir):
     assert rows["Heisenberg-2D"][0] < PAULIHEDRAL["Heisenberg-2D"][0]
     assert rows["Heisenberg-3D"][0] < PAULIHEDRAL["Heisenberg-3D"][0]
     # 2QAN never exceeds even the idealised Paulihedral bound
-    for label, (cnots, _, ph_like) in rows.items():
+    for cnots, _, ph_like in rows.values():
         assert cnots <= ph_like
 
 

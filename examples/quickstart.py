@@ -113,6 +113,13 @@ def main() -> None:
     print(f"served again: {again.artifact_hits} artifact hits, "
           f"{again.artifact_misses} misses")
 
+    # When a custom pass graduates into the tree, declare its context
+    # reads/writes (see the built-in passes) and run ``python -m repro
+    # lint``: five static checkers verify the declarations against the
+    # run() body, fingerprint coverage, the metrics schema, compile-path
+    # determinism and async hygiene -- the contracts the cache and the
+    # golden tests rely on.
+
 
 if __name__ == "__main__":
     main()

@@ -14,6 +14,7 @@ Examples::
     python -m repro batch --requests requests.json --jobs 4 \
         --cache results/cache --json
     python -m repro serve --port 8000 --jobs 2 --cache results/cache
+    python -m repro lint --json --select RPR001,RPR004
 """
 
 from __future__ import annotations
@@ -64,9 +65,11 @@ def make_parser() -> argparse.ArgumentParser:
                "resumable (sizes x instances x compilers) sweep; 'repro "
                "batch ...' serves a JSON file of compile requests "
                "through the content-addressed cache; 'repro serve ...' "
-               "runs the HTTP compile server; see 'repro compile "
+               "runs the HTTP compile server; 'repro lint ...' runs "
+               "the static contract checkers; see 'repro compile "
                "--help' / 'repro bind --help' / 'repro sweep --help' / "
-               "'repro batch --help' / 'repro serve --help'",
+               "'repro batch --help' / 'repro serve --help' / 'repro "
+               "lint --help'",
     )
     parser.add_argument("--benchmark", default="NNN_Heisenberg",
                         choices=BENCHMARKS,
@@ -582,6 +585,121 @@ def batch_main(argv: list[str]) -> int:
 
 
 # ----------------------------------------------------------------------
+# repro lint
+# ----------------------------------------------------------------------
+def make_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Run the domain contract checkers (pass "
+                    "reads/writes, fingerprint coverage, metrics "
+                    "schema, compile-path determinism, async hygiene) "
+                    "over src/repro; exits 1 when any finding remains",
+        epilog="findings print as 'path:line: CHECK [severity] "
+               "message'; --json emits the stable schema (version 1) "
+               "for tooling",
+    )
+    parser.add_argument("--root", default=None, metavar="DIR",
+                        help="repo root to scan (default: autodetected "
+                             "from the installed repro package)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as JSON (stable schema)")
+    parser.add_argument("--select", default=None, metavar="ID[,ID...]",
+                        help="run only these check ids (e.g. "
+                             "RPR001,RPR004)")
+    parser.add_argument("--ignore", default=None, metavar="ID[,ID...]",
+                        help="skip these check ids")
+    parser.add_argument("--diff-base", default=None, metavar="REF",
+                        help="report only findings in files changed "
+                             "since this git ref (checkers still see "
+                             "the whole tree, so cross-file contracts "
+                             "stay sound)")
+    parser.add_argument("--list-checks", action="store_true",
+                        help="list registered checks and exit")
+    return parser
+
+
+def _changed_paths(repo_root: Path, base: str) -> set[str] | None:
+    """Repo-relative paths changed since ``base``, or None on error."""
+    import subprocess
+
+    proc = subprocess.run(
+        ["git", "diff", "--name-only", base, "--"],
+        cwd=repo_root, capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        print(f"error: git diff --name-only {base} failed: "
+              f"{proc.stderr.strip()}", file=sys.stderr)
+        return None
+    return {line.strip() for line in proc.stdout.splitlines()
+            if line.strip()}
+
+
+def lint_main(argv: list[str]) -> int:
+    from repro.lint import Project, all_checkers, run_lint
+
+    args = make_lint_parser().parse_args(argv)
+    if args.list_checks:
+        for check_id, cls in all_checkers().items():
+            print(f"{check_id}  {cls.name}: {cls.description}")
+        return 0
+    if args.root is not None:
+        repo_root = Path(args.root)
+    else:
+        import repro
+
+        # src/repro/__init__.py -> src/repro -> src -> repo root
+        repo_root = Path(repro.__file__).resolve().parents[2]
+    if not (repo_root / "src" / "repro").is_dir():
+        print(f"error: {repo_root} has no src/repro tree (pass --root)",
+              file=sys.stderr)
+        return 2
+    project = Project.from_root(repo_root)
+    try:
+        findings = run_lint(
+            project,
+            select=_csv(args.select) if args.select else None,
+            ignore=_csv(args.ignore) if args.ignore else None,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.diff_base is not None:
+        changed = _changed_paths(repo_root, args.diff_base)
+        if changed is None:
+            return 2
+        findings = [f for f in findings if f.path in changed]
+    if args.json:
+        checks = [
+            {"id": check_id, "name": cls.name,
+             "description": cls.description}
+            for check_id, cls in all_checkers().items()
+        ]
+        print(json.dumps({
+            "version": 1,
+            "checks": checks,
+            "findings": [f.to_dict() for f in findings],
+            "summary": {
+                "files": len(project.files),
+                "errors": sum(f.severity == "error" for f in findings),
+                "warnings": sum(f.severity == "warning"
+                                for f in findings),
+            },
+        }, indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        errors = sum(f.severity == "error" for f in findings)
+        warnings = len(findings) - errors
+        if findings:
+            print(f"{len(findings)} finding(s): {errors} error(s), "
+                  f"{warnings} warning(s)", file=sys.stderr)
+        else:
+            print(f"clean: {len(project.files)} files, 0 findings",
+                  file=sys.stderr)
+    return 1 if findings else 0
+
+
+# ----------------------------------------------------------------------
 # repro serve
 # ----------------------------------------------------------------------
 def make_serve_parser() -> argparse.ArgumentParser:
@@ -692,6 +810,8 @@ def main(argv: list[str] | None = None) -> int:
         return bind_main(argv[1:])
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "lint":
+        return lint_main(argv[1:])
     args = make_parser().parse_args(argv)
     step = build_step(args.benchmark, args.qubits, args.seed)
     device = _resolve_device(args.device, args.qubits)

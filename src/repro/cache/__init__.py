@@ -17,7 +17,13 @@ compilations replay stored artifacts instead of recomputing them.
   executing a pass, plus :func:`compile_cached`.
 """
 
-from repro.cache.cached import CachedPass, CachedPipeline, compile_cached
+from repro.cache.cached import (
+    CachedPass,
+    CachedPipeline,
+    UndeclaredContextReadError,
+    compile_cached,
+    strict_reads_enabled,
+)
 from repro.cache.fingerprint import (
     fingerprint,
     fingerprint_circuit,
@@ -34,7 +40,9 @@ __all__ = [
     "CachedPipeline",
     "DiskArtifactStore",
     "MemoryArtifactStore",
+    "UndeclaredContextReadError",
     "compile_cached",
+    "strict_reads_enabled",
     "fingerprint",
     "fingerprint_circuit",
     "fingerprint_device",

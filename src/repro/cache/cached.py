@@ -31,6 +31,8 @@ pin that property for every registry compiler.
 
 from __future__ import annotations
 
+import os
+
 from repro.cache.fingerprint import fingerprint, fingerprint_pass
 from repro.cache.store import ArtifactCache
 from repro.core.pipeline import (
@@ -49,6 +51,83 @@ ARTIFACT_FIELDS = (
     "app_circuit", "circuit", "metrics", "n_swaps", "n_dressed",
     "initial_map", "final_map",
 )
+
+#: Infrastructure fields any pass may touch without declaring them:
+#: ``timings``/``cache_events`` are pipeline bookkeeping, ``cancel`` is
+#: cooperative cancellation (excluded from cache keys by design), and
+#: ``cache`` is the content-addressed decompose memo, which accelerates
+#: but never changes an output.  The static checker (``repro lint``
+#: RPR001) exempts exactly this set.
+INFRA_FIELDS = frozenset({"timings", "cache_events", "cancel", "cache"})
+
+_CONTEXT_FIELDS = frozenset(INPUT_FIELDS + ARTIFACT_FIELDS)
+
+#: Environment variable enabling the strict read guard (see
+#: :class:`UndeclaredContextReadError`).  The test suite runs with it
+#: set so every compile in CI audits the declarations dynamically.
+STRICT_ENV_VAR = "REPRO_CACHE_STRICT"
+
+
+class UndeclaredContextReadError(RuntimeError):
+    """A pass read a context field missing from its ``reads`` tuple.
+
+    An undeclared read is the one contract violation the normal runtime
+    cannot see: the cache key omits an input the pass actually
+    consumed, so two compilations differing only in that field share a
+    key and the second silently receives the first's artifact.
+
+    Deliberately **not** an ``AttributeError`` subclass -- a pass
+    probing fields with ``getattr(ctx, name, default)`` or ``hasattr``
+    would silently swallow the violation instead of surfacing it.
+    """
+
+
+def strict_reads_enabled() -> bool:
+    """Whether ``REPRO_CACHE_STRICT`` requests the dynamic read guard."""
+    return os.environ.get(STRICT_ENV_VAR, "") not in ("", "0")
+
+
+class _StrictContext:
+    """A read-auditing view of a :class:`CompilationContext`.
+
+    Attribute loads of undeclared compilation fields raise
+    :class:`UndeclaredContextReadError`; everything else (writes,
+    infrastructure fields, methods) forwards to the wrapped context.
+    Passes return the view from ``run``; :class:`CachedPass` unwraps it
+    before snapshotting.
+    """
+
+    __slots__ = ("_ctx", "_allowed", "_pass_name")
+
+    def __init__(self, ctx: CompilationContext, allowed: frozenset[str],
+                 pass_name: str) -> None:
+        object.__setattr__(self, "_ctx", ctx)
+        object.__setattr__(self, "_allowed", allowed)
+        object.__setattr__(self, "_pass_name", pass_name)
+
+    def _audit(self, name: str) -> None:
+        if name in _CONTEXT_FIELDS and name not in self._allowed:
+            raise UndeclaredContextReadError(
+                f"pass {self._pass_name!r} read context field {name!r} "
+                f"outside its declared reads; the cache key omits it, "
+                f"so warm runs would serve stale artifacts -- add "
+                f"{name!r} to the pass's reads tuple"
+            )
+
+    def require(self, attribute: str):
+        self._audit(attribute)
+        return self._ctx.require(attribute)
+
+    def __getattr__(self, name: str):
+        self._audit(name)
+        return getattr(self._ctx, name)
+
+    def __setattr__(self, name: str, value) -> None:
+        setattr(self._ctx, name, value)
+
+
+def _unwrap(ctx):
+    return ctx._ctx if isinstance(ctx, _StrictContext) else ctx
 
 
 def count_cache_hits(events: dict[str, str]) -> int:
@@ -95,13 +174,23 @@ class CachedPass:
         before = (None if writes is None else
                   {name: getattr(ctx, name) for name in ARTIFACT_FIELDS
                    if name not in writes})
-        result = self.inner.run(ctx)
+        reads = getattr(self.inner, "reads", None)
+        if reads is not None and strict_reads_enabled():
+            allowed = (frozenset(reads)
+                       | frozenset(writes if writes is not None
+                                   else ARTIFACT_FIELDS)
+                       | INFRA_FIELDS)
+            run_ctx: CompilationContext = _StrictContext(
+                ctx, allowed, self.name)
+        else:
+            run_ctx = ctx
+        result = self.inner.run(run_ctx)
         if result is None:
             raise TypeError(
                 f"pass {self.name!r} returned None; run(ctx) must return "
                 f"the context"
             )
-        ctx = result
+        ctx = _unwrap(result)
         if writes is None:
             writes = ARTIFACT_FIELDS
         else:

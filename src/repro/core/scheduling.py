@@ -24,7 +24,11 @@ import networkx as nx
 import numpy as np
 
 from repro.core.routing import QubitMap, RoutedProblem, RoutedSwap
-from repro.hamiltonians.trotter import TrotterStep, TwoQubitOperator
+from repro.hamiltonians.trotter import (
+    OneQubitOperator,
+    TrotterStep,
+    TwoQubitOperator,
+)
 from repro.quantum.circuit import Circuit
 from repro.quantum.gates import Gate, standard_gate_unitary
 from repro.quantum.params import UnboundParameterError, factor_template_key
@@ -51,7 +55,7 @@ class ScheduledCircuit:
     items: list[ScheduledItem]
     initial_map: QubitMap
     final_map: QubitMap
-    one_qubit_ops: list = field(default_factory=list)
+    one_qubit_ops: list[OneQubitOperator] = field(default_factory=list)
 
     @property
     def n_cycles(self) -> int:

@@ -115,7 +115,7 @@ def manhattan() -> Device:
     rails: list[list[int]] = []
     edges: list[tuple[int, int]] = []
     qubit = 0
-    for r, length in enumerate(rail_lengths):
+    for length in rail_lengths:
         rail = list(range(qubit, qubit + length))
         qubit += length
         rails.append(rail)

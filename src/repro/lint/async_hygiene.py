@@ -1,0 +1,202 @@
+"""RPR005: the asyncio front end must never block its event loop.
+
+The serving layer runs every connection on one event loop
+(``repro.service.server``); compiles execute in worker threads or
+processes precisely so the loop only ever parses, enqueues and writes.
+One blocking call inside an ``async def`` -- a ``time.sleep``, a
+synchronous subprocess, an un-timed lock acquire -- stalls *every*
+connection, turning a single slow request into a whole-service outage
+that load tests rarely catch (it needs concurrency plus the slow path).
+
+Flags, inside ``async def`` bodies under ``src/repro/service/``
+(**error** unless noted):
+
+* ``time.sleep`` (use ``asyncio.sleep``);
+* synchronous subprocess calls (``subprocess.run``/``call``/
+  ``check_call``/``check_output``/``Popen``, ``os.system``);
+* synchronous network/file transports: ``socket.*`` constructors,
+  ``urllib.request.urlopen``, ``http.client`` connections;
+* ``<lock>.acquire(...)`` that is not awaited and passes no
+  ``timeout=``/``blocking=False`` -- an indefinite block on the loop
+  (awaited acquires are asyncio primitives and fine);
+* ``await`` while holding a ``threading.Lock``/``RLock`` (a ``with
+  self._lock:`` block whose body awaits): the loop parks *inside* the
+  critical section, and any thread contending for the lock deadlocks
+  against the suspended coroutine.
+
+Nested ``def`` functions inside an ``async def`` are skipped (they run
+wherever they are called, typically in an executor); nested ``async
+def`` are visited in their own right.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.framework import (
+    Checker,
+    Finding,
+    Project,
+    import_aliases,
+    register_checker,
+    resolve_call,
+)
+
+SERVICE_PREFIX_FRAGMENT = "repro/service/"
+
+BLOCKING_CALLS = {
+    "time.sleep": "blocks the event loop; use asyncio.sleep",
+    "subprocess.run": "synchronous subprocess blocks the loop; use "
+                      "asyncio.create_subprocess_exec or an executor",
+    "subprocess.call": "synchronous subprocess blocks the loop",
+    "subprocess.check_call": "synchronous subprocess blocks the loop",
+    "subprocess.check_output": "synchronous subprocess blocks the loop",
+    "subprocess.Popen": "synchronous subprocess management on the loop",
+    "os.system": "synchronous shell-out blocks the loop",
+    "socket.socket": "synchronous socket on the event loop",
+    "socket.create_connection": "synchronous connect blocks the loop",
+    "urllib.request.urlopen": "synchronous HTTP blocks the loop",
+    "http.client.HTTPConnection": "synchronous HTTP blocks the loop",
+    "http.client.HTTPSConnection": "synchronous HTTP blocks the loop",
+}
+
+_LOCK_FACTORIES = frozenset({"threading.Lock", "threading.RLock",
+                             "threading.Condition", "threading.Semaphore",
+                             "threading.BoundedSemaphore"})
+
+
+def _threading_lock_names(tree: ast.Module,
+                          aliases: dict[str, str]) -> set[str]:
+    """Attribute/variable names bound to ``threading.Lock()``-likes
+    anywhere in the module (``self._lock = threading.Lock()`` ->
+    ``_lock``)."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Call)):
+            continue
+        resolved = resolve_call(node.value.func, aliases)
+        if resolved not in _LOCK_FACTORIES:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Attribute):
+                names.add(target.attr)
+            elif isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _direct_children(func: ast.AsyncFunctionDef) -> list[ast.AST]:
+    """All nodes of an async function body, not descending into nested
+    (non-async) function definitions."""
+    nodes: list[ast.AST] = []
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        nodes.append(node)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return nodes
+
+
+def _is_awaited(node: ast.Call, awaited: set[int]) -> bool:
+    return id(node) in awaited
+
+
+@register_checker
+class AsyncHygieneChecker(Checker):
+    id = "RPR005"
+    name = "async-hygiene"
+    description = ("no blocking calls (sleep, sync subprocess/socket, "
+                   "untimed lock acquire) inside async def bodies, and "
+                   "no await while holding a threading lock -- one "
+                   "blocked event loop stalls every connection")
+
+    def check(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        for module in project.modules():
+            if SERVICE_PREFIX_FRAGMENT not in module.path:
+                continue
+            tree = module.tree
+            if tree is None:
+                continue
+            aliases = import_aliases(tree)
+            lock_names = _threading_lock_names(tree, aliases)
+            for node in ast.walk(tree):
+                if isinstance(node, ast.AsyncFunctionDef):
+                    findings.extend(self._check_async(
+                        module.path, node, aliases, lock_names))
+        return findings
+
+    def _check_async(self, path: str, func: ast.AsyncFunctionDef,
+                     aliases: dict[str, str],
+                     lock_names: set[str]) -> list[Finding]:
+        findings: list[Finding] = []
+        body = _direct_children(func)
+        awaited = {id(node.value) for node in body
+                   if isinstance(node, ast.Await)
+                   and isinstance(node.value, ast.Call)}
+        for node in body:
+            if isinstance(node, ast.Call):
+                findings.extend(self._check_call(path, func, node,
+                                                 aliases, awaited))
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                findings.extend(self._check_with(path, func, node,
+                                                 lock_names))
+        return findings
+
+    def _check_call(self, path: str, func: ast.AsyncFunctionDef,
+                    node: ast.Call, aliases: dict[str, str],
+                    awaited: set[int]) -> list[Finding]:
+        findings: list[Finding] = []
+        resolved = resolve_call(node.func, aliases)
+        if resolved in BLOCKING_CALLS:
+            findings.append(Finding(
+                path=path, line=node.lineno, check=self.id,
+                message=f"async def {func.name}: {resolved}(...) -- "
+                        f"{BLOCKING_CALLS[resolved]}",
+            ))
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "acquire"
+                and not _is_awaited(node, awaited)):
+            bounded = any(
+                keyword.arg in ("timeout", "blocking")
+                for keyword in node.keywords
+            ) or node.args
+            if not bounded:
+                findings.append(Finding(
+                    path=path, line=node.lineno, check=self.id,
+                    message=f"async def {func.name}: .acquire() without "
+                            f"a timeout (and not awaited) can block the "
+                            f"event loop indefinitely; pass timeout= or "
+                            f"move the lock off the loop",
+                ))
+        return findings
+
+    def _check_with(self, path: str, func: ast.AsyncFunctionDef,
+                    node: ast.With | ast.AsyncWith,
+                    lock_names: set[str]) -> list[Finding]:
+        held = [
+            item for item in node.items
+            if (isinstance(item.context_expr, ast.Attribute)
+                and item.context_expr.attr in lock_names)
+            or (isinstance(item.context_expr, ast.Name)
+                and item.context_expr.id in lock_names)
+        ]
+        if not held or isinstance(node, ast.AsyncWith):
+            return []
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Await):
+                name = (ast.unparse(held[0].context_expr)
+                        if hasattr(ast, "unparse") else "the lock")
+                return [Finding(
+                    path=path, line=inner.lineno, check=self.id,
+                    message=f"async def {func.name}: await while "
+                            f"holding threading lock {name} -- the "
+                            f"coroutine suspends inside the critical "
+                            f"section and contending threads deadlock "
+                            f"against the parked event loop",
+                )]
+        return []

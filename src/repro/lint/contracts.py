@@ -1,0 +1,279 @@
+"""RPR001: pass ``reads``/``writes`` declarations must match ``run``.
+
+The content-addressed cache keys a pass execution on exactly the
+context fields the pass *declares* it reads
+(:func:`repro.cache.cached.context_key`).  The runtime guard in
+``CachedPass`` validates ``writes`` -- and only on a cache miss.  An
+**undeclared read** is the failure the runtime cannot see: the cache
+key omits an input the pass actually consumed, so two compilations that
+differ only in that field collide on one key and the second silently
+receives the first's artifact.  This checker proves the declaration
+sound at lint time by walking each pass's ``run`` body (following
+helper calls that receive the context, within the defining module) and
+cross-checking every ``ctx.<field>`` load/store against the declared
+tuples.
+
+Findings:
+
+* undeclared read (**error**) -- under-scoped cache key, stale-hit bug;
+* undeclared write (**error**) -- warm snapshots would miss the field
+  (mirrors the runtime guard, but catches it before any compile runs);
+* declared-but-unused read (**warning**) -- over-scoped key: compiles
+  differing only in the unused field miss needlessly (cache
+  fragmentation);
+* declared-but-unused write (**warning**) -- snapshots carry a stale
+  upstream value under this pass's name.
+
+Infrastructure fields every pass may touch without declaring them --
+``timings``/``cache_events`` (bookkeeping the pipeline owns),
+``cancel`` (cooperative cancellation; excluded from cache keys by
+design) and ``cache`` (the decompose memo is content-addressed itself,
+so it accelerates but never changes an output) -- are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.framework import (
+    Checker,
+    Finding,
+    Module,
+    PassClass,
+    Project,
+    iter_pass_classes,
+    register_checker,
+)
+
+from repro.cache.cached import INFRA_FIELDS
+
+#: Context attributes a pass may use without declaring them -- the
+#: same set the runtime strict-read guard (REPRO_CACHE_STRICT) allows,
+#: imported so the static and dynamic checks cannot drift apart.
+EXEMPT_FIELDS = INFRA_FIELDS
+
+#: Context *methods* (attribute accesses that are calls, not fields).
+CONTEXT_METHODS = frozenset({"require"})
+
+
+def _module_functions(tree: ast.Module) -> dict[str, ast.FunctionDef]:
+    """Top-level functions of a module, by name."""
+    return {node.name: node for node in tree.body
+            if isinstance(node, ast.FunctionDef)}
+
+
+def _class_methods(node: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    return {stmt.name: stmt for stmt in node.body
+            if isinstance(stmt, ast.FunctionDef)}
+
+
+class _CtxAccessVisitor(ast.NodeVisitor):
+    """Collect context-field loads/stores in one function body.
+
+    ``ctx_names`` are the local names bound to the context in this
+    function.  Calls to module-level helpers or sibling methods that
+    receive the context recurse with the parameter renamed, so a pass
+    that splits ``run`` across private helpers is analysed whole.
+    """
+
+    def __init__(self, collector: "_PassAnalysis", ctx_names: frozenset[str],
+                 functions: dict[str, ast.FunctionDef],
+                 methods: dict[str, ast.FunctionDef]) -> None:
+        self.collector = collector
+        self.ctx_names = ctx_names
+        self.functions = functions
+        self.methods = methods
+
+    def _is_ctx(self, node: ast.AST) -> bool:
+        return isinstance(node, ast.Name) and node.id in self.ctx_names
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self._is_ctx(node.value):
+            if isinstance(node.ctx, ast.Store):
+                self.collector.stores[node.attr] = min(
+                    self.collector.stores.get(node.attr, node.lineno),
+                    node.lineno,
+                )
+            elif node.attr in CONTEXT_METHODS:
+                pass  # handled at the call site below
+            elif not isinstance(node.ctx, ast.Del):
+                self.collector.loads.setdefault(node.attr, node.lineno)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        target = node.target
+        if isinstance(target, ast.Attribute) and self._is_ctx(target.value):
+            self.collector.loads.setdefault(target.attr, node.lineno)
+            self.collector.stores.setdefault(target.attr, node.lineno)
+        self.generic_visit(node.value)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        # ctx.require("field") / getattr(ctx, "field") are reads by name
+        if (isinstance(func, ast.Attribute) and self._is_ctx(func.value)
+                and func.attr in CONTEXT_METHODS):
+            for arg in node.args:
+                if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                    self.collector.loads.setdefault(arg.value, node.lineno)
+                else:
+                    self.collector.dynamic.append(node.lineno)
+            for arg in node.args:
+                self.visit(arg)
+            return
+        if (isinstance(func, ast.Name) and func.id == "getattr"
+                and node.args and self._is_ctx(node.args[0])):
+            if (len(node.args) > 1 and isinstance(node.args[1], ast.Constant)
+                    and isinstance(node.args[1].value, str)):
+                self.collector.loads.setdefault(node.args[1].value,
+                                                node.lineno)
+            else:
+                self.collector.dynamic.append(node.lineno)
+            for arg in node.args[1:]:
+                self.visit(arg)
+            return
+        # helper calls that receive the context: follow them
+        callee: ast.FunctionDef | None = None
+        skip_self = 0
+        if isinstance(func, ast.Name):
+            callee = self.functions.get(func.id)
+        elif (isinstance(func, ast.Attribute)
+              and isinstance(func.value, ast.Name)
+              and func.value.id == "self"):
+            callee = self.methods.get(func.attr)
+            skip_self = 1
+        passes_ctx = (any(self._is_ctx(arg) for arg in node.args)
+                      or any(self._is_ctx(kw.value) for kw in node.keywords))
+        if callee is not None and passes_ctx:
+            self.collector.follow(callee, node, skip_self, self.ctx_names,
+                                  self.functions, self.methods)
+        self.generic_visit(node)
+
+
+class _PassAnalysis:
+    """Interprocedural (module-local) accumulation of context accesses."""
+
+    def __init__(self) -> None:
+        self.loads: dict[str, int] = {}
+        self.stores: dict[str, int] = {}
+        self.dynamic: list[int] = []
+        self._visited: set[str] = set()
+
+    def analyse(self, func: ast.FunctionDef, ctx_names: frozenset[str],
+                functions: dict[str, ast.FunctionDef],
+                methods: dict[str, ast.FunctionDef]) -> None:
+        key = f"{func.name}:{','.join(sorted(ctx_names))}"
+        if key in self._visited:
+            return
+        self._visited.add(key)
+        visitor = _CtxAccessVisitor(self, ctx_names, functions, methods)
+        for stmt in func.body:
+            visitor.visit(stmt)
+
+    def follow(self, callee: ast.FunctionDef, call: ast.Call, skip_self: int,
+               ctx_names: frozenset[str],
+               functions: dict[str, ast.FunctionDef],
+               methods: dict[str, ast.FunctionDef]) -> None:
+        """Map the caller's context arguments onto the callee's params."""
+        params = [arg.arg for arg in callee.args.args][skip_self:]
+        ctx_params = set()
+        for position, arg in enumerate(call.args):
+            if (isinstance(arg, ast.Name) and arg.id in ctx_names
+                    and position < len(params)):
+                ctx_params.add(params[position])
+        for keyword in call.keywords:
+            if (isinstance(keyword.value, ast.Name)
+                    and keyword.value.id in ctx_names and keyword.arg):
+                ctx_params.add(keyword.arg)
+        if ctx_params:
+            self.analyse(callee, frozenset(ctx_params), functions, methods)
+
+
+@register_checker
+class PassContractChecker(Checker):
+    id = "RPR001"
+    name = "pass-contract"
+    description = ("a Pass's reads/writes ClassVars must cover exactly "
+                   "the context fields its run() touches; undeclared "
+                   "reads under-scope cache keys (stale artifact hits)")
+
+    def check(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        for module in project.modules():
+            for declared in iter_pass_classes(module):
+                findings.extend(self._check_pass(module, declared))
+        return findings
+
+    def _check_pass(self, module: Module,
+                    declared: PassClass) -> list[Finding]:
+        tree = module.tree
+        assert tree is not None  # iter_pass_classes already parsed it
+        functions = _module_functions(tree)
+        methods = _class_methods(declared.node)
+        ctx_param = self._context_param(declared.run)
+        if ctx_param is None:
+            return []
+        analysis = _PassAnalysis()
+        analysis.analyse(declared.run, frozenset({ctx_param}),
+                         functions, methods)
+
+        reads = set(declared.reads or ())
+        writes = set(declared.writes or ())
+        label = declared.node.name
+        findings: list[Finding] = []
+        for line in analysis.dynamic:
+            findings.append(Finding(
+                path=module.path, line=line, check=self.id,
+                severity="warning",
+                message=f"{label}: dynamic context access is not "
+                        f"statically checkable; use a literal field name",
+            ))
+        for field, line in sorted(analysis.loads.items()):
+            if field in EXEMPT_FIELDS or field in CONTEXT_METHODS:
+                continue
+            if field not in reads | writes:
+                findings.append(Finding(
+                    path=module.path, line=line, check=self.id,
+                    message=f"{label}: undeclared context read "
+                            f"{field!r} -- the cache key omits it, so "
+                            f"compilations differing only in {field!r} "
+                            f"share one key and warm runs serve stale "
+                            f"artifacts; add it to reads",
+                ))
+        for field, line in sorted(analysis.stores.items()):
+            if field in EXEMPT_FIELDS:
+                continue
+            if field not in writes:
+                findings.append(Finding(
+                    path=module.path, line=line, check=self.id,
+                    message=f"{label}: undeclared context write "
+                            f"{field!r} -- cache snapshots omit it, so "
+                            f"a warm hit diverges from the cold run; "
+                            f"add it to writes",
+                ))
+        for field in sorted(reads - set(analysis.loads)):
+            findings.append(Finding(
+                path=module.path, line=declared.node.lineno, check=self.id,
+                severity="warning",
+                message=f"{label}: declared read {field!r} is never "
+                        f"used by run(); the over-scoped cache key "
+                        f"fragments the cache across values of "
+                        f"{field!r} that cannot change the output",
+            ))
+        for field in sorted(writes - set(analysis.stores)):
+            findings.append(Finding(
+                path=module.path, line=declared.node.lineno, check=self.id,
+                severity="warning",
+                message=f"{label}: declared write {field!r} is never "
+                        f"assigned by run(); warm snapshots would "
+                        f"re-apply a stale upstream value under this "
+                        f"pass's name",
+            ))
+        return findings
+
+    @staticmethod
+    def _context_param(run: ast.FunctionDef) -> str | None:
+        """The name of ``run``'s context parameter (after ``self``)."""
+        params = [arg.arg for arg in run.args.args]
+        if params and params[0] == "self":
+            params = params[1:]
+        return params[0] if params else None

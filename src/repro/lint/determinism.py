@@ -1,0 +1,143 @@
+"""RPR004: compile-path modules must be seed-driven, never clock-driven.
+
+Every golden test in this repo asserts *bit identity*: the same
+``(step, device, gateset, seed)`` must produce the same circuit down to
+the last float, across processes, cache states and worker counts --
+that is what makes the content-addressed cache sound and warm serving
+byte-identical to cold.  One unseeded RNG draw or wall-clock-dependent
+value inside the compile path breaks the contract invisibly: results
+stay plausible, caches keep hitting, and only a cross-run diff weeks
+later exposes it.
+
+This checker walks the compile-path packages (``core/``, ``mapping/``,
+``synthesis/``, ``baselines/``) and flags (**error**):
+
+* ``numpy.random.default_rng()`` / ``Generator``/``RandomState``
+  construction with **no seed argument**;
+* legacy global-state numpy RNG calls (``np.random.shuffle`` etc. --
+  any ``numpy.random.*`` that is not an explicit generator
+  construction);
+* stdlib ``random`` module calls (module-level functions share hidden
+  global state; ``random.Random(seed)`` with a seed is accepted);
+* wall-clock value sources: ``time.time``, ``datetime.now`` /
+  ``utcnow``/``today``, ``uuid.uuid1``/``uuid4``.
+
+``time.perf_counter``/``monotonic``/``process_time`` are allowed: the
+pipeline uses them for the ``timings`` metadata, which is deliberately
+outside every fingerprint and every golden comparison.  Alias-aware:
+``import numpy.random as npr; npr.shuffle(...)`` is still caught.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.framework import (
+    Checker,
+    Finding,
+    Project,
+    import_aliases,
+    register_checker,
+    resolve_call,
+)
+
+#: Package fragments forming the compile path (bit-identity contract).
+COMPILE_PATH_FRAGMENTS = (
+    "repro/core/",
+    "repro/mapping/",
+    "repro/synthesis/",
+    "repro/baselines/",
+)
+
+#: Generator constructors that are fine *with* a seed argument.
+SEEDED_CONSTRUCTORS = frozenset({
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "random.Random",
+})
+
+#: Wall-clock / entropy sources never allowed on the compile path.
+CLOCK_CALLS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "uuid.uuid1",
+    "uuid.uuid4",
+})
+
+
+@register_checker
+class DeterminismChecker(Checker):
+    id = "RPR004"
+    name = "determinism"
+    description = ("no unseeded RNGs, global random state, or "
+                   "wall-clock values inside compile-path modules -- "
+                   "the bit-identity contract every golden test and "
+                   "every cache hit assumes")
+
+    def check(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        for module in project.modules():
+            if not any(fragment in module.path
+                       for fragment in COMPILE_PATH_FRAGMENTS):
+                continue
+            tree = module.tree
+            if tree is None:
+                continue
+            aliases = import_aliases(tree)
+            for node in ast.walk(tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                resolved = resolve_call(node.func, aliases)
+                if resolved is None:
+                    continue
+                finding = self._classify(module.path, node, resolved)
+                if finding is not None:
+                    findings.append(finding)
+        return findings
+
+    def _classify(self, path: str, node: ast.Call,
+                  resolved: str) -> Finding | None:
+        if resolved in SEEDED_CONSTRUCTORS:
+            if not node.args and not node.keywords:
+                return Finding(
+                    path=path, line=node.lineno, check=self.id,
+                    message=f"{resolved}() without a seed draws OS "
+                            f"entropy; every compile-path RNG must be "
+                            f"constructed from an explicit seed "
+                            f"(bit-identity contract)",
+                )
+            return None
+        if resolved.startswith("numpy.random."):
+            return Finding(
+                path=path, line=node.lineno, check=self.id,
+                message=f"{resolved}(...) uses numpy's hidden global "
+                        f"RNG state; results depend on call order "
+                        f"across the whole process -- construct a "
+                        f"seeded default_rng(seed) instead",
+            )
+        if resolved.startswith("random.") \
+                and resolved not in SEEDED_CONSTRUCTORS:
+            return Finding(
+                path=path, line=node.lineno, check=self.id,
+                message=f"{resolved}(...) uses the stdlib random "
+                        f"module's global state; use a seeded "
+                        f"random.Random(seed) or numpy default_rng",
+            )
+        if resolved in CLOCK_CALLS:
+            return Finding(
+                path=path, line=node.lineno, check=self.id,
+                message=f"{resolved}() is wall-clock/entropy dependent; "
+                        f"compile-path values must be functions of "
+                        f"(step, device, gateset, seed) only "
+                        f"(perf_counter for timings metadata is exempt)",
+            )
+        return None

@@ -1,0 +1,136 @@
+"""RPR003: every service counter must exist in the schema and the docs.
+
+``ServiceMetrics`` pre-populates its counter dict from
+``COUNTER_NAMES`` and ``increment()`` does ``self.counters[name] +=
+amount`` -- an increment with a name outside the schema raises
+``KeyError``, and it raises in *production paths only*: the counter
+fires on a worker crash, a journal failure, a disconnect, exactly the
+paths the unit tests exercise least.  This checker proves at lint time
+that
+
+* every literal counter key incremented anywhere under
+  ``src/repro/service/`` (``metrics.increment("x")`` or
+  ``counters["x"]``) exists in ``COUNTER_NAMES`` (**error**);
+* every ``COUNTER_NAMES`` entry is incremented somewhere (**warning**
+  -- a dead counter exports misleading zeros forever);
+* every ``COUNTER_NAMES`` entry appears in ``docs/architecture.md``
+  (**warning** -- the doc's failure-mode/metrics tables are the
+  operator contract; an undocumented counter is invisible in an
+  incident).  The Prometheus adapter renders counters generically from
+  the same snapshot dict, so schema membership is exactly exposure.
+
+Non-literal keys (``increment(name)`` inside ``ServiceMetrics`` itself,
+loops over the schema) are skipped -- the schema membership of the
+literal call sites is the contract.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.framework import (
+    Checker,
+    Finding,
+    Project,
+    register_checker,
+    string_tuple,
+)
+
+SERVICE_PREFIX_FRAGMENT = "repro/service/"
+DOC_SUFFIX = "docs/architecture.md"
+
+
+def _counter_names(project: Project) -> tuple[str, ...] | None:
+    metrics_mod = project.module("repro/service/metrics.py")
+    if metrics_mod is None or metrics_mod.tree is None:
+        return None
+    for node in metrics_mod.tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) \
+                        and target.id == "COUNTER_NAMES":
+                    return string_tuple(node.value)
+    return None
+
+
+def _literal_counter_uses(project: Project) -> dict[str, tuple[str, int]]:
+    """Counter name -> first (path, line) using it as a literal key."""
+    uses: dict[str, tuple[str, int]] = {}
+    for module in project.modules():
+        if SERVICE_PREFIX_FRAGMENT not in module.path:
+            continue
+        tree = module.tree
+        if tree is None:
+            continue
+        for node in ast.walk(tree):
+            name: str | None = None
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "increment"
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)):
+                name = node.args[0].value
+            elif (isinstance(node, ast.Subscript)
+                  and isinstance(node.value, ast.Attribute)
+                  and node.value.attr == "counters"
+                  and isinstance(node.slice, ast.Constant)
+                  and isinstance(node.slice.value, str)):
+                name = node.slice.value
+            if name is not None and name not in uses:
+                uses[name] = (module.path, node.lineno)
+    return uses
+
+
+@register_checker
+class MetricsSchemaChecker(Checker):
+    id = "RPR003"
+    name = "metrics-schema"
+    description = ("every counter incremented in the service layer must "
+                   "be declared in COUNTER_NAMES (else KeyError on the "
+                   "production path that fires it) and documented; "
+                   "declared counters must be live")
+
+    def check(self, project: Project) -> list[Finding]:
+        names = _counter_names(project)
+        if names is None:
+            return []  # fixture project without the metrics module
+        metrics_mod = project.module("repro/service/metrics.py")
+        assert metrics_mod is not None
+        declared = set(names)
+        uses = _literal_counter_uses(project)
+        findings: list[Finding] = []
+        for name, (path, line) in sorted(uses.items()):
+            if name not in declared:
+                findings.append(Finding(
+                    path=path, line=line, check=self.id,
+                    message=f"counter {name!r} is incremented but absent "
+                            f"from COUNTER_NAMES -- this raises KeyError "
+                            f"on the production path that first fires "
+                            f"it; add it to the schema",
+                ))
+        for name in names:
+            if name not in uses:
+                findings.append(Finding(
+                    path=metrics_mod.path, line=1, check=self.id,
+                    severity="warning",
+                    message=f"counter {name!r} is declared in "
+                            f"COUNTER_NAMES but never incremented in "
+                            f"the service layer; it exports a "
+                            f"misleading constant zero",
+                ))
+        doc = project.text(DOC_SUFFIX)
+        if doc is not None:
+            doc_path, doc_text = doc
+            for name in names:
+                if f"`{name}`" not in doc_text:
+                    findings.append(Finding(
+                        path=doc_path, line=1, check=self.id,
+                        severity="warning",
+                        message=f"counter `{name}` is exported by "
+                                f"/metrics but undocumented in the "
+                                f"architecture doc's counter tables; "
+                                f"operators cannot interpret it in an "
+                                f"incident",
+                    ))
+        return findings

@@ -50,10 +50,15 @@ def _greedy_randomized_construction(instance: QAPInstance,
         ]
         candidates = [loc for loc in range(m) if loc not in used]
         if placed_partners:
-            def score(loc: int) -> float:
+            # bind the per-iteration values as defaults: the closure is
+            # consumed inside this iteration, but late binding is the
+            # classic loop-closure trap (flake8-bugbear B023)
+            def score(loc: int, logical: int = logical,
+                      partners: tuple[int, ...] = tuple(placed_partners),
+                      ) -> float:
                 return sum(
                     flow[logical, k] * dist[loc, assignment[k]]
-                    for k in placed_partners
+                    for k in partners
                 )
             candidates.sort(key=score)
         else:

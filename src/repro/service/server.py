@@ -138,7 +138,7 @@ class Envelope:
     timeout_s: float | None = None
 
 
-def split_envelope(payload: dict, defaults: Envelope = Envelope(),
+def split_envelope(payload: dict, defaults: Envelope | None = None,
                    ) -> tuple[dict, Envelope]:
     """Separate envelope fields from the request payload, validating.
 
@@ -146,6 +146,8 @@ def split_envelope(payload: dict, defaults: Envelope = Envelope(),
     the envelope; unset fields inherit ``defaults`` (the batch-level
     envelope, or the server defaults).
     """
+    if defaults is None:
+        defaults = Envelope()
     payload = dict(payload)
     tenant = payload.pop("tenant", defaults.tenant)
     priority = payload.pop("priority", defaults.priority)

@@ -218,7 +218,7 @@ def _structural_circuit(basis_name: str, count: int) -> Circuit:
     circuit = Circuit(2)
     circuit.append(Gate("U1Q", (0,), matrix=np.eye(2, dtype=complex)))
     circuit.append(Gate("U1Q", (1,), matrix=np.eye(2, dtype=complex)))
-    for i in range(count):
+    for _ in range(count):
         circuit.append(Gate(basis_name, (0, 1)))
         circuit.append(Gate("U1Q", (0,), matrix=np.eye(2, dtype=complex)))
         circuit.append(Gate("U1Q", (1,), matrix=np.eye(2, dtype=complex)))

@@ -1,0 +1,137 @@
+"""REPRO_CACHE_STRICT: the dynamic twin of ``repro lint`` RPR001.
+
+With the env var set (the whole suite runs with it -- see the autouse
+fixture in ``tests/conftest.py``), ``CachedPass`` wraps the context in
+a read-auditing proxy on the miss path, so an undeclared context read
+(an under-scoped cache key) raises at the offending access instead of
+silently serving stale artifacts on some later warm run.
+"""
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+import pytest
+
+from repro.analysis.harness import build_step
+from repro.cache.cached import (
+    CachedPass,
+    UndeclaredContextReadError,
+    compile_cached,
+    strict_reads_enabled,
+)
+from repro.cache.store import ArtifactCache
+from repro.core.pipeline import CompilationContext
+from repro.core.registry import get_compiler
+from repro.devices.library import aspen
+from repro.synthesis.gateset import get_gateset
+
+
+@dataclass(frozen=True)
+class SneakyPass:
+    """Reads ``seed`` without declaring it -- the cache-unsoundness bug."""
+
+    name: str = "sneaky"
+    reads: ClassVar[tuple[str, ...]] = ("step",)
+    writes: ClassVar[tuple[str, ...]] = ("working",)
+
+    def run(self, ctx):
+        ctx.working = (ctx.step, ctx.seed)
+        return ctx
+
+
+@dataclass(frozen=True)
+class HonestPass:
+    name: str = "honest"
+    reads: ClassVar[tuple[str, ...]] = ("step", "seed")
+    writes: ClassVar[tuple[str, ...]] = ("working",)
+
+    def run(self, ctx):
+        ctx.working = (ctx.step, ctx.seed)
+        ctx.timings["honest_extra"] = 0.0  # infra: always allowed
+        return ctx
+
+
+def _context(seed=3):
+    return CompilationContext(step=build_step("NNN_Ising", 4, 0),
+                              gateset=get_gateset("CNOT"),
+                              device=aspen(), seed=seed)
+
+
+class TestStrictProxy:
+    def test_env_fixture_is_active(self):
+        assert strict_reads_enabled()
+
+    def test_undeclared_read_raises_at_the_access(self):
+        cached = CachedPass(SneakyPass(), ArtifactCache())
+        with pytest.raises(UndeclaredContextReadError, match="'seed'"):
+            cached.run(_context())
+
+    def test_declared_reads_run_clean_and_cache(self):
+        cached = CachedPass(HonestPass(), ArtifactCache())
+        ctx = cached.run(_context())
+        assert ctx.working == (ctx.step, 3)
+        assert ctx.cache_events == {"honest": "miss"}
+
+    def test_getattr_with_default_cannot_swallow_the_violation(self):
+        """The error is deliberately not an AttributeError: a pass
+        probing with getattr(ctx, name, default) must still fail."""
+
+        @dataclass(frozen=True)
+        class ProbingPass:
+            name: str = "probing"
+            reads: ClassVar[tuple[str, ...]] = ("step",)
+            writes: ClassVar[tuple[str, ...]] = ("working",)
+
+            def run(self, ctx):
+                ctx.working = getattr(ctx, "seed", None)
+                return ctx
+
+        cached = CachedPass(ProbingPass(), ArtifactCache())
+        with pytest.raises(UndeclaredContextReadError):
+            cached.run(_context())
+
+    def test_require_is_audited_too(self):
+        @dataclass(frozen=True)
+        class RequirePass:
+            name: str = "requiring"
+            reads: ClassVar[tuple[str, ...]] = ("step",)
+            writes: ClassVar[tuple[str, ...]] = ("working",)
+
+            def run(self, ctx):
+                ctx.working = ctx.require("device")
+                return ctx
+
+        cached = CachedPass(RequirePass(), ArtifactCache())
+        with pytest.raises(UndeclaredContextReadError, match="'device'"):
+            cached.run(_context())
+
+    def test_disabled_env_skips_the_guard(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_STRICT", "0")
+        assert not strict_reads_enabled()
+        cached = CachedPass(SneakyPass(), ArtifactCache())
+        ctx = cached.run(_context())
+        assert ctx.working[1] == 3
+
+    def test_hit_path_never_wraps(self):
+        """A warm hit applies the snapshot without running the pass, so
+        even a sneaky pass is safe once its (wrongly-keyed) artifact is
+        stored; the guard exists to stop that artifact being stored."""
+        cache = ArtifactCache()
+        cached = CachedPass(HonestPass(), cache)
+        cached.run(_context())
+        warm = cached.run(_context())
+        assert warm.cache_events == {"honest": "hit"}
+
+
+class TestWholePipelineUnderStrict:
+    def test_full_2qan_compile_is_strict_clean(self):
+        """Every built-in pass declaration survives a real compile with
+        the read guard on (the suite-wide autouse fixture makes this
+        the default, but pin it explicitly here)."""
+        cache = ArtifactCache()
+        compiler = get_compiler("2qan", device=aspen(), gateset="CNOT",
+                                seed=1)
+        step = build_step("NNN_Ising", 6, 3)
+        cold = compile_cached(compiler, step, cache)
+        warm = compile_cached(compiler, step, cache)
+        assert cold.metrics == warm.metrics

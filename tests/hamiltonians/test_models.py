@@ -97,6 +97,6 @@ class TestRegistry:
         }
 
     def test_builders_callable(self):
-        for name, builder in MODEL_BUILDERS.items():
+        for builder in MODEL_BUILDERS.values():
             h = builder(6, seed=0)
             assert h.n_qubits == 6

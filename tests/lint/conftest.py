@@ -1,0 +1,17 @@
+"""Shared helpers: run one checker over an in-memory fixture project."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import Project, run_lint
+
+
+@pytest.fixture
+def lint_files():
+    """Run a single checker over a literal ``{path: source}`` project."""
+
+    def _run(files: dict[str, str], check_id: str):
+        return run_lint(Project(files), select=[check_id])
+
+    return _run

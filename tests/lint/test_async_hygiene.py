@@ -1,0 +1,125 @@
+"""RPR005 fixtures: blocking calls and lock misuse on the event loop."""
+
+
+def service_module(body, prelude=""):
+    return {"src/repro/service/server.py": (
+        "import asyncio\n"
+        "import subprocess\n"
+        "import threading\n"
+        "import time\n\n"
+        + prelude
+        + "\n\nclass Server:\n"
+        + "    def __init__(self):\n"
+        + "        self._lock = threading.Lock()\n\n"
+        + "    async def handle(self):\n"
+        + "".join(f"        {line}\n" for line in body)
+    )}
+
+
+class TestBlockingCalls:
+    def test_time_sleep_is_flagged(self, lint_files):
+        findings = lint_files(service_module(["time.sleep(0.1)"]), "RPR005")
+        assert len(findings) == 1
+        assert "asyncio.sleep" in findings[0].message
+
+    def test_subprocess_run_is_flagged(self, lint_files):
+        findings = lint_files(
+            service_module(["subprocess.run(['ls'])"]), "RPR005")
+        assert len(findings) == 1
+        assert "subprocess" in findings[0].message
+
+    def test_from_import_alias_is_still_caught(self, lint_files):
+        files = {"src/repro/service/server.py": (
+            "from time import sleep as snooze\n\n\n"
+            "async def pause():\n"
+            "    snooze(1)\n"
+        )}
+        findings = lint_files(files, "RPR005")
+        assert len(findings) == 1
+        assert "time.sleep" in findings[0].message
+
+    def test_awaited_asyncio_sleep_is_clean(self, lint_files):
+        assert lint_files(
+            service_module(["await asyncio.sleep(0.1)"]), "RPR005") == []
+
+    def test_sync_def_may_block(self, lint_files):
+        files = {"src/repro/service/worker.py": (
+            "import time\n\n\n"
+            "def compute():\n"
+            "    time.sleep(1)\n"
+        )}
+        assert lint_files(files, "RPR005") == []
+
+    def test_nested_sync_def_is_not_the_loop(self, lint_files):
+        """An inner def runs wherever it is called (typically in an
+        executor), so its body is outside this contract."""
+        findings = lint_files(service_module([
+            "def blocking():",
+            "    time.sleep(1)",
+            "await loop.run_in_executor(None, blocking)",
+        ]), "RPR005")
+        assert findings == []
+
+    def test_non_service_modules_are_out_of_scope(self, lint_files):
+        files = {"src/repro/analysis/demo.py": (
+            "import time\n\n\n"
+            "async def tick():\n"
+            "    time.sleep(1)\n"
+        )}
+        assert lint_files(files, "RPR005") == []
+
+
+class TestLockAcquire:
+    def test_untimed_acquire_is_flagged(self, lint_files):
+        findings = lint_files(
+            service_module(["self._lock.acquire()"]), "RPR005")
+        assert len(findings) == 1
+        assert "timeout" in findings[0].message
+
+    def test_acquire_with_timeout_is_clean(self, lint_files):
+        assert lint_files(
+            service_module(["self._lock.acquire(timeout=1.0)"]),
+            "RPR005") == []
+
+    def test_awaited_acquire_is_clean(self, lint_files):
+        """An awaited acquire is an asyncio primitive, not a block."""
+        assert lint_files(
+            service_module(["await self._alock.acquire()"]), "RPR005") == []
+
+
+class TestAwaitUnderLock:
+    def test_await_while_holding_threading_lock_is_flagged(self, lint_files):
+        findings = lint_files(service_module([
+            "with self._lock:",
+            "    await asyncio.sleep(0)",
+        ]), "RPR005")
+        assert len(findings) == 1
+        assert "deadlock" in findings[0].message
+
+    def test_await_after_lock_released_is_clean(self, lint_files):
+        assert lint_files(service_module([
+            "with self._lock:",
+            "    x = 1",
+            "await asyncio.sleep(0)",
+        ]), "RPR005") == []
+
+    def test_async_with_is_clean(self, lint_files):
+        """``async with`` context managers are asyncio-aware even when
+        the attribute name collides with a threading lock's."""
+        files = service_module(
+            ["async with self._alock:",
+             "    await asyncio.sleep(0)"],
+        )
+        assert lint_files(files, "RPR005") == []
+
+    def test_module_level_lock_variable_is_tracked(self, lint_files):
+        files = {"src/repro/service/state.py": (
+            "import asyncio\n"
+            "import threading\n\n"
+            "GUARD = threading.RLock()\n\n\n"
+            "async def mutate():\n"
+            "    with GUARD:\n"
+            "        await asyncio.sleep(0)\n"
+        )}
+        findings = lint_files(files, "RPR005")
+        assert len(findings) == 1

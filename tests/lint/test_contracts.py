@@ -1,0 +1,154 @@
+"""RPR001 fixtures: pass reads/writes declarations vs run() bodies."""
+
+HEADER = """\
+from dataclasses import dataclass
+from typing import ClassVar
+
+
+@dataclass(frozen=True)
+class DemoPass:
+    name: str = "demo"
+
+"""
+
+
+def pass_module(reads, writes, body):
+    lines = "\n".join(f"        {line}" for line in body)
+    return (HEADER
+            + f"    reads: ClassVar[tuple[str, ...]] = {reads!r}\n"
+            + f"    writes: ClassVar[tuple[str, ...]] = {writes!r}\n\n"
+            + "    def run(self, ctx):\n"
+            + lines + "\n"
+            + "        return ctx\n")
+
+
+def project(source):
+    return {"src/repro/baselines/demo.py": source}
+
+
+class TestUndeclaredAccess:
+    def test_undeclared_read_is_an_error(self, lint_files):
+        source = pass_module(("working",), ("routed",),
+                             ["ctx.routed = (ctx.working, ctx.seed)"])
+        findings = lint_files(project(source), "RPR001")
+        assert [f.severity for f in findings] == ["error"]
+        assert "'seed'" in findings[0].message
+        assert "cache key" in findings[0].message
+
+    def test_undeclared_write_is_an_error(self, lint_files):
+        source = pass_module(("working",), ("routed",),
+                             ["ctx.routed = ctx.working",
+                              "ctx.n_swaps = 0"])
+        findings = lint_files(project(source), "RPR001")
+        assert len(findings) == 1
+        assert "'n_swaps'" in findings[0].message
+
+    def test_require_counts_as_a_read(self, lint_files):
+        source = pass_module(("working",), ("routed",),
+                             ['ctx.routed = ctx.require("assignment")'])
+        findings = lint_files(project(source), "RPR001")
+        assert any("'assignment'" in f.message and f.severity == "error"
+                   for f in findings)
+
+    def test_getattr_literal_counts_as_a_read(self, lint_files):
+        source = pass_module(("working",), ("routed",),
+                             ['ctx.routed = getattr(ctx, "device")'])
+        findings = lint_files(project(source), "RPR001")
+        assert any("'device'" in f.message for f in findings)
+
+    def test_dynamic_access_is_a_warning(self, lint_files):
+        source = pass_module(("working",), ("routed",),
+                             ["name = str(ctx.working)",
+                              "ctx.routed = getattr(ctx, name)"])
+        findings = lint_files(project(source), "RPR001")
+        assert [f.severity for f in findings] == ["warning"]
+        assert "dynamic" in findings[0].message
+
+
+class TestOverDeclaration:
+    def test_unused_declared_read_is_a_warning(self, lint_files):
+        source = pass_module(("working", "seed"), ("routed",),
+                             ["ctx.routed = ctx.working"])
+        findings = lint_files(project(source), "RPR001")
+        assert [f.severity for f in findings] == ["warning"]
+        assert "'seed'" in findings[0].message
+        assert "fragments the cache" in findings[0].message
+
+    def test_unused_declared_write_is_a_warning(self, lint_files):
+        source = pass_module(("working",), ("routed", "n_swaps"),
+                             ["ctx.routed = ctx.working"])
+        findings = lint_files(project(source), "RPR001")
+        assert len(findings) == 1
+        assert "'n_swaps'" in findings[0].message
+
+
+class TestInterprocedural:
+    def test_module_helper_receiving_ctx_is_followed(self, lint_files):
+        source = pass_module(("working",), ("routed",),
+                             ["_route(ctx)"]) + (
+            "\n\ndef _route(context):\n"
+            "    context.routed = context.device\n"
+        )
+        findings = lint_files(project(source), "RPR001")
+        assert any("'device'" in f.message and f.severity == "error"
+                   for f in findings)
+
+    def test_sibling_method_receiving_ctx_is_followed(self, lint_files):
+        source = (HEADER
+                  + "    reads: ClassVar[tuple[str, ...]] = ('working',)\n"
+                  + "    writes: ClassVar[tuple[str, ...]] = ('routed',)\n\n"
+                  + "    def run(self, ctx):\n"
+                  + "        self._inner(ctx)\n"
+                  + "        return ctx\n\n"
+                  + "    def _inner(self, ctx):\n"
+                  + "        ctx.routed = ctx.assignment\n")
+        findings = lint_files(project(source), "RPR001")
+        assert any("'assignment'" in f.message for f in findings)
+
+    def test_helper_non_ctx_args_are_not_confused(self, lint_files):
+        """A helper receiving (working, ctx) must not count accesses on
+        its first parameter as context accesses."""
+        source = pass_module(("working",), ("routed",),
+                             ["ctx.routed = _route(ctx.working, ctx)"]) + (
+            "\n\ndef _route(working, context):\n"
+            "    length = working.metrics\n"  # not a ctx access
+            "    return context.working\n"
+        )
+        findings = lint_files(project(source), "RPR001")
+        assert findings == []
+
+
+class TestCleanAndExempt:
+    def test_matching_declaration_is_clean(self, lint_files):
+        source = pass_module(("working", "device"), ("routed",),
+                             ["ctx.routed = (ctx.working, ctx.device)"])
+        assert lint_files(project(source), "RPR001") == []
+
+    def test_infra_fields_need_no_declaration(self, lint_files):
+        source = pass_module(("working",), ("routed",),
+                             ["ctx.timings['demo'] = 0.0",
+                              "ctx.cache_events['demo'] = 'miss'",
+                              "token = ctx.cancel",
+                              "memo = ctx.cache",
+                              "ctx.routed = ctx.working"])
+        assert lint_files(project(source), "RPR001") == []
+
+    def test_classes_without_declarations_are_ignored(self, lint_files):
+        source = ("class NotAPass:\n"
+                  "    def run(self, ctx):\n"
+                  "        return ctx.anything\n")
+        assert lint_files(project(source), "RPR001") == []
+
+    def test_real_tree_predicted_finding_stays_fixed(self, lint_files):
+        """Regression for the finding this checker surfaced on the real
+        tree: InstructionGainRoutePass declared ``seed`` in reads but
+        never consumed it, fragmenting the cache across seeds.  The
+        declaration was trimmed; this pins the checker still proving
+        that class clean."""
+        from pathlib import Path
+
+        real = Path(__file__).resolve().parents[2] / \
+            "src/repro/baselines/qaoa_ic.py"
+        files = {"src/repro/baselines/qaoa_ic.py": real.read_text()}
+        findings = lint_files(files, "RPR001")
+        assert findings == []

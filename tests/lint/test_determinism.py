@@ -1,0 +1,79 @@
+"""RPR004 fixtures: unseeded RNGs and wall-clock values on the compile path."""
+
+
+def compile_module(body, path="src/repro/core/demo.py",
+                   imports="import numpy as np\nimport random\nimport time\n"):
+    return {path: imports + "\n\ndef f(seed):\n"
+            + "".join(f"    {line}\n" for line in body)}
+
+
+class TestUnseededRngs:
+    def test_unseeded_default_rng_is_an_error(self, lint_files):
+        findings = lint_files(
+            compile_module(["rng = np.random.default_rng()"]), "RPR004")
+        assert [f.severity for f in findings] == ["error"]
+        assert "without a seed" in findings[0].message
+
+    def test_seeded_default_rng_is_clean(self, lint_files):
+        assert lint_files(
+            compile_module(["rng = np.random.default_rng(seed)"]),
+            "RPR004") == []
+
+    def test_global_numpy_rng_call_is_an_error(self, lint_files):
+        findings = lint_files(
+            compile_module(["np.random.shuffle([1, 2, 3])"]), "RPR004")
+        assert len(findings) == 1
+        assert "global" in findings[0].message
+
+    def test_aliased_import_is_still_caught(self, lint_files):
+        files = compile_module(
+            ["npr.shuffle([1, 2])"],
+            imports="import numpy.random as npr\n")
+        findings = lint_files(files, "RPR004")
+        assert len(findings) == 1
+        assert "numpy.random.shuffle" in findings[0].message
+
+    def test_stdlib_random_module_is_an_error(self, lint_files):
+        findings = lint_files(
+            compile_module(["x = random.random()"]), "RPR004")
+        assert len(findings) == 1
+        assert "global state" in findings[0].message
+
+    def test_seeded_stdlib_random_instance_is_clean(self, lint_files):
+        assert lint_files(
+            compile_module(["rng = random.Random(seed)"]), "RPR004") == []
+
+
+class TestClocks:
+    def test_time_time_is_an_error(self, lint_files):
+        findings = lint_files(
+            compile_module(["stamp = time.time()"]), "RPR004")
+        assert len(findings) == 1
+        assert "wall-clock" in findings[0].message
+
+    def test_perf_counter_is_exempt(self, lint_files):
+        """Timings metadata is outside every fingerprint and golden."""
+        assert lint_files(
+            compile_module(["start = time.perf_counter()"]), "RPR004") == []
+
+    def test_uuid4_is_an_error(self, lint_files):
+        files = compile_module(["tag = uuid.uuid4()"],
+                               imports="import uuid\n")
+        findings = lint_files(files, "RPR004")
+        assert len(findings) == 1
+
+
+class TestScope:
+    def test_service_layer_may_use_clocks(self, lint_files):
+        """The contract covers the compile path only; the serving layer
+        legitimately timestamps jobs."""
+        files = compile_module(["stamp = time.time()"],
+                               path="src/repro/service/demo.py")
+        assert lint_files(files, "RPR004") == []
+
+    def test_all_compile_path_packages_are_covered(self, lint_files):
+        for package in ("core", "mapping", "synthesis", "baselines"):
+            files = compile_module(
+                ["rng = np.random.default_rng()"],
+                path=f"src/repro/{package}/demo.py")
+            assert lint_files(files, "RPR004"), package

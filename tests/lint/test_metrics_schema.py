@@ -1,0 +1,82 @@
+"""RPR003 fixtures: counter schema membership, liveness, doc coverage."""
+
+
+def fixture_project(*, counters=("compiled", "failed"),
+                    server_body=None, doc=None):
+    names = "".join(f'    "{name}",\n' for name in counters)
+    body = server_body if server_body is not None else [
+        'self.metrics.increment("compiled")',
+        'self.metrics.increment("failed")',
+    ]
+    lines = "".join(f"        {line}\n" for line in body)
+    files = {
+        "src/repro/service/metrics.py": (
+            "COUNTER_NAMES = (\n" + names + ")\n"
+        ),
+        "src/repro/service/server.py": (
+            "class Server:\n"
+            "    def observe(self):\n" + lines
+        ),
+    }
+    if doc is not None:
+        files["docs/architecture.md"] = doc
+    return files
+
+
+class TestSchemaMembership:
+    def test_undeclared_increment_is_an_error(self, lint_files):
+        files = fixture_project(server_body=[
+            'self.metrics.increment("compiled")',
+            'self.metrics.increment("failed")',
+            'self.metrics.increment("exploded")',
+        ])
+        findings = lint_files(files, "RPR003")
+        assert len(findings) == 1
+        assert findings[0].severity == "error"
+        assert "'exploded'" in findings[0].message
+        assert "KeyError" in findings[0].message
+        assert findings[0].path == "src/repro/service/server.py"
+
+    def test_undeclared_subscript_use_is_an_error(self, lint_files):
+        files = fixture_project(server_body=[
+            'self.metrics.increment("compiled")',
+            'self.metrics.increment("failed")',
+            'snapshot.counters["ghost"] += 1',
+        ])
+        findings = lint_files(files, "RPR003")
+        assert len(findings) == 1
+        assert "'ghost'" in findings[0].message
+
+    def test_matching_schema_is_clean(self, lint_files):
+        assert lint_files(fixture_project(), "RPR003") == []
+
+
+class TestLiveness:
+    def test_dead_counter_is_a_warning(self, lint_files):
+        files = fixture_project(counters=("compiled", "failed", "unused"))
+        findings = lint_files(files, "RPR003")
+        assert [f.severity for f in findings] == ["warning"]
+        assert "'unused'" in findings[0].message
+        assert findings[0].path == "src/repro/service/metrics.py"
+
+
+class TestDocCoverage:
+    def test_undocumented_counter_is_a_warning(self, lint_files):
+        files = fixture_project(doc="Counters: `compiled` only.\n")
+        findings = lint_files(files, "RPR003")
+        assert [f.severity for f in findings] == ["warning"]
+        assert "`failed`" in findings[0].message
+        assert findings[0].path == "docs/architecture.md"
+
+    def test_documented_counters_are_clean(self, lint_files):
+        files = fixture_project(doc="Counters: `compiled` and `failed`.\n")
+        assert lint_files(files, "RPR003") == []
+
+    def test_missing_doc_skips_the_doc_check(self, lint_files):
+        assert lint_files(fixture_project(), "RPR003") == []
+
+
+def test_fixture_without_metrics_module_is_skipped(lint_files):
+    files = {"src/repro/service/server.py":
+             'class S:\n    def f(self):\n        m.increment("x")\n'}
+    assert lint_files(files, "RPR003") == []
